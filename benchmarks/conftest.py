@@ -1,0 +1,50 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+BENCH simulation scale and, besides the pytest-benchmark timing, writes its
+rows/series to ``benchmarks/results/<artefact>.txt`` so the paper-vs-
+measured comparison in EXPERIMENTS.md can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import BENCH_SCALE, build_machine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report_writer(results_dir):
+    def write(artefact: str, text: str) -> None:
+        (results_dir / f"{artefact}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+    return write
+
+
+@pytest.fixture(scope="session")
+def bench_machines():
+    """One machine per architecture at the BENCH scale (S3 DIMM)."""
+    return {
+        name: build_machine(name, "S3", scale=BENCH_SCALE)
+        for name in ("comet_lake", "rocket_lake", "alder_lake", "raptor_lake")
+    }
+
+
+#: Optimal kernel settings per architecture, found via the tuning phase
+#: (NOP count) and bank-sweep fuzzing (bank count) — Section 4.4/4.3.
+TUNED = {
+    "comet_lake": dict(nops=60, banks=3),
+    "rocket_lake": dict(nops=80, banks=3),
+    "alder_lake": dict(nops=220, banks=3),
+    "raptor_lake": dict(nops=220, banks=3),
+}

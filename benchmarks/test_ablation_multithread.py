@@ -1,0 +1,74 @@
+"""Section 4.5 ablation: why single-threaded hammering wins on DDR4.
+
+Reproduces the WhistleBlower observation the paper builds its
+single-threaded design on: free-running threads lose pattern effectiveness
+as the thread count grows (queue collisions eat the parallelism), and
+lock-step synchronisation is even worse (the hand-off starves the rate).
+"""
+
+from repro import BENCH_SCALE, build_machine, rhohammer_config
+from repro.analysis.reporting import Table
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.multithread import MultiThreadSession, ThreadPolicy
+from repro.hammer.session import HammerSession
+
+THREAD_COUNTS = (1, 2, 4, 8)
+
+
+def _flips(machine, threads, policy) -> int:
+    if threads == 0:
+        session = HammerSession(
+            machine=machine,
+            config=rhohammer_config(nop_count=60, num_banks=3),
+            disturbance_gain=BENCH_SCALE.disturbance_gain,
+        )
+    else:
+        session = MultiThreadSession(
+            machine=machine,
+            config=rhohammer_config(nop_count=60, num_banks=3),
+            num_threads=threads,
+            policy=policy,
+            disturbance_gain=BENCH_SCALE.disturbance_gain,
+        )
+    return sum(
+        session.run_pattern(
+            canonical_compact_pattern(), row,
+            activations=BENCH_SCALE.acts_per_pattern,
+        ).flip_count
+        for row in (6000, 22000, 40000)
+    )
+
+
+def test_ablation_multithreading(benchmark, report_writer):
+    machine = build_machine("comet_lake", "S3", scale=BENCH_SCALE, seed=515)
+    results: dict[tuple[str, int], int] = {}
+
+    def run_all():
+        for threads in THREAD_COUNTS:
+            results[("free-running", threads)] = _flips(
+                machine, threads, ThreadPolicy.FREE_RUNNING
+            )
+            results[("lock-step", threads)] = _flips(
+                machine, threads, ThreadPolicy.LOCK_STEP
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        "Section 4.5 ablation: multi-threaded hammering (Comet Lake / S3)",
+        ["policy"] + [f"{t} thr" for t in THREAD_COUNTS],
+    )
+    for policy in ("free-running", "lock-step"):
+        table.add_row(
+            policy, *(results[(policy, t)] for t in THREAD_COUNTS)
+        )
+    report_writer("ablation_multithread", table.render())
+
+    single = results[("free-running", 1)]
+    assert single > 0
+    # More free-running threads never help, and eight are clearly worse.
+    assert results[("free-running", 8)] < single
+    assert results[("free-running", 8)] <= results[("free-running", 2)]
+    # Lock-step synchronisation is worse than one free thread at any count.
+    for threads in THREAD_COUNTS[1:]:
+        assert results[("lock-step", threads)] < single

@@ -1,0 +1,51 @@
+"""Figure 10: bit flips vs NOP count on Raptor Lake.
+
+Sweeping the pseudo-barrier length over the paper's [0, 1000] range with a
+known-good pattern: too few NOPs leave the reorder buffer free to scramble
+prefetches, too many sacrifice activation rate — only the intermediate
+band flips.
+"""
+
+from repro import BENCH_SCALE, rhohammer_config
+from repro.analysis.reporting import Table
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.nops import tune_nop_count
+
+GRID = (0, 25, 50, 100, 150, 200, 250, 300, 400, 500, 700, 1000)
+
+
+def test_fig10_nop_sweep(benchmark, bench_machines, report_writer):
+    machine = bench_machines["raptor_lake"]
+
+    result = benchmark.pedantic(
+        lambda: tune_nop_count(
+            machine,
+            rhohammer_config(nop_count=0, num_banks=3),
+            canonical_compact_pattern(),
+            base_rows=[5000, 21000, 42000],
+            activations_per_row=BENCH_SCALE.acts_per_pattern,
+            nop_grid=GRID,
+            scale=BENCH_SCALE,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    table = Table(
+        "Figure 10: flips vs NOP count (Raptor Lake, best pattern sweep)",
+        ["nops", "flips", "time (ms)"],
+    )
+    for nops in GRID:
+        table.add_row(nops, result.flips_by_count[nops],
+                      f"{result.times_ms_by_count[nops]:.1f}")
+    table.add_row("best", f"{result.best_nop_count} -> {result.best_flips}", "")
+    report_writer("fig10_nop_sweep", table.render())
+
+    # The positive band is strictly interior: zero at both extremes.
+    assert result.flips_by_count[0] == 0
+    assert result.flips_by_count[1000] == 0
+    assert result.best_flips > 0
+    low, high = result.positive_range
+    assert 0 < low and high < 1000
+    # Activation-rate cost grows monotonically with the NOP count.
+    times = [result.times_ms_by_count[n] for n in GRID]
+    assert times == sorted(times)

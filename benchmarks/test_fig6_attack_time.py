@@ -1,0 +1,73 @@
+"""Figure 6: average attack completion time, load vs four prefetch hints.
+
+Executes 5 million kernel iterations over random patterns per
+(architecture, instruction) cell — the paper's methodology — and reports
+the mean completion time.  Shape: all four prefetch variants cluster
+together, substantially faster than loads.
+"""
+
+import numpy as np
+
+from repro import BENCH_SCALE
+from repro.analysis.reporting import Table
+from repro.cpu.isa import HammerInstruction, HammerKernelConfig
+from repro.patterns.fuzzer import PatternFuzzer
+
+INSTRUCTIONS = [
+    HammerInstruction.LOAD,
+    HammerInstruction.PREFETCHT0,
+    HammerInstruction.PREFETCHT1,
+    HammerInstruction.PREFETCHT2,
+    HammerInstruction.PREFETCHNTA,
+]
+ACCESSES = 5_000_000
+PATTERNS = 12  # the paper samples 80; 12 keeps the harness snappy
+
+
+def _mean_time_ms(machine, instruction) -> float:
+    fuzzer = PatternFuzzer(rng=machine.rng.child("fig6", instruction.value))
+    config = HammerKernelConfig(instruction=instruction)
+    total_ns = 0.0
+    for _ in range(PATTERNS):
+        pattern = fuzzer.generate()
+        iterations = max(1, ACCESSES // pattern.base_period)
+        stream = pattern.intended_stream(iterations)
+        result = machine.executor.execute(stream, config)
+        total_ns += result.duration_ns
+    return total_ns / PATTERNS / 1e6
+
+
+def test_fig6_attack_time(benchmark, bench_machines, report_writer):
+    table = Table(
+        "Figure 6: mean attack time per pattern (ms, 5M accesses)",
+        ["arch"] + [i.value for i in INSTRUCTIONS],
+    )
+    times: dict[tuple[str, HammerInstruction], float] = {}
+
+    def run_all():
+        for arch, machine in bench_machines.items():
+            for instruction in INSTRUCTIONS:
+                times[(arch, instruction)] = _mean_time_ms(machine, instruction)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for arch in bench_machines:
+        table.add_row(
+            arch, *(f"{times[(arch, i)]:.1f}" for i in INSTRUCTIONS)
+        )
+    report_writer("fig6_attack_time", table.render())
+
+    prefetches = INSTRUCTIONS[1:]
+    for arch in bench_machines:
+        load_time = times[(arch, HammerInstruction.LOAD)]
+        prefetch_times = [times[(arch, i)] for i in prefetches]
+        # Prefetch hints cluster: little variation among the four.
+        assert max(prefetch_times) < 1.25 * min(prefetch_times)
+        # ... and each is faster than loads everywhere.
+        assert load_time > max(prefetch_times)
+    # On the older parts, where the plain load stream still reaches DRAM
+    # often, the gap is substantial (it widens further at full miss —
+    # Figure 8's saturation regime).
+    comet_load = times[("comet_lake", HammerInstruction.LOAD)]
+    comet_pf = max(times[("comet_lake", i)] for i in prefetches)
+    assert comet_load > 1.2 * comet_pf

@@ -1,0 +1,90 @@
+"""Headline scorecard: every machine-checkable paper claim in one run.
+
+Measures the key quantities (campaign totals, sweep rates, recovery
+times) at the BENCH scale and scores them against the shape claims in
+``repro.analysis.paper`` — the harness's single-look summary of whether
+the reproduction still tracks the paper.
+"""
+
+from repro import (
+    BENCH_SCALE,
+    FuzzingCampaign,
+    RhoHammerRevEng,
+    TimingOracle,
+    baseline_load_config,
+    build_machine,
+    rhohammer_config,
+    sweep_pattern,
+)
+from repro.analysis.paper import evaluate_claims, render_scorecard
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.reveng.baselines import DramDigRevEng
+from conftest import TUNED
+
+
+def _fuzz(machine, config, patterns=10) -> int:
+    campaign = FuzzingCampaign(
+        machine=machine, config=config, scale=BENCH_SCALE,
+        trials_per_pattern=1, seed_name="scorecard",
+    )
+    return campaign.run(max_patterns=patterns).total_flips
+
+
+def test_paper_claim_scorecard(benchmark, bench_machines, report_writer):
+    measured: dict[str, float] = {}
+
+    def run_all():
+        for arch in ("comet_lake", "raptor_lake"):
+            machine = bench_machines[arch]
+            tuned = TUNED[arch]
+            rho = rhohammer_config(nop_count=tuned["nops"],
+                                   num_banks=tuned["banks"])
+            measured[f"flips/{arch}/rho"] = _fuzz(machine, rho)
+            measured[f"flips/{arch}/baseline"] = _fuzz(
+                machine, baseline_load_config(num_banks=1)
+            )
+            sweep = sweep_pattern(
+                machine, rho, canonical_compact_pattern(), 12, BENCH_SCALE,
+                seed_name="scorecard-sweep",
+            )
+            measured[f"rate/{arch}/rho"] = sweep.flips_per_minute
+
+        comet = bench_machines["comet_lake"]
+        measured["flips/comet_lake/rho-multibank"] = _fuzz(
+            comet, rhohammer_config(nop_count=60, num_banks=3)
+        )
+        measured["flips/comet_lake/rho-singlebank"] = _fuzz(
+            comet, rhohammer_config(nop_count=60, num_banks=1)
+        )
+        protected = build_machine(
+            "raptor_lake", "S3", scale=BENCH_SCALE, seed=2025,
+            ptrr_enabled=True,
+        )
+        measured["flips/raptor_lake/rho-ptrr"] = _fuzz(
+            protected, rhohammer_config(nop_count=220, num_banks=3)
+        )
+
+        for arch in ("comet_lake", "raptor_lake"):
+            machine = build_machine(arch, "S3", seed=303)
+            oracle = TimingOracle.allocate(machine, fraction=0.5)
+            result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+            measured[f"reveng_s/rhohammer/{arch}"] = result.runtime_seconds
+        dd_machine = build_machine("comet_lake", "S3", seed=303)
+        dd_oracle = TimingOracle.allocate(dd_machine, fraction=0.4,
+                                          seed_name="dd")
+        dramdig = DramDigRevEng(dd_oracle).run()
+        if dramdig.succeeded:
+            measured["reveng_s/dramdig/comet_lake"] = dramdig.runtime_seconds
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    results = evaluate_claims(measured)
+    lines = ["measured quantities:"]
+    lines += [f"  {key:36s} {measured[key]:,.1f}" for key in sorted(measured)]
+    lines += ["", render_scorecard(results)]
+    report_writer("scorecard", "\n".join(lines))
+
+    failures = [r.claim.claim_id for r in results if r.status == "fail"]
+    skipped = [r.claim.claim_id for r in results if r.status == "skipped"]
+    assert not failures, f"claims failed: {failures}"
+    assert not skipped, f"claims lacked measurements: {skipped}"

@@ -1,0 +1,44 @@
+"""Tables 1 & 2: machine and DIMM inventories, plus translation throughput.
+
+The inventories are static presets; the benchmarked quantity is the
+memory-controller address-translation hot path (it sits under every other
+experiment in the harness).
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.cpu.platform import PLATFORMS
+from repro.system.presets import DIMM_SPECS, dimm_ids
+
+
+def test_table1_and_table2(benchmark, bench_machines, report_writer):
+    table1 = Table(
+        "Table 1: desktop machine setups",
+        ["arch", "CPU (Intel Core)", "max mem freq"],
+    )
+    for name in ("comet_lake", "rocket_lake", "alder_lake", "raptor_lake"):
+        spec = PLATFORMS[name]
+        table1.add_row(name, spec.cpu, spec.max_mem_freq)
+
+    table2 = Table(
+        "Table 2: DDR4 UDIMMs",
+        ["id", "vendor", "produced", "freq", "GiB", "(RK, BK, R)"],
+    )
+    for dimm_id in dimm_ids():
+        spec = DIMM_SPECS[dimm_id]
+        geo = spec.geometry
+        table2.add_row(
+            dimm_id, spec.vendor, spec.production_week, spec.freq_mhz,
+            spec.size_gib, f"({geo.ranks}, {geo.banks}, 2^{geo.row_bits})",
+        )
+    report_writer("table1_2_setups", table1.render() + "\n\n" + table2.render())
+
+    machine = bench_machines["raptor_lake"]
+    addrs = np.arange(0, 1 << 26, 4093, dtype=np.uint64)
+
+    def translate():
+        machine.mapping.bank_of_many(addrs)
+        machine.mapping.row_of_many(addrs)
+
+    benchmark(translate)

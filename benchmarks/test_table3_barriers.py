@@ -1,0 +1,53 @@
+"""Table 3: barrier strategies on Alder and Raptor Lake.
+
+Reproduced shape: serialising instructions (CPUID, MFENCE) are far too
+slow; LFENCE starves loads of activation rate while ordering prefetches
+only through the indexed-address chain; the NOP pseudo-barrier and
+LFENCE-on-prefetch are the only strategies that flip bits, at comparable
+completion time.
+"""
+
+from repro import BENCH_SCALE
+from repro.analysis.reporting import Table
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.barriers import compare_barriers
+
+
+def test_table3_barrier_comparison(benchmark, bench_machines, report_writer):
+    rows_by_arch = {}
+
+    def run_all():
+        for arch in ("alder_lake", "raptor_lake"):
+            rows_by_arch[arch] = compare_barriers(
+                bench_machines[arch],
+                canonical_compact_pattern(),
+                base_rows=[5000, 21000],
+                activations_per_row=BENCH_SCALE.acts_per_pattern,
+                nop_count=220,
+                num_banks=3,
+                scale=BENCH_SCALE,
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    strategies = [r.strategy for r in rows_by_arch["alder_lake"]]
+    table = Table(
+        "Table 3: flips (upper) and completion time in ms (lower)",
+        ["arch", "metric"] + strategies,
+    )
+    for arch, rows in rows_by_arch.items():
+        table.add_row(arch, "flips", *(r.flips for r in rows))
+        table.add_row(arch, "time", *(f"{r.time_ms:.1f}" for r in rows))
+    report_writer("table3_barriers", table.render())
+
+    for arch, rows in rows_by_arch.items():
+        named = {r.strategy: r for r in rows}
+        assert named["None"].flips == 0
+        assert named["CPUID"].flips == 0
+        assert named["MFENCE"].flips == 0
+        assert named["LFENCE (load)"].flips <= 5
+        assert named["LFENCE (prefetch)"].flips > 20
+        assert named["NOP"].flips > 20
+        # Time ordering: CPUID > MFENCE > LFENCE(load) > the fast pair.
+        assert (named["CPUID"].time_ms > named["MFENCE"].time_ms
+                > named["LFENCE (load)"].time_ms > named["NOP"].time_ms)

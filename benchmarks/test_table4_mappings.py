@@ -1,0 +1,50 @@
+"""Table 4: recovered DRAM address mappings across architectures/geometries.
+
+Runs Algorithm 1 on each (scheme, DIMM-size) cell and checks the recovered
+functions and row range against the proprietary mapping the memory
+controller actually uses.
+"""
+
+from repro import build_machine
+from repro.analysis.reporting import Table
+from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
+
+CELLS = [
+    ("comet_lake", "S2", "8G, 1 rank"),
+    ("comet_lake", "S3", "16G, 2 ranks"),
+    ("rocket_lake", "M1", "32G, 2 ranks"),
+    ("alder_lake", "S2", "8G, 1 rank"),
+    ("raptor_lake", "S3", "16G, 2 ranks"),
+    ("raptor_lake", "M1", "32G, 2 ranks"),
+]
+
+
+def _recover(platform, dimm):
+    machine = build_machine(platform, dimm, seed=404)
+    oracle = TimingOracle.allocate(machine, fraction=0.5)
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    return machine, result
+
+
+def test_table4_mapping_recovery(benchmark, report_writer):
+    machine, result = benchmark.pedantic(
+        lambda: _recover("raptor_lake", "S3"), rounds=1, iterations=1
+    )
+    table = Table(
+        "Table 4: reverse-engineered DRAM address mappings",
+        ["arch", "geometry", "recovered mapping", "correct"],
+    )
+    score = compare_mappings(result.mapping, machine.mapping)
+    table.add_row("raptor_lake", "16G, 2 ranks", result.mapping.describe(),
+                  score.fully_correct)
+    all_correct = score.fully_correct
+    for platform, dimm, geometry in CELLS:
+        if (platform, dimm) == ("raptor_lake", "S3"):
+            continue
+        machine, result = _recover(platform, dimm)
+        score = compare_mappings(result.mapping, machine.mapping)
+        table.add_row(platform, geometry, result.mapping.describe(),
+                      score.fully_correct)
+        all_correct = all_correct and score.fully_correct
+    report_writer("table4_mappings", table.render())
+    assert all_correct

@@ -1,0 +1,76 @@
+"""Table 5: reverse-engineering time and success vs prior art.
+
+Paper row (seconds): DRAMA fails everywhere; DRAMDig 867.6/1329.9 then
+aborts on Alder/Raptor; DARE 36.5*/33.1* (partially non-deterministic)
+then fails; rhoHammer 8.5 / 6.1 / 4.6 / 4.1.
+"""
+
+from repro import build_machine
+from repro.analysis.reporting import Table
+from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
+from repro.reveng.baselines import DareRevEng, DramaRevEng, DramDigRevEng
+
+PLATFORMS = ["comet_lake", "rocket_lake", "alder_lake", "raptor_lake"]
+
+
+def _ours(platform):
+    machine = build_machine(platform, "S3", seed=505)
+    oracle = TimingOracle.allocate(machine, fraction=0.5, seed_name="t5-ours")
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    correct = compare_mappings(result.mapping, machine.mapping).fully_correct
+    return result.runtime_seconds, correct
+
+
+def _baseline(tool_cls, platform, num_addresses=None):
+    machine = build_machine(platform, "S3", seed=505)
+    oracle = TimingOracle.allocate(
+        machine, fraction=0.5, seed_name=f"t5-{tool_cls.__name__}"
+    )
+    kwargs = {"num_addresses": num_addresses} if num_addresses else {}
+    outcome = tool_cls(oracle, **kwargs).run()
+    correct = False
+    if outcome.succeeded and outcome.mapping is not None:
+        correct = compare_mappings(outcome.mapping, machine.mapping).fully_correct
+    return outcome.runtime_seconds, correct, outcome.failure_reason
+
+
+def test_table5_comparison(benchmark, report_writer):
+    table = Table(
+        "Table 5: reverse-engineering time (attacker-seconds); '-' = failed",
+        ["tool"] + PLATFORMS,
+    )
+
+    rho_first = benchmark.pedantic(
+        lambda: _ours("raptor_lake"), rounds=1, iterations=1
+    )
+    rho_cells = {}
+    for platform in PLATFORMS:
+        runtime, correct = (
+            rho_first if platform == "raptor_lake" else _ours(platform)
+        )
+        assert correct, f"rhoHammer failed on {platform}"
+        rho_cells[platform] = f"{runtime:.1f}s"
+
+    rows = {"DRAMA": [], "DRAMDig": [], "DARE": [], "rhoHammer": []}
+    for platform in PLATFORMS:
+        runtime, correct, _ = _baseline(DramaRevEng, platform, num_addresses=500)
+        rows["DRAMA"].append("-" if not correct else f"{runtime:.1f}s")
+        runtime, correct, _ = _baseline(DramDigRevEng, platform)
+        rows["DRAMDig"].append(f"{runtime:.1f}s" if correct else "-")
+        runtime, correct, _ = _baseline(DareRevEng, platform)
+        rows["DARE"].append(f"{runtime:.1f}s*" if correct else "-")
+        rows["rhoHammer"].append(rho_cells[platform])
+    for tool in ("DRAMA", "DRAMDig", "DARE", "rhoHammer"):
+        table.add_row(tool, *rows[tool])
+    report_writer("table5_reveng_time", table.render())
+
+    # Shape: DRAMA never succeeds; DRAMDig only on the traditional
+    # mappings and two orders of magnitude slower than us; everything
+    # fails on Alder/Raptor except rhoHammer.
+    assert rows["DRAMA"] == ["-", "-", "-", "-"]
+    assert rows["DRAMDig"][0] != "-" and rows["DRAMDig"][1] != "-"
+    assert rows["DRAMDig"][2] == "-" and rows["DRAMDig"][3] == "-"
+    assert rows["DARE"][2] == "-" and rows["DARE"][3] == "-"
+    dramdig_time = float(rows["DRAMDig"][0].rstrip("s"))
+    ours_time = float(rho_cells["comet_lake"].rstrip("s"))
+    assert dramdig_time > 50 * ours_time

@@ -1,0 +1,108 @@
+"""Table 6: fuzzing campaigns across all DIMMs, architectures and kernels.
+
+Each cell fuzzes ``PATTERNS_PER_CELL`` patterns with the corresponding
+kernel (baseline/rhoHammer x single/multi-bank) and reports
+"total, best-pattern" flips, like the paper's 2-hour campaigns.  Shapes
+asserted per architecture:
+
+* rho-M >= rho-S and rho >> baseline everywhere,
+* baselines produce (near-)nothing on Alder/Raptor Lake,
+* M1 never flips, S3/S4 are the most flip-prone DIMMs.
+"""
+
+from repro import (
+    BENCH_SCALE,
+    baseline_load_config,
+    build_machine,
+    rhohammer_config,
+)
+from repro.analysis.reporting import Table
+from repro.patterns.fuzzer import FuzzingCampaign
+from conftest import TUNED
+
+DIMMS = ["S1", "S2", "S3", "S4", "S5", "H1", "M1"]
+ARCHES = ["comet_lake", "rocket_lake", "alder_lake", "raptor_lake"]
+PATTERNS_PER_CELL = 6
+
+
+def _configs(arch):
+    tuned = TUNED[arch]
+    return {
+        "BL-S": baseline_load_config(num_banks=1),
+        "BL-M": baseline_load_config(num_banks=tuned["banks"]),
+        "rho-S": rhohammer_config(nop_count=tuned["nops"], num_banks=1),
+        "rho-M": rhohammer_config(
+            nop_count=tuned["nops"], num_banks=tuned["banks"]
+        ),
+    }
+
+
+def _cell(arch, dimm, config):
+    machine = build_machine(arch, dimm, scale=BENCH_SCALE, seed=606)
+    campaign = FuzzingCampaign(
+        machine=machine,
+        config=config,
+        scale=BENCH_SCALE,
+        trials_per_pattern=1,
+        seed_name="table6",
+    )
+    report = campaign.run(max_patterns=PATTERNS_PER_CELL)
+    return report.total_flips, report.best_pattern_flips
+
+
+def test_table6_fuzzing_grid(benchmark, report_writer):
+    cells: dict[tuple[str, str, str], tuple[int, int]] = {}
+
+    def run_all():
+        for arch in ARCHES:
+            for dimm in DIMMS:
+                for label, config in _configs(arch).items():
+                    cells[(arch, dimm, label)] = _cell(arch, dimm, config)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = Table(
+        f"Table 6: 'total, best' flips over {PATTERNS_PER_CELL}-pattern "
+        "fuzzing per cell",
+        ["arch", "DIMM", "BL-S", "BL-M", "rho-S", "rho-M"],
+    )
+    for arch in ARCHES:
+        for dimm in DIMMS:
+            table.add_row(
+                arch, dimm,
+                *("%d, %d" % cells[(arch, dimm, label)]
+                  for label in ("BL-S", "BL-M", "rho-S", "rho-M")),
+            )
+    report_writer("table6_fuzzing", table.render())
+
+    def total(arch, dimm, label):
+        return cells[(arch, dimm, label)][0]
+
+    # M1 never flips, anywhere, under any kernel.
+    for arch in ARCHES:
+        for label in ("BL-S", "BL-M", "rho-S", "rho-M"):
+            assert total(arch, "M1", label) == 0
+
+    # rhoHammer dominates the baseline on every architecture (flippable
+    # DIMMs, aggregated).
+    for arch in ARCHES:
+        rho = sum(total(arch, d, "rho-M") for d in DIMMS)
+        baseline = sum(total(arch, d, "BL-S") for d in DIMMS)
+        assert rho > 2 * max(1, baseline)
+
+    # Baselines are (near-)dead on the newest architectures.
+    for arch in ("alder_lake", "raptor_lake"):
+        for label in ("BL-S", "BL-M"):
+            assert sum(total(arch, d, label) for d in DIMMS) <= 15
+        # ... while rhoHammer still flips there.
+        assert sum(total(arch, d, "rho-M") for d in DIMMS) > 30
+
+    # Multi-bank amplifies rhoHammer (aggregate over DIMMs and arches).
+    rho_m = sum(total(a, d, "rho-M") for a in ARCHES for d in DIMMS)
+    rho_s = sum(total(a, d, "rho-S") for a in ARCHES for d in DIMMS)
+    assert rho_m > rho_s
+
+    # Vulnerability ordering: S3+S4 dominate S5+H1 on Comet Lake.
+    strong = total("comet_lake", "S3", "rho-M") + total("comet_lake", "S4", "rho-M")
+    weak = total("comet_lake", "S5", "rho-M") + total("comet_lake", "H1", "rho-M")
+    assert strong > weak

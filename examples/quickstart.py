@@ -1,0 +1,58 @@
+"""Quickstart: reverse-engineer a mapping and induce bit flips.
+
+Walks the two core phases of a rhoHammer campaign on a simulated
+Raptor Lake machine (where conventional load-based attacks fail):
+
+1. recover the proprietary DRAM address mapping through SBDR timing, and
+2. fuzz non-uniform patterns with the counter-speculation prefetch kernel
+   until bit flips appear.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FuzzingCampaign,
+    QUICK_SCALE,
+    RhoHammerRevEng,
+    TimingOracle,
+    build_machine,
+    rhohammer_config,
+)
+from repro.reveng import compare_mappings
+
+
+def main() -> None:
+    machine = build_machine("raptor_lake", "S2", scale=QUICK_SCALE)
+    print(f"Machine: {machine.describe()}")
+
+    # ------------------------------------------------------------------
+    # Phase 1: reverse-engineer the DRAM address mapping (Algorithm 1).
+    # ------------------------------------------------------------------
+    print("\n[1/2] Reverse-engineering the DRAM address mapping ...")
+    oracle = TimingOracle.allocate(machine, fraction=0.5)
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    score = compare_mappings(result.mapping, machine.mapping)
+    print(f"  recovered : {result.mapping.describe()}")
+    print(f"  correct   : {score.fully_correct}")
+    print(f"  runtime   : {result.runtime_seconds:.1f} attacker-seconds "
+          f"({result.measurements} timing measurements)")
+
+    # ------------------------------------------------------------------
+    # Phase 2: prefetch-based counter-speculation hammering.
+    # ------------------------------------------------------------------
+    print("\n[2/2] Fuzzing non-uniform patterns with the rhoHammer kernel ...")
+    config = rhohammer_config(nop_count=220, num_banks=3)
+    campaign = FuzzingCampaign(
+        machine=machine, config=config, scale=QUICK_SCALE
+    )
+    report = campaign.run(hours=2.0, max_patterns=40)
+    print(f"  patterns tried     : {report.patterns_tried}")
+    print(f"  effective patterns : {report.effective_patterns}")
+    print(f"  total bit flips    : {report.total_flips}")
+    print(f"  best pattern flips : {report.best_pattern_flips}")
+    if report.best_pattern is not None:
+        print(f"  best pattern       : {report.best_pattern.describe()}")
+
+
+if __name__ == "__main__":
+    main()

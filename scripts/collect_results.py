@@ -1,0 +1,73 @@
+"""Collect benchmark reports into one RESULTS.md.
+
+Reads every ``benchmarks/results/*.txt`` artefact written by the harness
+and assembles them into a single markdown document, in the paper's
+presentation order, so a full run's evidence is reviewable in one place.
+
+Run:  python scripts/collect_results.py [output.md]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ORDER = [
+    ("table1_2_setups", "Tables 1 & 2 — experimental setups"),
+    ("fig3_threshold", "Figure 3 — SBDR latency distribution"),
+    ("fig4_heatmap", "Figure 4 — duet heatmaps"),
+    ("table4_mappings", "Table 4 — recovered mappings"),
+    ("table5_reveng_time", "Table 5 — reverse-engineering comparison"),
+    ("fig6_attack_time", "Figure 6 — attack time by instruction"),
+    ("fig8_missrate", "Figure 8 — miss rate and time vs banks"),
+    ("fig9_multibank_flips", "Figure 9 — multi-bank effectiveness"),
+    ("fig10_nop_sweep", "Figure 10 — NOP count sweep"),
+    ("table3_barriers", "Table 3 — barrier comparison"),
+    ("table6_fuzzing", "Table 6 — fuzzing campaigns"),
+    ("fig11_sweeping", "Figure 11 — sweeping flip rates"),
+    ("e2e_exploit", "Section 5.3 — end-to-end exploit"),
+    ("ablation_mitigations", "Section 6 — mitigation ablation"),
+    ("ablation_design", "Design-choice ablation"),
+    ("ablation_multithread", "Section 4.5 — multi-threading ablation"),
+    ("future_ddr5", "Section 6 — DDR5 outlook"),
+]
+
+
+def main() -> int:
+    results_dir = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    output = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "RESULTS.md")
+    if not results_dir.is_dir():
+        print(f"no results at {results_dir}; run the benchmark suite first")
+        return 1
+    sections = ["# RESULTS — latest benchmark-harness outputs", ""]
+    missing = []
+    for stem, title in ORDER:
+        path = results_dir / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        sections += [f"## {title}", "", "```", path.read_text().rstrip(), "```", ""]
+    extras = sorted(
+        p.stem for p in results_dir.glob("*.txt")
+        if p.stem not in {stem for stem, _ in ORDER}
+    )
+    for stem in extras:
+        sections += [
+            f"## {stem}", "", "```",
+            (results_dir / f"{stem}.txt").read_text().rstrip(), "```", "",
+        ]
+    if missing:
+        sections += [
+            "## Missing artefacts",
+            "",
+            "Not present in this run: " + ", ".join(missing),
+            "",
+        ]
+    output.write_text("\n".join(sections))
+    print(f"wrote {output} ({len(ORDER) - len(missing)} artefacts"
+          f"{', ' + str(len(missing)) + ' missing' if missing else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

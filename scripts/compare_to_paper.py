@@ -1,0 +1,88 @@
+"""Run a compact measurement pass and score it against the paper's claims.
+
+Collects the key quantities (fuzzing totals, sweeping rates, recovery
+times) at the quick simulation scale and evaluates the machine-checkable
+shape claims from ``repro.analysis.paper``.
+
+Run:  python scripts/compare_to_paper.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    QUICK_SCALE,
+    FuzzingCampaign,
+    RhoHammerRevEng,
+    TimingOracle,
+    baseline_load_config,
+    build_machine,
+    rhohammer_config,
+    sweep_pattern,
+)
+from repro.analysis.paper import evaluate_claims, render_scorecard
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.reveng.baselines import DramDigRevEng
+
+
+def fuzz_total(machine, config, patterns=12) -> int:
+    campaign = FuzzingCampaign(
+        machine=machine, config=config, scale=QUICK_SCALE,
+        trials_per_pattern=1, seed_name="compare",
+    )
+    return campaign.run(max_patterns=patterns).total_flips
+
+
+def main() -> int:
+    measured: dict[str, float] = {}
+
+    for arch, nops in (("comet_lake", 60), ("raptor_lake", 220)):
+        machine = build_machine(arch, "S3", scale=QUICK_SCALE, seed=42)
+        rho = rhohammer_config(nop_count=nops, num_banks=3)
+        measured[f"flips/{arch}/rho"] = fuzz_total(machine, rho)
+        measured[f"flips/{arch}/baseline"] = fuzz_total(
+            machine, baseline_load_config(num_banks=1)
+        )
+        sweep = sweep_pattern(
+            machine, rho, canonical_compact_pattern(), 10, QUICK_SCALE
+        )
+        measured[f"rate/{arch}/rho"] = sweep.flips_per_minute
+
+    comet = build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=43)
+    measured["flips/comet_lake/rho-multibank"] = fuzz_total(
+        comet, rhohammer_config(nop_count=60, num_banks=3)
+    )
+    measured["flips/comet_lake/rho-singlebank"] = fuzz_total(
+        comet, rhohammer_config(nop_count=60, num_banks=1)
+    )
+
+    protected = build_machine(
+        "raptor_lake", "S3", scale=QUICK_SCALE, seed=42, ptrr_enabled=True
+    )
+    measured["flips/raptor_lake/rho-ptrr"] = fuzz_total(
+        protected, rhohammer_config(nop_count=220, num_banks=3)
+    )
+
+    for arch in ("comet_lake", "raptor_lake"):
+        machine = build_machine(arch, "S3", seed=44)
+        oracle = TimingOracle.allocate(machine, fraction=0.5)
+        result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+        measured[f"reveng_s/rhohammer/{arch}"] = result.runtime_seconds
+    dramdig_machine = build_machine("comet_lake", "S3", seed=44)
+    dramdig_oracle = TimingOracle.allocate(dramdig_machine, fraction=0.4)
+    dramdig = DramDigRevEng(dramdig_oracle).run()
+    if dramdig.succeeded:
+        measured["reveng_s/dramdig/comet_lake"] = dramdig.runtime_seconds
+
+    print("measured quantities:")
+    for key in sorted(measured):
+        print(f"  {key:36s} {measured[key]:,.1f}")
+    print()
+    results = evaluate_claims(measured)
+    print(render_scorecard(results))
+    return 0 if not any(r.status == "fail" for r in results) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

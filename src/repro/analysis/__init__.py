@@ -1,0 +1,35 @@
+"""Analysis and report rendering for the evaluation harness.
+
+Text-mode renderers for the paper's figures and tables, plus small
+statistics helpers.  The benchmark harness uses these to print rows/series
+directly comparable with the paper's artefacts.
+"""
+
+from repro.analysis.export import (
+    series_to_csv,
+    table_to_csv,
+    table_to_json,
+)
+from repro.analysis.flipmap import FlipMap, build_flip_map, render_flip_map
+from repro.analysis.paper import CLAIMS, evaluate_claims, render_scorecard
+from repro.analysis.heatmap import duet_heatmap, render_heatmap
+from repro.analysis.reporting import Table, render_histogram
+from repro.analysis.stats import geometric_speedup, summarize_flips
+
+__all__ = [
+    "CLAIMS",
+    "FlipMap",
+    "Table",
+    "build_flip_map",
+    "evaluate_claims",
+    "render_flip_map",
+    "render_scorecard",
+    "duet_heatmap",
+    "geometric_speedup",
+    "render_heatmap",
+    "render_histogram",
+    "series_to_csv",
+    "summarize_flips",
+    "table_to_csv",
+    "table_to_json",
+]

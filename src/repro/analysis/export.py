@@ -1,0 +1,65 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The benchmark harness renders human-facing text tables; downstream
+analysis (plotting the figures, diffing runs) wants structured data.
+These helpers serialise the same `Table` objects and sweep series without
+adding dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Mapping, Sequence
+
+from repro.analysis.reporting import Table
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialise a report table as CSV (header row included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    writer.writerows(table.rows)
+    return buffer.getvalue()
+
+
+def table_to_json(table: Table) -> str:
+    """Serialise a report table as a JSON document."""
+    payload = {
+        "title": table.title,
+        "columns": table.columns,
+        "rows": [dict(zip(table.columns, row)) for row in table.rows],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def series_to_csv(
+    series: Mapping[str, Sequence[float]], index_name: str = "index"
+) -> str:
+    """Serialise aligned named series (e.g. Figure 11 cumulative flips).
+
+    All series must have equal length; the row index becomes the first
+    column.
+    """
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    names = sorted(series)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([index_name] + names)
+    length = lengths.pop() if lengths else 0
+    for i in range(length):
+        writer.writerow([i] + [series[name][i] for name in names])
+    return buffer.getvalue()
+
+
+def load_table_json(text: str) -> Table:
+    """Round-trip: rebuild a Table from its JSON export."""
+    payload = json.loads(text)
+    table = Table(payload["title"], payload["columns"])
+    for row in payload["rows"]:
+        table.add_row(*(row[c] for c in payload["columns"]))
+    return table

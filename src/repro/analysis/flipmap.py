@@ -1,0 +1,87 @@
+"""Flip maps: spatial and directional breakdowns of observed bit flips.
+
+Templating and fuzzing runs produce lists of :class:`FlipEvent`s; exploit
+planning and DIMM characterisation both want them summarised — which rows
+flip, in which direction, at which intra-row bit positions.  This module
+renders those views (the style of Blacksmith's flip tables).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.dram.cells import FlipEvent
+
+
+@dataclass(frozen=True)
+class FlipMap:
+    """Aggregated view over a set of flip events."""
+
+    total: int
+    by_row: dict[tuple[int, int], int]  # (bank, row) -> count
+    zero_to_one: int
+    one_to_zero: int
+    byte_offsets: Counter
+
+    @property
+    def distinct_victims(self) -> int:
+        return len(self.by_row)
+
+    @property
+    def direction_ratio(self) -> float:
+        """Fraction of flips in the 0 -> 1 direction."""
+        if self.total == 0:
+            return 0.0
+        return self.zero_to_one / self.total
+
+    def hottest_victims(self, top: int = 5) -> list[tuple[tuple[int, int], int]]:
+        return sorted(self.by_row.items(), key=lambda kv: -kv[1])[:top]
+
+
+def build_flip_map(flips: Iterable[FlipEvent]) -> FlipMap:
+    """Aggregate raw flip events into a :class:`FlipMap`."""
+    by_row: dict[tuple[int, int], int] = {}
+    up = down = total = 0
+    offsets: Counter = Counter()
+    for flip in flips:
+        total += 1
+        key = (flip.bank, flip.row)
+        by_row[key] = by_row.get(key, 0) + 1
+        if flip.direction == 1:
+            up += 1
+        else:
+            down += 1
+        offsets[flip.bit_index // 8 % 8] += 1  # byte lane within a PTE slot
+    return FlipMap(
+        total=total,
+        by_row=by_row,
+        zero_to_one=up,
+        one_to_zero=down,
+        byte_offsets=offsets,
+    )
+
+
+def render_flip_map(flip_map: FlipMap, victim_rows: Sequence[int] | None = None,
+                    width: int = 40) -> str:
+    """ASCII bar chart of per-victim flip counts plus direction summary."""
+    lines = [
+        f"{flip_map.total} flips across {flip_map.distinct_victims} victim rows",
+        f"direction: {flip_map.zero_to_one} x 0->1, "
+        f"{flip_map.one_to_zero} x 1->0 "
+        f"({flip_map.direction_ratio:.0%} up)",
+    ]
+    if flip_map.total == 0:
+        return "\n".join(lines)
+    peak = max(flip_map.by_row.values())
+    items = (
+        [(key, flip_map.by_row.get(key, 0))
+         for key in ((0, r) for r in victim_rows)]
+        if victim_rows is not None
+        else flip_map.hottest_victims(top=12)
+    )
+    for (bank, row), count in items:
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(f"bank {bank:2d} row {row:6d} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Figure 4: duet-latency heatmaps over (bx, by) bit pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reveng.oracle import TimingOracle
+
+
+def duet_heatmap(
+    oracle: TimingOracle, bits: list[int] | None = None
+) -> tuple[np.ndarray, list[int]]:
+    """Measure T_SBDR for every bit pair, including pure row bits.
+
+    Unlike the recovery algorithm (which skips pure row bits for
+    efficiency), the Figure 4 heatmap measures *all* pairs so the
+    traditional mapping's large slow chunks are visible.
+    """
+    if bits is None:
+        bits = oracle.candidate_bits()
+    n = len(bits)
+    grid = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            latency = oracle.t_sbdr((bits[i], bits[j]))
+            grid[i, j] = latency
+            grid[j, i] = latency
+    return grid, bits
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    bits: list[int],
+    threshold: float,
+    cell: str = "##",
+    empty: str = "..",
+) -> str:
+    """ASCII rendering: '##' where the pair shows SBDR timing."""
+    lines = []
+    header = "    " + " ".join(f"{b:2d}" for b in bits)
+    lines.append(header)
+    for i, row_bit in enumerate(bits):
+        cells = []
+        for j in range(len(bits)):
+            if i == j:
+                cells.append(" .")
+            else:
+                cells.append(cell if grid[i, j] > threshold else empty)
+        lines.append(f"{row_bit:3d} " + " ".join(cells))
+    return "\n".join(lines)

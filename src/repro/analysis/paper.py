@@ -1,0 +1,138 @@
+"""The paper's headline claims, as machine-checkable expectations.
+
+EXPERIMENTS.md compares measured results against the paper by hand; this
+module encodes the *shape* claims — orderings and approximate ratios — so
+a campaign's outputs can be scored automatically.  Each
+:class:`ShapeClaim` is a named predicate over a dict of measured values;
+:func:`evaluate_claims` produces a pass/fail report.
+
+The claims deliberately test relations, not absolute numbers: the
+simulation scale makes totals incomparable, but who wins and by roughly
+what factor is exactly what the reproduction preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+Number = float
+
+
+@dataclass(frozen=True)
+class ShapeClaim:
+    """One testable claim from the paper's evaluation."""
+
+    claim_id: str
+    paper_statement: str
+    requires: tuple[str, ...]
+    predicate: Callable[[Mapping[str, Number]], bool]
+
+    def applicable(self, measured: Mapping[str, Number]) -> bool:
+        return all(key in measured for key in self.requires)
+
+    def holds(self, measured: Mapping[str, Number]) -> bool:
+        return self.predicate(measured)
+
+
+def _ratio(measured: Mapping[str, Number], a: str, b: str) -> float:
+    denom = measured[b]
+    return measured[a] / denom if denom else float("inf")
+
+
+#: Measured-value keys the claims consume:
+#:   flips/<arch>/<kernel>     total flips for a campaign
+#:   rate/<arch>/<kernel>      sweeping flips per minute
+#:   reveng_s/<tool>/<arch>    recovery runtime (only successful runs)
+CLAIMS: tuple[ShapeClaim, ...] = (
+    ShapeClaim(
+        "rho-beats-baseline-comet",
+        "ρHammer far outperforms load baselines on Comet Lake (§5.2)",
+        ("flips/comet_lake/rho", "flips/comet_lake/baseline"),
+        lambda m: _ratio(m, "flips/comet_lake/rho",
+                         "flips/comet_lake/baseline") > 2.0,
+    ),
+    ShapeClaim(
+        "revival-raptor",
+        "baselines fail on Raptor Lake while ρHammer induces flips (§5.2)",
+        ("flips/raptor_lake/rho", "flips/raptor_lake/baseline"),
+        lambda m: m["flips/raptor_lake/rho"] > 20
+        and m["flips/raptor_lake/baseline"] < m["flips/raptor_lake/rho"] / 8,
+    ),
+    ShapeClaim(
+        "comet-dominates-raptor",
+        "flip rates on Comet Lake exceed Raptor Lake by orders of magnitude "
+        "(Fig. 11: 187K/min vs 2,291/min)",
+        ("rate/comet_lake/rho", "rate/raptor_lake/rho"),
+        lambda m: _ratio(m, "rate/comet_lake/rho", "rate/raptor_lake/rho") > 4.0,
+    ),
+    ShapeClaim(
+        "raptor-still-practical",
+        "Raptor Lake sustains a practical flip rate under ρHammer (Fig. 11)",
+        ("rate/raptor_lake/rho",),
+        lambda m: m["rate/raptor_lake/rho"] > 0,
+    ),
+    ShapeClaim(
+        "reveng-fast",
+        "mapping recovery completes within ~10 attacker-seconds (Table 5)",
+        ("reveng_s/rhohammer/raptor_lake",),
+        lambda m: m["reveng_s/rhohammer/raptor_lake"] < 12.0,
+    ),
+    ShapeClaim(
+        "reveng-beats-dramdig",
+        "ρHammer is ~two orders of magnitude faster than DRAMDig (Table 5)",
+        ("reveng_s/rhohammer/comet_lake", "reveng_s/dramdig/comet_lake"),
+        lambda m: _ratio(m, "reveng_s/dramdig/comet_lake",
+                         "reveng_s/rhohammer/comet_lake") > 50.0,
+    ),
+    ShapeClaim(
+        "multibank-amplifies",
+        "multi-bank distribution amplifies prefetch-based hammering (§4.3)",
+        ("flips/comet_lake/rho-multibank", "flips/comet_lake/rho-singlebank"),
+        lambda m: m["flips/comet_lake/rho-multibank"]
+        >= m["flips/comet_lake/rho-singlebank"],
+    ),
+    ShapeClaim(
+        "ptrr-mitigates",
+        "the pTRR BIOS option eliminates nearly all flips (§6)",
+        ("flips/raptor_lake/rho", "flips/raptor_lake/rho-ptrr"),
+        lambda m: m["flips/raptor_lake/rho-ptrr"]
+        < m["flips/raptor_lake/rho"] / 5,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: ShapeClaim
+    status: str  # "pass" | "fail" | "skipped"
+
+
+def evaluate_claims(
+    measured: Mapping[str, Number],
+    claims: tuple[ShapeClaim, ...] = CLAIMS,
+) -> list[ClaimResult]:
+    """Score every claim against a dict of measured values."""
+    results = []
+    for claim in claims:
+        if not claim.applicable(measured):
+            status = "skipped"
+        else:
+            status = "pass" if claim.holds(measured) else "fail"
+        results.append(ClaimResult(claim=claim, status=status))
+    return results
+
+
+def render_scorecard(results: list[ClaimResult]) -> str:
+    """Human-readable scorecard of the claim evaluation."""
+    lines = ["paper-claim scorecard", "-" * 60]
+    for result in results:
+        mark = {"pass": "PASS", "fail": "FAIL", "skipped": "skip"}[result.status]
+        lines.append(f"[{mark}] {result.claim.claim_id}: "
+                     f"{result.claim.paper_statement}")
+    passed = sum(1 for r in results if r.status == "pass")
+    failed = sum(1 for r in results if r.status == "fail")
+    skipped = sum(1 for r in results if r.status == "skipped")
+    lines.append("-" * 60)
+    lines.append(f"{passed} pass, {failed} fail, {skipped} skipped")
+    return "\n".join(lines)

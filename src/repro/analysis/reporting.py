@@ -1,0 +1,52 @@
+"""Plain-text table and histogram rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Table:
+    """A simple aligned text table with a title."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: list[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, sep, fmt(self.columns), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        lines.append(sep)
+        return "\n".join(lines)
+
+
+def render_histogram(
+    samples: np.ndarray,
+    bins: int = 40,
+    width: int = 50,
+    label: str = "latency (ns)",
+) -> str:
+    """ASCII histogram (Figure 3's density plot)."""
+    counts, edges = np.histogram(samples, bins=bins)
+    peak = counts.max() if counts.size else 1
+    lines = [f"distribution of {label} ({samples.size} samples)"]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / max(1, peak)))
+        lines.append(f"{lo:8.1f}-{hi:8.1f} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Statistics helpers shared by the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FlipSummary:
+    """Summary statistics for a set of per-location flip counts."""
+
+    total: int
+    mean: float
+    median: float
+    maximum: int
+    nonzero_locations: int
+    locations: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.nonzero_locations / self.locations if self.locations else 0.0
+
+
+def summarize_flips(flips_per_location: np.ndarray) -> FlipSummary:
+    """Summarise per-location flip counts from a sweep."""
+    arr = np.asarray(flips_per_location)
+    return FlipSummary(
+        total=int(arr.sum()),
+        mean=float(arr.mean()) if arr.size else 0.0,
+        median=float(np.median(arr)) if arr.size else 0.0,
+        maximum=int(arr.max()) if arr.size else 0,
+        nonzero_locations=int(np.count_nonzero(arr)),
+        locations=int(arr.size),
+    )
+
+
+def geometric_speedup(times_baseline: np.ndarray, times_new: np.ndarray) -> float:
+    """Geometric-mean speedup of ``new`` over ``baseline``."""
+    base = np.asarray(times_baseline, dtype=np.float64)
+    new = np.asarray(times_new, dtype=np.float64)
+    if base.shape != new.shape or base.size == 0:
+        raise ValueError("time arrays must be non-empty and aligned")
+    ratios = base / new
+    return float(np.exp(np.mean(np.log(ratios))))

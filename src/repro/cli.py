@@ -1,0 +1,255 @@
+"""Command-line interface for the rhoHammer reproduction.
+
+Installed as the ``rhohammer`` console script::
+
+    rhohammer reveng   --platform raptor_lake --dimm S3
+    rhohammer fuzz     --platform comet_lake --dimm S4 --patterns 20
+    rhohammer sweep    --platform raptor_lake --locations 20
+    rhohammer exploit  --platform alder_lake
+    rhohammer tune     --platform raptor_lake
+    rhohammer emit     --platform raptor_lake --format asm
+    rhohammer campaign --platform raptor_lake
+
+Every subcommand builds the simulated machine, runs the corresponding
+pipeline at the quick simulation scale (override with ``--scale``), and
+prints a human-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import (
+    BENCH_SCALE,
+    FINE_SCALE,
+    QUICK_SCALE,
+    FuzzingCampaign,
+    RhoHammerRevEng,
+    SimulationScale,
+    TimingOracle,
+    baseline_load_config,
+    build_machine,
+    rhohammer_config,
+    sweep_pattern,
+)
+from repro.exploit import EndToEndAttack
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.nops import tune_nop_count
+from repro.reveng import compare_mappings
+from repro.system.presets import dimm_ids, machine_names
+
+_SCALES = {"quick": QUICK_SCALE, "bench": BENCH_SCALE, "fine": FINE_SCALE}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform", choices=machine_names(), default="raptor_lake"
+    )
+    parser.add_argument("--dimm", choices=dimm_ids(), default="S3")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="quick",
+        help="simulation scale (quick/bench/fine)",
+    )
+
+
+def _machine(args) -> tuple:
+    scale: SimulationScale = _SCALES[args.scale]
+    machine = build_machine(
+        args.platform, args.dimm, seed=args.seed, scale=scale
+    )
+    return machine, scale
+
+
+def _tuned_config(args, scale):
+    nops = 60 if args.platform in ("comet_lake", "rocket_lake") else 220
+    return rhohammer_config(nop_count=nops, num_banks=3)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_reveng(args) -> int:
+    machine, _ = _machine(args)
+    print(f"target : {machine.describe()}")
+    oracle = TimingOracle.allocate(machine, fraction=args.fraction)
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    score = compare_mappings(result.mapping, machine.mapping)
+    print(f"mapping: {result.mapping.describe()}")
+    print(f"correct: {score.fully_correct}")
+    print(f"runtime: {result.runtime_seconds:.1f} attacker-seconds "
+          f"({result.measurements} measurements)")
+    return 0 if score.fully_correct else 1
+
+
+def cmd_fuzz(args) -> int:
+    machine, scale = _machine(args)
+    config = (
+        baseline_load_config(num_banks=1)
+        if args.baseline
+        else _tuned_config(args, scale)
+    )
+    print(f"target : {machine.describe()}")
+    print(f"kernel : {config.describe()}")
+    campaign = FuzzingCampaign(machine=machine, config=config, scale=scale)
+    report = campaign.run(max_patterns=args.patterns)
+    print(f"patterns tried     : {report.patterns_tried}")
+    print(f"effective patterns : {report.effective_patterns}")
+    print(f"total flips        : {report.total_flips}")
+    print(f"best pattern flips : {report.best_pattern_flips}")
+    if report.best_pattern is not None:
+        print(f"best pattern       : {report.best_pattern.describe()}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    machine, scale = _machine(args)
+    config = _tuned_config(args, scale)
+    report = sweep_pattern(
+        machine, config, canonical_compact_pattern(), args.locations, scale
+    )
+    print(f"target           : {machine.describe()}")
+    print(f"locations swept  : {args.locations}")
+    print(f"total flips      : {report.total_flips}")
+    print(f"flips per minute : {report.flips_per_minute:,.0f} (virtual)")
+    print(f"hit locations    : {report.locations_with_flips}/{args.locations}")
+    return 0
+
+
+def cmd_exploit(args) -> int:
+    machine, scale = _machine(args)
+    config = _tuned_config(args, scale)
+    attack = EndToEndAttack(
+        machine=machine,
+        config=config,
+        pattern=canonical_compact_pattern(),
+        scale=scale,
+    )
+    outcome = attack.run()
+    print(f"target            : {machine.describe()}")
+    print(f"flips templated   : {outcome.total_flips}")
+    print(f"exploitable flips : {outcome.exploitable_flips}")
+    print(f"end-to-end time   : {outcome.total_seconds:.1f} s (virtual)")
+    if outcome.succeeded:
+        print(f"PTE corrupted     : {outcome.corrupted_pte_before:#x} -> "
+              f"{outcome.corrupted_pte_after:#x}")
+        print("page-table read/write achieved")
+        return 0
+    print("attack failed (no exploitable flip in budget)")
+    return 1
+
+
+def cmd_campaign(args) -> int:
+    from repro.campaign import RhoHammerCampaign
+
+    machine, scale = _machine(args)
+    print(f"target : {machine.describe()}\n")
+    campaign = RhoHammerCampaign(
+        machine=machine,
+        scale=scale,
+        fuzz_patterns=args.patterns,
+        sweep_locations=args.locations,
+        run_exploit=not args.no_exploit,
+    )
+    report = campaign.run()
+    print(report.summary())
+    print(f"\ncampaign succeeded: {report.succeeded}")
+    return 0 if report.succeeded else 1
+
+
+def cmd_emit(args) -> int:
+    from repro.hammer.codegen import emit_asm, emit_cpp
+    from repro.cpu.isa import AddressingMode
+    from dataclasses import replace
+
+    machine, scale = _machine(args)
+    config = _tuned_config(args, scale)
+    pattern = canonical_compact_pattern()
+    if args.format == "cpp":
+        print(emit_cpp(config, pattern))
+    else:
+        unrolled = replace(config, addressing=AddressingMode.IMMEDIATE)
+        print(emit_asm(unrolled, pattern, unroll_slots=args.slots))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    machine, scale = _machine(args)
+    result = tune_nop_count(
+        machine,
+        rhohammer_config(nop_count=0, num_banks=3),
+        canonical_compact_pattern(),
+        base_rows=[5000, 21000],
+        activations_per_row=scale.acts_per_pattern,
+        scale=scale,
+    )
+    print(f"target        : {machine.describe()}")
+    for nops, flips in sorted(result.flips_by_count.items()):
+        print(f"  nops={nops:5d}  flips={flips}")
+    print(f"optimal count : {result.best_nop_count} "
+          f"({result.best_flips} flips)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rhohammer",
+        description="rhoHammer (MICRO 2025) reproduction on a simulated platform",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("reveng", help="recover the DRAM address mapping")
+    _add_common(p)
+    p.add_argument("--fraction", type=float, default=0.5,
+                   help="fraction of RAM to allocate for the pool")
+    p.set_defaults(func=cmd_reveng)
+
+    p = sub.add_parser("fuzz", help="fuzz non-uniform hammer patterns")
+    _add_common(p)
+    p.add_argument("--patterns", type=int, default=20)
+    p.add_argument("--baseline", action="store_true",
+                   help="use the load-based baseline kernel")
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("sweep", help="sweep the tuned pattern over locations")
+    _add_common(p)
+    p.add_argument("--locations", type=int, default=16)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("exploit", help="end-to-end PTE corruption attack")
+    _add_common(p)
+    p.set_defaults(func=cmd_exploit)
+
+    p = sub.add_parser("tune", help="NOP pseudo-barrier tuning phase")
+    _add_common(p)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "emit", help="emit the real-hardware kernel source for a config"
+    )
+    _add_common(p)
+    p.add_argument("--format", choices=("cpp", "asm"), default="cpp")
+    p.add_argument("--slots", type=int, default=32,
+                   help="pattern slots to unroll in asm output")
+    p.set_defaults(func=cmd_emit)
+
+    p = sub.add_parser(
+        "campaign", help="the full Figure 5 workflow, end to end"
+    )
+    _add_common(p)
+    p.add_argument("--patterns", type=int, default=15)
+    p.add_argument("--locations", type=int, default=10)
+    p.add_argument("--no-exploit", action="store_true")
+    p.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Shared utilities: units, deterministic RNG streams, errors.
+
+Every stochastic component in the simulator draws from a named
+:class:`RngStream` so that experiments are reproducible bit-for-bit from a
+single campaign seed.
+"""
+
+from repro.common.errors import (
+    CalibrationError,
+    MappingError,
+    ReproError,
+    RevEngFailure,
+    SimulationError,
+)
+from repro.common.rng import RngStream, derive_seed
+from repro.common.units import (
+    MS,
+    NS,
+    SEC,
+    US,
+    Duration,
+    format_duration,
+    ns_to_ms,
+    ns_to_sec,
+)
+
+__all__ = [
+    "CalibrationError",
+    "Duration",
+    "MS",
+    "MappingError",
+    "NS",
+    "ReproError",
+    "RevEngFailure",
+    "RngStream",
+    "SEC",
+    "SimulationError",
+    "US",
+    "derive_seed",
+    "format_duration",
+    "ns_to_ms",
+    "ns_to_sec",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MappingError(ReproError):
+    """An address mapping is malformed or cannot translate an address."""
+
+
+class SimulationError(ReproError):
+    """The simulated platform was driven into an invalid state."""
+
+
+class RevEngFailure(ReproError):
+    """A reverse-engineering run could not recover a mapping.
+
+    Raised both by our algorithm (on genuinely pathological inputs) and by
+    the prior-art baselines when reproducing their documented failure modes
+    (e.g. DRAMDig aborting when no pure row bits exist).
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration constant is missing or inconsistent for a platform."""

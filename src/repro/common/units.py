@@ -1,0 +1,40 @@
+"""Time units for the simulator.
+
+All simulated time is carried as a float number of nanoseconds.  These
+constants and helpers keep conversions explicit at call sites.
+"""
+
+from __future__ import annotations
+
+Duration = float
+"""A span of simulated time, in nanoseconds."""
+
+NS: Duration = 1.0
+US: Duration = 1_000.0
+MS: Duration = 1_000_000.0
+SEC: Duration = 1_000_000_000.0
+
+
+def ns_to_ms(value_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return value_ns / MS
+
+
+def ns_to_sec(value_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value_ns / SEC
+
+
+def format_duration(value_ns: float) -> str:
+    """Render a duration with an appropriate unit for human-facing reports.
+
+    >>> format_duration(1500)
+    '1.50 us'
+    """
+    if value_ns < US:
+        return f"{value_ns:.0f} ns"
+    if value_ns < MS:
+        return f"{value_ns / US:.2f} us"
+    if value_ns < SEC:
+        return f"{value_ns / MS:.2f} ms"
+    return f"{value_ns / SEC:.2f} s"

@@ -1,0 +1,38 @@
+"""CPU microarchitecture model.
+
+The simulator does not interpret x86; it models the *pipeline effects* that
+determine hammering behaviour:
+
+* per-instruction issue costs and memory-level bounds (throughput),
+* the out-of-order window (ROB occupancy, address-dependency chains,
+  fences) and branch-prediction lookahead (disorder),
+* the flush->prefetch inversion that silently drops activations
+  (Figure 7), and
+* the knobs the paper turns: NOP pseudo-barriers, control-flow
+  obfuscation, AsmJit-style immediate vs C++-style indexed addressing.
+"""
+
+from repro.cpu.executor import ExecutionResult, HammerExecutor
+from repro.cpu.isa import (
+    AddressingMode,
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+)
+from repro.cpu.platform import PLATFORMS, PlatformSpec, platform_by_name
+from repro.cpu.speculation import DisorderModel
+from repro.cpu.timing import ThroughputModel
+
+__all__ = [
+    "AddressingMode",
+    "Barrier",
+    "DisorderModel",
+    "ExecutionResult",
+    "HammerExecutor",
+    "HammerInstruction",
+    "HammerKernelConfig",
+    "PLATFORMS",
+    "PlatformSpec",
+    "ThroughputModel",
+    "platform_by_name",
+]

@@ -1,0 +1,158 @@
+"""Reference cache hierarchy, used to validate the fast executor.
+
+The vectorised :class:`~repro.cpu.executor.HammerExecutor` models the
+flush->prefetch race analytically.  This module provides the slow but
+explicit counterpart: a set-associative LRU hierarchy plus a step-by-step
+interpreter that walks the kernel's instruction effects one at a time.
+Cross-checking the two on small streams is one of the integration tests'
+strongest invariants (e.g. under a fully serial configuration both must
+report a 100 % miss rate).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.cpu.isa import HammerInstruction, HammerKernelConfig
+from repro.cpu.platform import PlatformSpec
+from repro.cpu.speculation import DisorderModel
+
+CACHE_LINE = 64
+
+
+@dataclass
+class CacheLevel:
+    """One set-associative, LRU, inclusive cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    _sets: dict[int, OrderedDict[int, bool]] = field(default_factory=dict)
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (CACHE_LINE * self.ways)
+
+    def _set_of(self, line: int) -> OrderedDict[int, bool]:
+        index = line % self.num_sets
+        if index not in self._sets:
+            self._sets[index] = OrderedDict()
+        return self._sets[index]
+
+    def lookup(self, line: int) -> bool:
+        """True on hit; refreshes LRU position."""
+        entry = self._set_of(line)
+        if line in entry:
+            entry.move_to_end(line)
+            return True
+        return False
+
+    def fill(self, line: int) -> None:
+        entry = self._set_of(line)
+        entry[line] = True
+        entry.move_to_end(line)
+        while len(entry) > self.ways:
+            entry.popitem(last=False)
+
+    def invalidate(self, line: int) -> None:
+        self._set_of(line).pop(line, None)
+
+
+class CacheHierarchy:
+    """L1D / L2 / LLC with CLFLUSHOPT and hint-directed prefetch fills."""
+
+    def __init__(self) -> None:
+        self.levels = [
+            CacheLevel("L1D", 48 * 1024, 12),
+            CacheLevel("L2", 1_280 * 1024, 20),
+            CacheLevel("LLC", 24 * 1024 * 1024, 12),
+        ]
+
+    @staticmethod
+    def line_of(phys_addr: int) -> int:
+        return phys_addr // CACHE_LINE
+
+    def is_cached(self, phys_addr: int) -> bool:
+        line = self.line_of(phys_addr)
+        return any(level.lookup(line) for level in self.levels)
+
+    def access(self, phys_addr: int, instruction: HammerInstruction) -> bool:
+        """Perform a load/prefetch; returns True if it missed (touched DRAM).
+
+        A prefetch hint fills only its target levels (T2/NTA -> LLC only);
+        a load or T0 fills the whole hierarchy.
+        """
+        line = self.line_of(phys_addr)
+        hit = any(level.lookup(line) for level in self.levels)
+        if hit:
+            return False
+        fill_levels = instruction.cache_levels_filled
+        for level in self.levels[len(self.levels) - fill_levels:]:
+            level.fill(line)
+        return True
+
+    def clflush(self, phys_addr: int) -> None:
+        line = self.line_of(phys_addr)
+        for level in self.levels:
+            level.invalidate(line)
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of the reference interpreter."""
+
+    surviving_ids: np.ndarray
+    miss_rate: float
+
+
+class ReferenceExecutor:
+    """Step-by-step kernel interpreter over the explicit cache model.
+
+    Replays the hammer loop access by access: reorder within the disorder
+    window, then for each executed access model the pending-flush race —
+    a CLFLUSHOPT completes only after ``window`` further slots, so an
+    access that arrives sooner still finds the line cached.
+    """
+
+    def __init__(self, platform: PlatformSpec, rng: RngStream | None = None) -> None:
+        self.platform = platform
+        self.disorder = DisorderModel(platform)
+        self.rng = rng or RngStream(0xFEED, f"refexec/{platform.name}")
+
+    def execute(
+        self,
+        intended_ids: np.ndarray,
+        addresses: np.ndarray,
+        config: HammerKernelConfig,
+    ) -> ReferenceResult:
+        ids = np.asarray(intended_ids, dtype=np.int64)
+        profile = self.disorder.profile(config)
+        order = self.disorder.shuffle_order(ids.size, profile, self.rng.child("shuffle"))
+        caches = CacheHierarchy()
+        flush_completes_at: dict[int, float] = {}
+        lag = max(0.0, profile.window)
+        survivors: list[int] = []
+        missed = 0
+        for slot, idx in enumerate(order.tolist()):
+            addr_id = int(ids[idx])
+            phys = int(addresses[addr_id])
+            line = CacheHierarchy.line_of(phys)
+            pending = flush_completes_at.get(line)
+            if pending is not None and slot >= pending:
+                caches.clflush(phys)
+                del flush_completes_at[line]
+            if caches.access(phys, config.instruction):
+                missed += 1
+                survivors.append(addr_id)
+            # The kernel flushes right after hammering; completion lags by
+            # the window (weakly-ordered CLFLUSHOPT).
+            flush_completes_at[line] = slot + lag
+        miss_rate = missed / ids.size if ids.size else 0.0
+        return ReferenceResult(
+            surviving_ids=np.array(survivors, dtype=np.int64),
+            miss_rate=miss_rate,
+        )

@@ -1,0 +1,137 @@
+"""The x86 subset the attack uses, and the hammer-kernel configuration.
+
+A hammer kernel is the inner loop of Listing 1: per aggressor address, one
+hammer instruction (load or prefetch) plus a CLFLUSHOPT, optionally followed
+by a barrier and/or a run of NOPs, all inside a loop whose control flow may
+be obfuscated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.common.errors import SimulationError
+
+
+class HammerInstruction(Enum):
+    """The DRAM-touching instruction of the kernel."""
+
+    LOAD = "mov"
+    PREFETCHT0 = "prefetcht0"
+    PREFETCHT1 = "prefetcht1"
+    PREFETCHT2 = "prefetcht2"
+    PREFETCHNTA = "prefetchnta"
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self is not HammerInstruction.LOAD
+
+    @property
+    def cache_levels_filled(self) -> int:
+        """How many cache levels the instruction places the line into."""
+        return {
+            HammerInstruction.LOAD: 3,
+            HammerInstruction.PREFETCHT0: 3,
+            HammerInstruction.PREFETCHT1: 2,
+            HammerInstruction.PREFETCHT2: 1,
+            HammerInstruction.PREFETCHNTA: 1,
+        }[self]
+
+
+class Barrier(Enum):
+    """Ordering strategy inserted after each hammer+flush pair."""
+
+    NONE = "none"
+    LFENCE = "lfence"
+    MFENCE = "mfence"
+    CPUID = "cpuid"
+    # NOP pseudo-barriers are expressed through ``nop_count`` rather than a
+    # Barrier member: they are a *count*, not an instruction choice.
+
+
+class AddressingMode(Enum):
+    """How the kernel names its targets (Section 4.2's C++ vs AsmJit)."""
+
+    INDEXED = "indexed"  # C++: aggr_row_addrs[idx] -> load-dependency chain
+    IMMEDIATE = "immediate"  # AsmJit: unrolled immediates -> no dependency
+
+
+#: Approximate micro-op footprint of one hammer iteration body
+#: (hammer + clflushopt + loop overhead), used for ROB-occupancy maths.
+HAMMER_BODY_UOPS = 4
+NOP_UOPS = 1
+
+
+@dataclass(frozen=True)
+class HammerKernelConfig:
+    """Everything that shapes one hammer kernel's pipeline behaviour."""
+
+    instruction: HammerInstruction = HammerInstruction.PREFETCHT2
+    addressing: AddressingMode = AddressingMode.INDEXED
+    barrier: Barrier = Barrier.NONE
+    nop_count: int = 0
+    obfuscate_control_flow: bool = False
+    num_banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nop_count < 0:
+            raise SimulationError("nop_count cannot be negative")
+        if self.num_banks < 1:
+            raise SimulationError("num_banks must be >= 1")
+
+    @property
+    def uops_per_iteration(self) -> int:
+        return HAMMER_BODY_UOPS + self.nop_count * NOP_UOPS
+
+    def with_banks(self, num_banks: int) -> "HammerKernelConfig":
+        return replace(self, num_banks=num_banks)
+
+    def with_nops(self, nop_count: int) -> "HammerKernelConfig":
+        return replace(self, nop_count=nop_count)
+
+    def describe(self) -> str:
+        parts = [
+            self.instruction.value,
+            self.addressing.value,
+            f"barrier={self.barrier.value}",
+        ]
+        if self.nop_count:
+            parts.append(f"nops={self.nop_count}")
+        if self.obfuscate_control_flow:
+            parts.append("obfuscated")
+        if self.num_banks > 1:
+            parts.append(f"banks={self.num_banks}")
+        return ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Canonical configurations used throughout the evaluation
+# ----------------------------------------------------------------------
+def baseline_load_config(num_banks: int = 1) -> HammerKernelConfig:
+    """The Blacksmith/ZenHammer-style load-based baseline (BL).
+
+    Fence-free, as in the paper's Listing 1: the original non-uniform
+    hammering tools rely on the indexed-address dependency chain rather
+    than explicit barriers in their hot loop.
+    """
+    return HammerKernelConfig(
+        instruction=HammerInstruction.LOAD,
+        addressing=AddressingMode.INDEXED,
+        barrier=Barrier.NONE,
+        nop_count=0,
+        obfuscate_control_flow=False,
+        num_banks=num_banks,
+    )
+
+
+def rhohammer_config(nop_count: int, num_banks: int = 1) -> HammerKernelConfig:
+    """The full rhoHammer kernel: prefetch + obfuscation + NOP barriers."""
+    return HammerKernelConfig(
+        instruction=HammerInstruction.PREFETCHT2,
+        addressing=AddressingMode.INDEXED,
+        barrier=Barrier.NONE,
+        nop_count=nop_count,
+        obfuscate_control_flow=True,
+        num_banks=num_banks,
+    )

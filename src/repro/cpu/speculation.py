@@ -1,0 +1,168 @@
+"""Speculative-execution disorder model.
+
+Two effects matter to hammering (Section 4.2/4.4):
+
+1. **Reordering.**  Instructions within the out-of-order window execute in
+   data-flow rather than program order; branch prediction additionally runs
+   ahead across loop iterations.  We model this as a random local
+   permutation of the access stream with maximum displacement ``window``.
+
+2. **Dropped activations.**  CLFLUSHOPT and PREFETCHh are not ordered with
+   respect to each other: a prefetch issued before the previous flush of
+   the same line completes is ignored (the line looks cached), producing a
+   cache *hit* and no DRAM activation (Figure 7).  The closer the prefetch
+   follows its flush in execute order, the likelier the inversion, so the
+   drop probability decreases with the *revisit distance* — the number of
+   kernel iterations since that address was last touched.  High-frequency
+   pattern elements (short revisit distance) therefore lose the most
+   activations, which is precisely how disorder destroys carefully tuned
+   non-uniform patterns.
+
+The window derives from ROB occupancy: NOP pseudo-barriers consume ROB
+slots and shrink it, an indexed addressing mode adds a dependency chain
+that shortens effective lookahead, LFENCE serialises whenever the next
+address must be architecturally resolved (C++-style kernels), and CPUID
+serialises unconditionally.  Control-flow obfuscation removes the
+branch-prediction component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.cpu.isa import AddressingMode, Barrier, HammerKernelConfig
+from repro.cpu.platform import PlatformSpec
+
+#: Effective lookahead fraction left by the indexed-address load dependency.
+DEP_FACTOR_INDEXED = 0.30
+DEP_FACTOR_IMMEDIATE = 1.0
+
+#: Residual window fraction under each barrier, by (barrier, is_prefetch,
+#: addressing).  LFENCE orders prefetches *only* through the indexed
+#: address chain (Section 4.4's "indirect ordering"); MFENCE orders loads
+#: but not prefetches; CPUID serialises everything.
+_SERIAL = 0.02
+
+
+def _barrier_order_factor(config: HammerKernelConfig) -> float:
+    barrier = config.barrier
+    if barrier is Barrier.NONE:
+        return 1.0
+    if barrier is Barrier.CPUID:
+        return _SERIAL / 2
+    if barrier is Barrier.MFENCE:
+        return 1.0 if config.instruction.is_prefetch else _SERIAL
+    if barrier is Barrier.LFENCE:
+        if config.addressing is AddressingMode.INDEXED:
+            return _SERIAL  # address resolution chains the stream
+        return 1.0 if config.instruction.is_prefetch else 0.25
+    raise AssertionError(f"unhandled barrier {barrier}")
+
+
+#: Drop-probability caps: even fully disordered loads keep some misses
+#: because a load that beats its flush still sometimes finds the line gone.
+DROP_CAP_PREFETCH = 0.94
+DROP_CAP_LOAD = 0.92
+
+#: Loads reorder somewhat less aggressively than prefetches: they issue
+#: slower and occupy load-queue entries, so marginally fewer are in
+#: flight at once.
+LOAD_WINDOW_FACTOR = 0.8
+
+
+@dataclass(frozen=True)
+class DisorderProfile:
+    """Resolved disorder parameters for one (platform, kernel) pair."""
+
+    window: float  # reorder window, in hammer-iteration units
+    drop_cap: float
+
+    @property
+    def effectively_serial(self) -> bool:
+        return self.window <= 1.0
+
+
+class DisorderModel:
+    """Computes disorder profiles and applies them to access streams."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def profile(self, config: HammerKernelConfig) -> DisorderProfile:
+        """The reorder window for this kernel on this platform."""
+        rob_ops = self.platform.rob_size / config.uops_per_iteration
+        dep = (
+            DEP_FACTOR_INDEXED
+            if config.addressing is AddressingMode.INDEXED
+            else DEP_FACTOR_IMMEDIATE
+        )
+        ooo_window = rob_ops * dep * _barrier_order_factor(config)
+        residual = (
+            self.platform.obfuscation_residual
+            if config.obfuscate_control_flow
+            else 1.0
+        )
+        branch = self.platform.branch_window * residual
+        window = max(0.0, ooo_window + branch)
+        if config.instruction.is_prefetch:
+            cap = DROP_CAP_PREFETCH
+        else:
+            cap = DROP_CAP_LOAD
+            window *= LOAD_WINDOW_FACTOR
+        return DisorderProfile(window=window, drop_cap=cap)
+
+    # ------------------------------------------------------------------
+    def drop_probabilities(
+        self, revisit_distances: np.ndarray, profile: DisorderProfile
+    ) -> np.ndarray:
+        """Per-access probability that the activation is silently dropped.
+
+        Logistic in the (window - distance) gap: accesses revisited well
+        inside the reorder window almost always race their own flush.
+        """
+        w = profile.window
+        if w <= 1.0:
+            return np.zeros(revisit_distances.shape)
+        d = revisit_distances.astype(np.float64)
+        scale = 0.12 * w + 1.0
+        exponent = np.clip((d - w) / scale, -60.0, 60.0)
+        return profile.drop_cap / (1.0 + np.exp(exponent))
+
+    def shuffle_order(
+        self, n: int, profile: DisorderProfile, rng: RngStream
+    ) -> np.ndarray:
+        """Execution order of n program-order slots under the window.
+
+        Implemented as a bounded-displacement random permutation: each slot
+        is jittered forward by up to ``window`` positions and the stream is
+        re-sorted.  With window <= 1 the order is exactly program order.
+        """
+        if profile.window <= 1.0 or n <= 1:
+            return np.arange(n)
+        jitter = rng.uniform(0.0, profile.window, size=n)
+        return np.argsort(np.arange(n) + jitter, kind="stable")
+
+
+def revisit_distances(ids: np.ndarray) -> np.ndarray:
+    """Per-position distance since the same id last occurred.
+
+    First occurrences get a large sentinel distance (they cannot race a
+    preceding flush).  Vectorised via a stable sort by id.
+    """
+    n = ids.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    positions = order.astype(np.int64)
+    gaps = np.empty(n, dtype=np.int64)
+    gaps[0] = np.iinfo(np.int64).max // 2
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    gaps[1:] = np.where(same, positions[1:] - positions[:-1], np.iinfo(np.int64).max // 2)
+    result = np.empty(n, dtype=np.int64)
+    result[order] = gaps
+    return result

@@ -1,0 +1,107 @@
+"""Per-access throughput model.
+
+Converts a hammer-kernel configuration into nanoseconds per kernel
+iteration.  The cost is the maximum of three bounds:
+
+* **CPU issue bound** — instruction issue costs, barrier costs, NOP runs,
+  obfuscation overhead, plus (for loads only) the miss stall amortised over
+  the load queue's memory-level parallelism.  Prefetches retire as soon as
+  the address translates, so misses cost them nothing (Section 4.5).
+* **Bank bound** — same-bank activations cannot exceed 1/tRC; interleaving
+  over B banks divides the spacing.
+* **Channel bound** — command-bus / tRRD/tFAW floor on aggregate ACTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.isa import Barrier, HammerKernelConfig
+from repro.cpu.platform import PlatformSpec
+from repro.dram.timing import DdrTiming
+
+#: Aggregate activation floor from tRRD_L / tFAW on a single channel.
+CHANNEL_ACT_FLOOR_NS = 5.2
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-iteration cost, in nanoseconds, with its contributors."""
+
+    cpu_ns: float
+    bank_bound_ns: float
+    channel_bound_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return max(self.cpu_ns, self.bank_bound_ns, self.channel_bound_ns)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.total_ns > self.cpu_ns
+
+
+class ThroughputModel:
+    """Computes iteration costs for a platform."""
+
+    def __init__(self, platform: PlatformSpec, timing: DdrTiming | None = None) -> None:
+        self.platform = platform
+        self.timing = timing or DdrTiming()
+
+    def barrier_cost_ns(self, config: HammerKernelConfig) -> float:
+        p = self.platform
+        barrier = config.barrier
+        if barrier is Barrier.NONE:
+            return 0.0
+        if barrier is Barrier.LFENCE:
+            if not config.instruction.is_prefetch:
+                # A serialised load waits out the full miss latency.
+                return p.dram_latency_ns
+            return p.lfence_cost_ns
+        if barrier is Barrier.MFENCE:
+            return p.mfence_cost_ns
+        if barrier is Barrier.CPUID:
+            return p.cpuid_cost_ns
+        raise AssertionError(f"unhandled barrier {barrier}")
+
+    def cpu_cost_ns(self, config: HammerKernelConfig, miss_rate: float) -> float:
+        """Issue-side nanoseconds per kernel iteration."""
+        p = self.platform
+        if config.instruction.is_prefetch:
+            cost = p.prefetch_issue_ns
+        else:
+            cost = p.load_issue_ns
+            if config.barrier is not Barrier.LFENCE:
+                # Misses stall the load queue; LFENCE already pays the
+                # full latency in barrier_cost_ns.  Memory-level
+                # parallelism only helps across banks: same-bank misses
+                # serialise on the row cycle, so a single-bank kernel
+                # barely overlaps its misses.
+                mlp = min(p.load_mlp, 0.8 + 0.8 * config.num_banks)
+                cost += miss_rate * p.dram_latency_ns / mlp
+        cost += self.barrier_cost_ns(config)
+        cost += config.nop_count * p.nop_cost_ns
+        if config.obfuscate_control_flow:
+            cost += p.obfuscation_overhead_ns
+        return cost
+
+    def iteration_cost(
+        self, config: HammerKernelConfig, miss_rate: float = 1.0
+    ) -> CostBreakdown:
+        """Full per-iteration cost breakdown at a given realised miss rate.
+
+        ``miss_rate`` feeds back the fraction of iterations that actually
+        reach DRAM: the bank/channel bounds only constrain real ACTs, and
+        load stalls only happen on misses.
+        """
+        cpu = self.cpu_cost_ns(config, miss_rate)
+        bank = self.timing.t_rc / config.num_banks * miss_rate
+        channel = CHANNEL_ACT_FLOOR_NS * miss_rate
+        return CostBreakdown(cpu_ns=cpu, bank_bound_ns=bank, channel_bound_ns=channel)
+
+    def activation_rate_per_sec(
+        self, config: HammerKernelConfig, miss_rate: float = 1.0
+    ) -> float:
+        """Aggregate DRAM activations per second this kernel achieves."""
+        total = self.iteration_cost(config, miss_rate).total_ns
+        return miss_rate * 1e9 / total

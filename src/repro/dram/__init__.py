@@ -1,0 +1,39 @@
+"""DRAM device model: banks, rows, disturbance, refresh and TRR.
+
+This subpackage is the substrate standing in for the paper's physical DDR4
+UDIMMs.  It models exactly the mechanisms Rowhammer interacts with:
+
+* per-bank open-row buffers (the SBDR timing side channel),
+* activation-induced disturbance accumulating in neighbour rows,
+* per-cell flip thresholds (per-DIMM vulnerability, Table 2 / Table 6),
+* periodic refresh (tREFI / 64 ms window) that resets disturbance,
+* a capacity-limited TRR sampler that non-uniform patterns must evade,
+* the pTRR / "Rowhammer Prevention" BIOS mitigation (Section 6).
+"""
+
+from repro.dram.cells import CellPopulation, FlipEvent
+from repro.dram.ddr5 import RaaCounter, RfmConfig, ddr5_timing
+from repro.dram.device import Dimm, DimmSpec, HammerResult
+from repro.dram.trace import ActivationTrace, record_trace, replay_trace
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DdrTiming
+from repro.dram.trr import PtrrShield, TrrConfig, TrrSampler
+
+__all__ = [
+    "ActivationTrace",
+    "CellPopulation",
+    "RaaCounter",
+    "RfmConfig",
+    "record_trace",
+    "replay_trace",
+    "ddr5_timing",
+    "DdrTiming",
+    "Dimm",
+    "DimmSpec",
+    "DramGeometry",
+    "FlipEvent",
+    "HammerResult",
+    "PtrrShield",
+    "TrrConfig",
+    "TrrSampler",
+]

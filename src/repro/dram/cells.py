@@ -1,0 +1,118 @@
+"""Per-cell Rowhammer vulnerability model.
+
+Real DIMMs flip when the cumulative disturbance a victim row receives
+between two of its refreshes exceeds a per-cell threshold (the
+"hammer count to first flip", HC_first).  Thresholds vary strongly across
+cells, rows and DIMMs; we model them as a deterministic pseudo-random
+population seeded by (dimm_uid, bank, row) so that:
+
+* the same physical location is always equally (in)vulnerable, which the
+  sweeping experiments rely on (Orosa et al.'s location dependence), and
+* per-DIMM vulnerability is a two-parameter knob (median threshold and weak
+  cell density) calibrated from the relative flip yields in Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_seed
+
+#: Cells modelled per row.  Real rows have 65536 bits; we model only the
+#: weak tail (the cells that could plausibly flip), scaled by density.
+_CANDIDATE_CELLS_PER_ROW = 128
+
+
+@dataclass(frozen=True)
+class FlipEvent:
+    """One observed bit flip."""
+
+    bank: int
+    row: int
+    bit_index: int  # bit offset within the 8 KiB row (0 .. 65535)
+    direction: int  # 1: 0->1, 0: 1->0
+
+
+@dataclass(frozen=True)
+class CellProfile:
+    """The weak cells of one row: thresholds and flip metadata."""
+
+    thresholds: np.ndarray  # ascending float64, effective ACT counts
+    bit_indices: np.ndarray  # int64 offsets within the row
+    directions: np.ndarray  # int8, 1 = 0->1
+
+
+class CellPopulation:
+    """Lazily materialised weak-cell profiles for one DIMM.
+
+    ``median_threshold`` is the median HC_first of *weak* cells, in
+    effective same-bank activations between victim refreshes.
+    ``weak_cell_density`` in [0, 1] scales how many of the candidate cells
+    per row are weak at all; 0 models an invulnerable DIMM (Table 2's M1).
+    """
+
+    def __init__(
+        self,
+        dimm_uid: str,
+        median_threshold: float,
+        weak_cell_density: float,
+        threshold_sigma: float = 0.30,
+    ) -> None:
+        if median_threshold <= 0:
+            raise ValueError("median_threshold must be positive")
+        if not 0.0 <= weak_cell_density <= 1.0:
+            raise ValueError("weak_cell_density must be in [0, 1]")
+        self.dimm_uid = dimm_uid
+        self.median_threshold = median_threshold
+        self.weak_cell_density = weak_cell_density
+        self.threshold_sigma = threshold_sigma
+        self._cache: dict[tuple[int, int], CellProfile] = {}
+
+    def profile(self, bank: int, row: int) -> CellProfile:
+        """Weak-cell profile of one row (deterministic, cached)."""
+        key = (bank, row)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        profile = self._materialise(bank, row)
+        self._cache[key] = profile
+        return profile
+
+    def _materialise(self, bank: int, row: int) -> CellProfile:
+        seed = derive_seed(0xD1A7, self.dimm_uid, bank, row)
+        rng = np.random.default_rng(seed)
+        n_weak = rng.binomial(_CANDIDATE_CELLS_PER_ROW, self.weak_cell_density)
+        if n_weak == 0:
+            empty_f = np.empty(0, dtype=np.float64)
+            empty_i = np.empty(0, dtype=np.int64)
+            return CellProfile(empty_f, empty_i, empty_i.astype(np.int8))
+        mu = np.log(self.median_threshold)
+        thresholds = np.sort(rng.lognormal(mu, self.threshold_sigma, n_weak))
+        bit_indices = rng.choice(65536, size=n_weak, replace=False).astype(np.int64)
+        directions = (rng.random(n_weak) < 0.5).astype(np.int8)
+        return CellProfile(thresholds, bit_indices, directions)
+
+    def flips_for(self, bank: int, row: int, peak_disturbance: float) -> list[FlipEvent]:
+        """Flip events for a row given its peak unrefreshed disturbance."""
+        if peak_disturbance <= 0:
+            return []
+        prof = self.profile(bank, row)
+        count = int(np.searchsorted(prof.thresholds, peak_disturbance, side="right"))
+        return [
+            FlipEvent(
+                bank=bank,
+                row=row,
+                bit_index=int(prof.bit_indices[i]),
+                direction=int(prof.directions[i]),
+            )
+            for i in range(count)
+        ]
+
+    def flip_count_for(self, bank: int, row: int, peak_disturbance: float) -> int:
+        """Number of flips without materialising the events (hot path)."""
+        if peak_disturbance <= 0:
+            return 0
+        prof = self.profile(bank, row)
+        return int(np.searchsorted(prof.thresholds, peak_disturbance, side="right"))

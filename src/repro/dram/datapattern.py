@@ -1,0 +1,90 @@
+"""Victim data patterns and flip observability.
+
+A cell whose disturbance crosses threshold flips in *one* direction
+(charge gain or loss); the flip is only observable if the victim row's
+stored bit is the one that can change.  Real templating tools therefore
+sweep complementary data patterns (checkerboard and its inverse, stripes,
+solids) so every physically weak cell is witnessed at least once.  This
+module provides the standard patterns and the observability predicate the
+templating pipeline applies.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.dram.cells import FlipEvent
+
+
+class DataPattern(Enum):
+    """Standard victim-initialisation patterns."""
+
+    ALL_ZEROS = "0x00"
+    ALL_ONES = "0xff"
+    CHECKERBOARD = "0x55"  # bit value alternates with bit index
+    CHECKERBOARD_INV = "0xaa"
+    ROW_STRIPE = "row-stripe"  # bit value alternates with row parity
+    ROW_STRIPE_INV = "row-stripe-inv"
+
+    @property
+    def complement(self) -> "DataPattern":
+        return _COMPLEMENTS[self]
+
+
+_COMPLEMENTS = {
+    DataPattern.ALL_ZEROS: DataPattern.ALL_ONES,
+    DataPattern.ALL_ONES: DataPattern.ALL_ZEROS,
+    DataPattern.CHECKERBOARD: DataPattern.CHECKERBOARD_INV,
+    DataPattern.CHECKERBOARD_INV: DataPattern.CHECKERBOARD,
+    DataPattern.ROW_STRIPE: DataPattern.ROW_STRIPE_INV,
+    DataPattern.ROW_STRIPE_INV: DataPattern.ROW_STRIPE,
+}
+
+#: The polarity pair templating uses by default: between a checkerboard
+#: and its inverse, every cell is initialised to each value exactly once.
+DEFAULT_TEMPLATE_PATTERNS = (
+    DataPattern.CHECKERBOARD,
+    DataPattern.CHECKERBOARD_INV,
+)
+
+
+def stored_bit(pattern: DataPattern, row: int, bit_index: int) -> int:
+    """The bit value ``pattern`` stores at (row, bit_index)."""
+    if pattern is DataPattern.ALL_ZEROS:
+        return 0
+    if pattern is DataPattern.ALL_ONES:
+        return 1
+    if pattern is DataPattern.CHECKERBOARD:
+        return bit_index & 1
+    if pattern is DataPattern.CHECKERBOARD_INV:
+        return (bit_index & 1) ^ 1
+    if pattern is DataPattern.ROW_STRIPE:
+        return row & 1
+    if pattern is DataPattern.ROW_STRIPE_INV:
+        return (row & 1) ^ 1
+    raise AssertionError(f"unhandled pattern {pattern}")
+
+
+def observable(flip: FlipEvent, pattern: DataPattern) -> bool:
+    """Can this physical flip be witnessed under ``pattern``?
+
+    A 0->1 flip (direction 1) needs the stored bit to be 0, and vice
+    versa.
+    """
+    return stored_bit(pattern, flip.row, flip.bit_index) != flip.direction
+
+
+def observable_flips(
+    flips, patterns=DEFAULT_TEMPLATE_PATTERNS
+) -> list[FlipEvent]:
+    """Flips witnessed by at least one of the swept data patterns.
+
+    With a complementary pair every flip is observable exactly once, so
+    the default sweep loses nothing; a single-polarity sweep (as some
+    fast templating modes use) sees roughly half the weak cells.
+    """
+    kept = []
+    for flip in flips:
+        if any(observable(flip, pattern) for pattern in patterns):
+            kept.append(flip)
+    return kept

@@ -1,0 +1,275 @@
+"""The DIMM device: executes activation streams and reports bit flips.
+
+The hammer pipeline hands each bank a *timestamped activation stream*
+(issue-order row indices plus times).  The device walks the stream one
+refresh interval (tREFI) at a time:
+
+1. disturbance from each ACT is added to the +/-1 and +/-2 neighbour rows,
+2. the TRR sampler observes the interval's ACTs and, at the REF, refreshes
+   the neighbours of the aggressors it tracked (resetting their victims'
+   disturbance),
+3. rows whose periodic-refresh slot falls in this interval are reset,
+4. before any reset, the running peak unrefreshed disturbance per victim is
+   recorded; at the end the cell population converts peaks into flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.dram.cells import CellPopulation, FlipEvent
+from repro.dram.ddr5 import RaaCounter, RfmConfig
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DdrTiming
+from repro.dram.trr import PtrrShield, TrrConfig, TrrSampler
+
+#: Disturbance coupling per activation, by |victim - aggressor| distance.
+#: +/-2 coupling reflects the Half-Double style far-aggressor effect.
+NEIGHBOUR_WEIGHTS = {1: 1.0, 2: 0.18}
+
+
+@dataclass(frozen=True)
+class DimmSpec:
+    """One DIMM from Table 2 plus its vulnerability calibration.
+
+    ``median_flip_threshold`` and ``weak_cell_density`` parameterise the
+    :class:`CellPopulation`; they are the substitution for the physical
+    per-DIMM Rowhammer tolerance the paper characterises empirically.
+    """
+
+    dimm_id: str
+    vendor: str
+    production_week: str
+    freq_mhz: int
+    size_gib: int
+    geometry: DramGeometry
+    median_flip_threshold: float
+    weak_cell_density: float
+
+    @property
+    def flippable(self) -> bool:
+        return self.weak_cell_density > 0.0
+
+
+@dataclass(frozen=True)
+class HammerResult:
+    """Outcome of executing one activation stream on one or more banks.
+
+    ``flips`` carries the individual events only when the caller asked for
+    them (templating needs locations; fuzzing only needs counts), while
+    ``flip_count`` is always populated.
+    """
+
+    flips: tuple[FlipEvent, ...]
+    flip_count: int
+    acts_executed: int
+    duration_ns: float
+    trr_refreshes: int
+
+
+@dataclass
+class _BankState:
+    """Mutable per-bank hammer bookkeeping."""
+
+    disturbance: dict[int, float] = field(default_factory=dict)
+    peak: dict[int, float] = field(default_factory=dict)
+
+    def add(self, victim: int, amount: float) -> None:
+        level = self.disturbance.get(victim, 0.0) + amount
+        self.disturbance[victim] = level
+        if level > self.peak.get(victim, 0.0):
+            self.peak[victim] = level
+
+    def refresh_row(self, row: int) -> None:
+        self.disturbance.pop(row, None)
+
+
+class Dimm:
+    """A DDR4 DIMM with per-bank TRR samplers and a weak-cell population."""
+
+    def __init__(
+        self,
+        spec: DimmSpec,
+        timing: DdrTiming | None = None,
+        trr_config: TrrConfig | None = None,
+        ptrr: PtrrShield | None = None,
+        rng: RngStream | None = None,
+        rfm: RfmConfig | None = None,
+        rfm_threshold_acts: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self.timing = timing or DdrTiming()
+        self.trr_config = trr_config or TrrConfig()
+        self.ptrr = ptrr or PtrrShield(enabled=False)
+        self.rng = rng or RngStream(0xD1, f"dimm/{spec.dimm_id}")
+        #: DDR5 refresh management; None on DDR4 devices.  The simulated
+        #: RAA threshold must already account for time compression
+        #: (see :meth:`RfmConfig.scaled_threshold`).
+        self.rfm = rfm if rfm is not None and rfm.enabled else None
+        self._rfm_threshold = rfm_threshold_acts
+        self.cells = CellPopulation(
+            dimm_uid=spec.dimm_id,
+            median_threshold=spec.median_flip_threshold,
+            weak_cell_density=spec.weak_cell_density,
+        )
+
+    # ------------------------------------------------------------------
+    def hammer(
+        self,
+        bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+        collect_events: bool = True,
+        disturbance_gain: float = 1.0,
+    ) -> HammerResult:
+        """Execute activation streams and return the induced flips.
+
+        ``bank_streams`` maps bank index -> (times_ns, rows), both 1-D
+        arrays sorted by time.  Streams on different banks are independent
+        (each bank has its own row buffer, sampler and refresh phase).
+
+        ``disturbance_gain`` implements the simulation scale: when a
+        campaign runs 1/N of the paper's per-pattern activations, each
+        simulated ACT stands for N paper ACTs and deposits N units of
+        disturbance.  TRR and refresh dynamics are unaffected — only the
+        accumulation speed changes.
+        """
+        flips: list[FlipEvent] = []
+        flip_total = 0
+        acts = 0
+        trr_refreshes = 0
+        end_time = 0.0
+        for bank, (times, rows) in bank_streams.items():
+            if times.shape != rows.shape:
+                raise SimulationError("times and rows must align")
+            if times.size == 0:
+                continue
+            acts += int(times.size)
+            end_time = max(end_time, float(times[-1]))
+            bank_flips, bank_trr = self._hammer_bank(
+                bank, times, rows, collect_events, disturbance_gain
+            )
+            trr_refreshes += bank_trr
+            if collect_events:
+                flips.extend(bank_flips)
+            else:
+                flip_total += bank_flips
+        if collect_events:
+            flip_total = len(flips)
+        return HammerResult(
+            flips=tuple(flips),
+            flip_count=flip_total,
+            acts_executed=acts,
+            duration_ns=end_time,
+            trr_refreshes=trr_refreshes,
+        )
+
+    # ------------------------------------------------------------------
+    def _hammer_bank(
+        self,
+        bank: int,
+        times: np.ndarray,
+        rows: np.ndarray,
+        collect_events: bool,
+        disturbance_gain: float,
+    ):
+        timing = self.timing
+        sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
+        state = _BankState()
+        geometry = self.spec.geometry
+        ptrr_rng = self.rng.child("ptrr", bank)
+        raa: RaaCounter | None = None
+        if self.rfm is not None:
+            raa = RaaCounter(
+                threshold=self._rfm_threshold
+                or self.rfm.raa_initial_threshold,
+                rows_refreshed_per_rfm=self.rfm.rows_refreshed_per_rfm,
+            )
+
+        t_refi = timing.t_refi
+        refs_per_window = timing.refs_per_window
+        rows_per_ref = max(1, geometry.rows // refs_per_window)
+
+        n_intervals = int(times[-1] // t_refi) + 1
+        boundaries = np.searchsorted(times, np.arange(1, n_intervals + 1) * t_refi)
+        start = 0
+        trr_refreshes = 0
+        for interval in range(n_intervals):
+            stop = int(boundaries[interval])
+            chunk = rows[start:stop]
+            start = stop
+            if chunk.size:
+                self._apply_disturbance(state, chunk, geometry, disturbance_gain)
+                if self.ptrr.enabled:
+                    mask = self.ptrr.refresh_mask(chunk.size, ptrr_rng)
+                    for aggressor in chunk[mask].tolist():
+                        self._refresh_neighbours(state, aggressor, geometry)
+                if raa is not None:
+                    for row in chunk.tolist():
+                        targets = raa.observe(row)
+                        if targets:
+                            for aggressor in targets:
+                                trr_refreshes += 1
+                                self._refresh_neighbours(
+                                    state, aggressor, geometry
+                                )
+                sampler.observe(chunk)
+            # REF at the interval end: TRR targeted refreshes...
+            for aggressor in sampler.on_ref():
+                trr_refreshes += 1
+                self._refresh_neighbours(state, aggressor, geometry)
+            # ... plus this interval's share of the periodic refresh.
+            self._periodic_refresh(state, interval, rows_per_ref, refs_per_window)
+
+        if collect_events:
+            flips: list[FlipEvent] | int = []
+            for victim, peak in state.peak.items():
+                flips.extend(self.cells.flips_for(bank, victim, peak))
+        else:
+            flips = 0
+            for victim, peak in state.peak.items():
+                flips += self.cells.flip_count_for(bank, victim, peak)
+        return flips, trr_refreshes
+
+    @staticmethod
+    def _apply_disturbance(
+        state: _BankState,
+        chunk: np.ndarray,
+        geometry: DramGeometry,
+        gain: float,
+    ) -> None:
+        aggressors, counts = np.unique(chunk, return_counts=True)
+        for aggressor, count in zip(aggressors.tolist(), counts.tolist()):
+            for distance, weight in NEIGHBOUR_WEIGHTS.items():
+                for victim in (aggressor - distance, aggressor + distance):
+                    if geometry.contains_row(victim):
+                        state.add(victim, weight * count * gain)
+
+    @staticmethod
+    def _refresh_neighbours(
+        state: _BankState, aggressor: int, geometry: DramGeometry
+    ) -> None:
+        for distance in NEIGHBOUR_WEIGHTS:
+            for victim in (aggressor - distance, aggressor + distance):
+                if geometry.contains_row(victim):
+                    state.refresh_row(victim)
+
+    @staticmethod
+    def _periodic_refresh(
+        state: _BankState, interval: int, rows_per_ref: int, refs_per_window: int
+    ) -> None:
+        """Reset rows whose staggered refresh slot is this REF.
+
+        Row r is refreshed when ``interval % refs_per_window`` equals
+        ``r // rows_per_ref``; only tracked victims need checking.
+        """
+        slot = interval % refs_per_window
+        if not state.disturbance:
+            return
+        stale = [
+            row for row in state.disturbance if (row // rows_per_ref) == slot
+        ]
+        for row in stale:
+            state.refresh_row(row)

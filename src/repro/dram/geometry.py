@@ -1,0 +1,48 @@
+"""DRAM geometry: ranks, banks and rows (Table 2's RK/BK/R columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Shape of one DIMM.
+
+    ``rows`` is rows per bank.  ``banks`` is banks per rank (16 on all DDR4
+    devices in the paper).  Total addressable banks = ``ranks * banks``.
+    """
+
+    ranks: int
+    banks: int
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.ranks not in (1, 2):
+            raise SimulationError(f"unsupported rank count {self.ranks}")
+        if self.banks <= 0 or self.banks & (self.banks - 1):
+            raise SimulationError(f"banks must be a power of two, got {self.banks}")
+        if self.rows <= 0 or self.rows & (self.rows - 1):
+            raise SimulationError(f"rows must be a power of two, got {self.rows}")
+
+    @property
+    def total_banks(self) -> int:
+        """Banks addressable by the memory controller across all ranks."""
+        return self.ranks * self.banks
+
+    @property
+    def row_bits(self) -> int:
+        return self.rows.bit_length() - 1
+
+    @property
+    def bank_bits(self) -> int:
+        return self.total_banks.bit_length() - 1
+
+    def contains_row(self, row: int) -> bool:
+        return 0 <= row < self.rows
+
+    def clamp_row(self, row: int) -> int:
+        """Clamp a row index into the device range (used for edge victims)."""
+        return min(max(row, 0), self.rows - 1)

@@ -1,0 +1,118 @@
+"""Research mitigations from the paper's Discussion section.
+
+Section 6 names two academic defence families expected to break the attack:
+
+* **address-mapping scrambling** (Kim et al. 2023): the bank/row mapping is
+  permuted with a boot-time key, so a pattern templated at one location no
+  longer lands on the intended physical rows;
+* **randomized row-swap** (Saileshwar et al. 2022; SHADOW; Scale-SRS):
+  contents of random row pairs are periodically exchanged so aggressor
+  activations stop concentrating on the same victims.
+
+Both are implemented as *row remappers* layered between the attacker's view
+of row indices and the device's physical rows, which is sufficient to
+reproduce the ablation: the TRR-bypassing pattern's aggressor adjacency is
+destroyed and flips collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dram.geometry import DramGeometry
+
+
+class RowRemapper:
+    """Base class: identity remapping (no mitigation)."""
+
+    def remap(self, bank: int, rows: np.ndarray, time_ns: float) -> np.ndarray:
+        return rows
+
+    def describe(self) -> str:
+        return "none"
+
+
+@dataclass
+class ScrambledMapping(RowRemapper):
+    """Boot-time keyed permutation of row indices (per bank).
+
+    Uses a Feistel-style two-round mix of the row index with a per-(boot,
+    bank) key, which is a bijection on the row space — exactly the property
+    a real scrambler needs so normal reads still work.
+    """
+
+    geometry: DramGeometry
+    boot_key: int
+
+    def _keys(self, bank: int) -> tuple[int, int]:
+        base = (self.boot_key * 0x9E3779B1 + bank * 0x85EBCA77) & 0xFFFFFFFF
+        return base & 0xFFFF, (base >> 16) & 0xFFFF
+
+    def remap(self, bank: int, rows: np.ndarray, time_ns: float) -> np.ndarray:
+        bits = self.geometry.row_bits
+        half = bits // 2
+        low_mask = (1 << half) - 1
+        high_mask = (1 << (bits - half)) - 1
+        k1, k2 = self._keys(bank)
+        rows = rows.astype(np.int64, copy=False)
+        left = rows >> half
+        right = rows & low_mask
+        # Two Feistel rounds keep it a bijection regardless of key.
+        left = (left ^ ((right * k1 + 0x3D) & high_mask)) & high_mask
+        right = (right ^ ((left * k2 + 0x7F) & low_mask)) & low_mask
+        return ((left << half) | right).astype(rows.dtype)
+
+    def describe(self) -> str:
+        return f"scramble(key={self.boot_key:#x})"
+
+
+@dataclass
+class RandomizedRowSwap(RowRemapper):
+    """Activation-triggered random row-swap (RRS family).
+
+    Following Saileshwar et al., a row whose activation count since its
+    last swap crosses ``swap_threshold`` is exchanged with a uniformly
+    random partner row.  A hammered aggressor therefore keeps moving away
+    from its victims long before any cell's flip threshold is reached,
+    breaking the spatial correlation Rowhammer needs.
+    """
+
+    geometry: DramGeometry
+    rng: RngStream
+    swap_threshold: int = 800
+    chunk: int = 256
+    _tables: dict[int, np.ndarray] = field(default_factory=dict)
+    _counts: dict[int, dict[int, int]] = field(default_factory=dict)
+    swaps_performed: int = 0
+
+    def _table(self, bank: int) -> np.ndarray:
+        if bank not in self._tables:
+            self._tables[bank] = np.arange(self.geometry.rows, dtype=np.int64)
+            self._counts[bank] = {}
+        return self._tables[bank]
+
+    def remap(self, bank: int, rows: np.ndarray, time_ns: float) -> np.ndarray:
+        table = self._table(bank)
+        counts = self._counts[bank]
+        rng = self.rng.child("swap", bank).generator
+        rows = rows.astype(np.int64, copy=False)
+        out = np.empty_like(rows)
+        for start in range(0, rows.size, self.chunk):
+            part = rows[start:start + self.chunk]
+            out[start:start + part.size] = table[part]
+            uniques, part_counts = np.unique(part, return_counts=True)
+            for row, count in zip(uniques.tolist(), part_counts.tolist()):
+                total = counts.get(row, 0) + count
+                if total >= self.swap_threshold:
+                    partner = int(rng.integers(0, self.geometry.rows))
+                    table[row], table[partner] = table[partner], table[row]
+                    self.swaps_performed += 1
+                    total = 0
+                counts[row] = total
+        return out
+
+    def describe(self) -> str:
+        return f"rrs(threshold={self.swap_threshold})"

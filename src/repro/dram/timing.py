@@ -1,0 +1,61 @@
+"""DDR4 timing parameters used by the simulator.
+
+Values are typical DDR4-3200 numbers; only ratios matter for the
+reproduction (the SBDR side-channel gap, the ACT rate ceiling, and the
+refresh cadence that bounds how many activations fit in one hammer window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MS, NS, US
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """Core DRAM timings, in nanoseconds."""
+
+    t_rcd: float = 13.75 * NS  # ACT -> column access
+    t_rp: float = 13.75 * NS  # PRE -> ACT
+    t_ras: float = 32.0 * NS  # ACT -> PRE minimum
+    t_refi: float = 7.8 * US  # average REF command interval
+    t_rfc: float = 350.0 * NS  # REF execution time
+    refresh_window: float = 64.0 * MS  # every row refreshed once per window
+
+    @property
+    def t_rc(self) -> float:
+        """Row cycle time: minimum interval between ACTs to the same bank."""
+        return self.t_ras + self.t_rp
+
+    @property
+    def refs_per_window(self) -> int:
+        """REF commands per full refresh window (8192 for DDR4)."""
+        return int(round(self.refresh_window / self.t_refi))
+
+    @property
+    def max_acts_per_refi(self) -> int:
+        """Upper bound of same-bank activations between two REF commands."""
+        return int((self.t_refi - self.t_rfc) / self.t_rc)
+
+    @property
+    def max_acts_per_window(self) -> int:
+        """Upper bound of same-bank activations in one refresh window."""
+        return self.max_acts_per_refi * self.refs_per_window
+
+
+#: Latency model for the SBDR side channel (Section 2.1).  A same-bank
+#: different-row pair pays PRE + ACT + column access on every alternation;
+#: row hits and different-bank pairs are served from the open row buffer or
+#: a parallel bank.  Values chosen to reproduce Figure 3's bimodal split
+#: (~nanosecond-scale gap well above measurement noise).
+@dataclass(frozen=True)
+class AccessLatency:
+    """End-to-end (core-visible) DRAM access latencies, in nanoseconds."""
+
+    row_hit: float = 200.0 * NS
+    diff_bank: float = 215.0 * NS
+    row_conflict: float = 330.0 * NS
+    noise_sigma: float = 9.0 * NS
+    outlier_prob: float = 0.01
+    outlier_extra: float = 260.0 * NS  # refresh / scheduling interference

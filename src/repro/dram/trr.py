@@ -1,0 +1,138 @@
+"""Target Row Refresh (TRR) sampler model, plus Intel's pTRR.
+
+Vendors keep TRR designs secret; what TRRespass / Blacksmith established is
+that DDR4 in-DRAM TRR (1) observes only a bounded number of aggressor
+candidates per refresh interval, and (2) issues a small number of targeted
+neighbour refreshes piggybacked on REF commands.  Our model captures
+exactly those two bounds:
+
+* a counter table of ``capacity`` entries; an activation of a row already in
+  the table bumps its counter, an activation of a new row is inserted only
+  while the table has free slots (each ACT is *observed* at all with
+  probability ``sample_prob``).  This "fill-and-shield" behaviour is what
+  non-uniform patterns exploit: high-frequency decoys claim the slots early
+  in each interval so that the true aggressors are never tracked.
+* at each REF, the neighbours of the ``refreshes_per_ref`` highest-count
+  entries are refreshed and those entries are cleared; the whole table is
+  flushed every ``flush_every_refs`` REFs (modelling the periodic sampler
+  reset prior work observed).
+
+pTRR (:class:`PtrrShield`) is the Section 6 mitigation: the memory
+controller itself probabilistically refreshes neighbours of *every*
+activation, which collapses all our attack configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TrrConfig:
+    """Strength knobs for the in-DRAM TRR sampler."""
+
+    capacity: int = 6
+    sample_prob: float = 0.85
+    refreshes_per_ref: int = 2
+    flush_every_refs: int = 2
+
+    def scaled(self, strength: float) -> "TrrConfig":
+        """A proportionally stronger (>1) or weaker (<1) sampler."""
+        return TrrConfig(
+            capacity=max(1, int(round(self.capacity * strength))),
+            sample_prob=min(1.0, self.sample_prob * strength),
+            refreshes_per_ref=max(1, int(round(self.refreshes_per_ref * strength))),
+            flush_every_refs=self.flush_every_refs,
+        )
+
+
+#: Per-vendor sampler profiles, after TRRespass/Blacksmith's observation
+#: that implementations differ widely across manufacturers.  The default
+#: machine build uses the S-vendor profile; the others are opt-in
+#: (`build_machine(trr_config=VENDOR_TRR_PROFILES[...])`) for studying how
+#: pattern effectiveness shifts with sampler design.
+VENDOR_TRR_PROFILES: dict[str, TrrConfig] = {
+    # Counting sampler, moderate capacity (the calibrated default).
+    "S": TrrConfig(capacity=6, sample_prob=0.85, refreshes_per_ref=2,
+                   flush_every_refs=2),
+    # Small table, aggressive per-REF mitigation: strong against few
+    # aggressors, overflowed by many-sided patterns.
+    "H": TrrConfig(capacity=4, sample_prob=0.95, refreshes_per_ref=3,
+                   flush_every_refs=1),
+    # Large table, sparse sampling: hard to overflow, easier to outpace.
+    "M": TrrConfig(capacity=12, sample_prob=0.5, refreshes_per_ref=2,
+                   flush_every_refs=4),
+}
+
+
+@dataclass
+class TrrSampler:
+    """One bank's TRR sampler state."""
+
+    config: TrrConfig
+    rng: RngStream
+    _counts: dict[int, int] = field(default_factory=dict)
+    _refs_since_flush: int = 0
+
+    def observe(self, rows: np.ndarray) -> None:
+        """Feed the activations of one refresh interval, in issue order."""
+        if rows.size == 0:
+            return
+        observed = rows
+        if self.config.sample_prob < 1.0:
+            mask = self.rng.random(rows.size) < self.config.sample_prob
+            observed = rows[mask]
+            if observed.size == 0:
+                return
+        counts = self._counts
+        capacity = self.config.capacity
+        for row in observed.tolist():
+            if row in counts:
+                counts[row] += 1
+            elif len(counts) < capacity:
+                counts[row] = 1
+            # else: table full -> activation escapes the sampler entirely.
+
+    def on_ref(self) -> list[int]:
+        """REF arrived: return aggressor rows whose neighbours get refreshed."""
+        targets: list[int] = []
+        if self._counts:
+            ranked = sorted(self._counts, key=self._counts.get, reverse=True)
+            targets = ranked[: self.config.refreshes_per_ref]
+            for row in targets:
+                del self._counts[row]
+        self._refs_since_flush += 1
+        if self._refs_since_flush >= self.config.flush_every_refs:
+            self._counts.clear()
+            self._refs_since_flush = 0
+        return targets
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._refs_since_flush = 0
+
+
+@dataclass(frozen=True)
+class PtrrShield:
+    """Intel pTRR / BIOS "Rowhammer Prevention" (Section 6 mitigation).
+
+    Models a controller-side probabilistic neighbour refresh: each ACT
+    triggers a neighbour refresh with probability ``para_prob``.  At the
+    activation counts Rowhammer needs (tens of thousands per window) even a
+    small probability statistically guarantees victim refreshes long before
+    any threshold is reached, which is why enabling the BIOS option
+    eliminated nearly all flips in the paper.
+    """
+
+    enabled: bool = False
+    para_prob: float = 0.01
+
+    def refresh_mask(self, n_acts: int, rng: RngStream) -> np.ndarray:
+        """Boolean mask of ACTs that trigger a pTRR neighbour refresh."""
+        if not self.enabled or n_acts == 0:
+            return np.zeros(n_acts, dtype=bool)
+        return rng.random(n_acts) < self.para_prob

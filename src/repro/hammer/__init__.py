@@ -1,0 +1,39 @@
+"""Hammering: kernels, multi-bank distribution, counter-speculation tuning.
+
+``HammerSession`` executes one non-uniform pattern at one physical location
+through the full pipeline (CPU speculation model -> memory controller ->
+DRAM/TRR -> bit flips).  The surrounding modules implement the paper's
+three techniques: prefetch primitives (Section 4.2), multi-bank
+distribution (4.3), and NOP pseudo-barrier tuning with control-flow
+obfuscation (4.4).
+"""
+
+from repro.hammer.barriers import BarrierComparison, compare_barriers
+from repro.hammer.codegen import emit_asm, emit_cpp, instruction_estimate
+from repro.hammer.multibank import multibank_addresses
+from repro.hammer.multithread import MultiThreadSession, ThreadPolicy
+from repro.hammer.nops import NopTuningResult, tune_nop_count
+from repro.hammer.session import HammerSession, PatternOutcome
+from repro.cpu.isa import (
+    baseline_load_config,
+    HammerKernelConfig,
+    rhohammer_config,
+)
+
+__all__ = [
+    "BarrierComparison",
+    "HammerKernelConfig",
+    "HammerSession",
+    "MultiThreadSession",
+    "ThreadPolicy",
+    "NopTuningResult",
+    "PatternOutcome",
+    "baseline_load_config",
+    "compare_barriers",
+    "emit_asm",
+    "emit_cpp",
+    "instruction_estimate",
+    "multibank_addresses",
+    "rhohammer_config",
+    "tune_nop_count",
+]

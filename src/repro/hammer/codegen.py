@@ -1,0 +1,142 @@
+"""Kernel code generation: the real-hardware source a config describes.
+
+The simulator models hammer kernels abstractly; this module renders the
+concrete artefacts an attacker would compile on real hardware — the
+C++ hammering primitive of the paper's Listing 1 and its AsmJit-style
+unrolled assembly variant — from a :class:`HammerKernelConfig` and a
+pattern.  Emitting real source serves two purposes: it documents exactly
+what each configuration knob means at the instruction level, and it lets
+the test suite assert structural properties (barrier placement, NOP runs,
+obfuscation skeleton) against the same artefact a hardware study would
+run.  Nothing here executes; the output is text.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import AddressingMode, Barrier, HammerKernelConfig
+from repro.patterns.frequency import NonUniformPattern
+
+_BARRIER_ASM = {
+    Barrier.NONE: None,
+    Barrier.LFENCE: "lfence",
+    Barrier.MFENCE: "mfence",
+    Barrier.CPUID: "cpuid",
+}
+
+
+def _hammer_mnemonic(config: HammerKernelConfig) -> str:
+    if config.instruction.is_prefetch:
+        return config.instruction.value
+    return "mov rax,"
+
+
+def emit_cpp(config: HammerKernelConfig, pattern: NonUniformPattern) -> str:
+    """The Listing-1-style C++ primitive for this configuration."""
+    lines = [
+        "// Auto-generated rhoHammer kernel (C++ / indexed addressing)",
+        f"// kernel: {config.describe()}",
+        f"// pattern: {pattern.describe()}",
+        "#include <immintrin.h>",
+        "#include <cstdint>",
+        "",
+        "void hammer(volatile char** aggr_row_addrs, int num_of_act) {",
+    ]
+    indent = "  "
+    if config.obfuscate_control_flow:
+        lines += [
+            indent + "// counter-speculation: entropy-selected dispatch",
+            indent + "unsigned long long entropy;",
+        ]
+    lines.append(indent + "for (int idx = 0; idx < num_of_act; idx++) {")
+    body = indent * 2
+    if config.obfuscate_control_flow:
+        lines += [
+            body + "_rdrand64_step(&entropy);",
+            body + "switch ((entropy ^ __rdtsc()) & 7) {  // BTB/PHT thrash",
+            body + "  default: break;",
+            body + "}",
+        ]
+    if config.instruction.is_prefetch:
+        hint = config.instruction.value.replace("prefetch", "_MM_HINT_").upper()
+        lines.append(
+            body + f"_mm_prefetch((const char*)aggr_row_addrs[idx], "
+            f"{hint});"
+        )
+    else:
+        lines.append(body + "(void)*aggr_row_addrs[idx];")
+    lines.append(body + "_mm_clflushopt((void*)aggr_row_addrs[idx]);")
+    if config.barrier is Barrier.LFENCE:
+        lines.append(body + "_mm_lfence();")
+    elif config.barrier is Barrier.MFENCE:
+        lines.append(body + "_mm_mfence();")
+    elif config.barrier is Barrier.CPUID:
+        lines.append(body + 'asm volatile("cpuid" ::: '
+                            '"rax", "rbx", "rcx", "rdx", "memory");')
+    if config.nop_count:
+        lines.append(
+            body + f'asm volatile(".rept {config.nop_count}\\n\\tnop\\n\\t'
+            '.endr");  // ROB-occupancy pseudo-barrier'
+        )
+    lines += [indent + "}", "}", ""]
+    return "\n".join(lines)
+
+
+def emit_asm(
+    config: HammerKernelConfig,
+    pattern: NonUniformPattern,
+    base_address: int = 0x2000_0000,
+    unroll_slots: int | None = None,
+) -> str:
+    """The AsmJit-style unrolled assembly variant (immediate addresses).
+
+    Each pattern slot becomes a hammer + flush (+ barrier/NOP) group with
+    the aggressor's address as an immediate — the structure whose missing
+    dependency chain Section 4.2 identifies as the source of aggressive
+    reordering.
+    """
+    if config.addressing is not AddressingMode.IMMEDIATE:
+        raise ValueError("unrolled assembly implies immediate addressing")
+    slots = pattern.slots.tolist()
+    if unroll_slots is not None:
+        slots = slots[:unroll_slots]
+    offsets = pattern.aggressor_row_offsets()
+    lines = [
+        "; Auto-generated rhoHammer kernel (unrolled, immediate addressing)",
+        f"; kernel: {config.describe()}",
+        f"; {len(slots)} slots per iteration",
+        "hammer_loop:",
+    ]
+    mnemonic = _hammer_mnemonic(config)
+    barrier = _BARRIER_ASM[config.barrier]
+    for index, agg in enumerate(slots):
+        address = base_address + int(offsets[agg]) * 0x2000
+        lines.append(f"  ; slot {index}: aggressor {agg}")
+        if config.instruction.is_prefetch:
+            lines.append(f"  {mnemonic} byte ptr [{address:#x}]")
+        else:
+            lines.append(f"  {mnemonic} qword ptr [{address:#x}]")
+        lines.append(f"  clflushopt byte ptr [{address:#x}]")
+        if barrier:
+            lines.append(f"  {barrier}")
+        if config.nop_count:
+            lines.append(f"  .rept {config.nop_count}")
+            lines.append("  nop")
+            lines.append("  .endr")
+    lines += ["  dec rcx", "  jnz hammer_loop", "  ret", ""]
+    return "\n".join(lines)
+
+
+def instruction_estimate(
+    config: HammerKernelConfig, pattern: NonUniformPattern
+) -> dict[str, int]:
+    """Static per-iteration instruction counts of the generated kernel."""
+    slots = pattern.base_period
+    counts = {
+        "hammer": slots,
+        "clflushopt": slots,
+        "nop": slots * config.nop_count,
+        "barrier": 0 if config.barrier is Barrier.NONE else slots,
+        "obfuscation": 4 * slots if config.obfuscate_control_flow else 0,
+    }
+    counts["total"] = sum(v for k, v in counts.items() if k != "total")
+    return counts

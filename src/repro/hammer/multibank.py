@@ -1,0 +1,54 @@
+"""Multi-bank aggressor placement (Section 4.3, after SledgeHammer).
+
+Each abstract aggressor of a pattern is materialised once per target bank:
+the same row offsets, replicated across ``num_banks`` banks, accessed
+bank-interleaved.  This multiplies aggregate activation throughput by the
+bank-level parallelism and — as the paper observes — stretches the
+same-line flush->prefetch spacing, alleviating speculative drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import MappingError, SimulationError
+from repro.mapping.functions import AddressMapping
+
+
+def multibank_addresses(
+    mapping: AddressMapping,
+    row_offsets: np.ndarray,
+    base_row: int,
+    banks: list[int],
+) -> np.ndarray:
+    """Physical address table of shape (num_aggressors, num_banks).
+
+    Entry (i, j) is the physical address of aggressor i in bank j at
+    absolute row ``base_row + row_offsets[i]``.
+    """
+    if not banks:
+        raise SimulationError("need at least one target bank")
+    rows = [int(base_row + off) for off in row_offsets.tolist()]
+    for row in rows:
+        if not 0 <= row < mapping.num_rows:
+            raise MappingError(f"absolute row {row} outside device range")
+    table = np.empty((len(rows), len(banks)), dtype=np.uint64)
+    for j, bank in enumerate(banks):
+        addrs = mapping.addresses_in_bank(bank, rows)
+        table[:, j] = np.array(addrs, dtype=np.uint64)
+    return table
+
+
+def interleave_stream(
+    slot_ids: np.ndarray, num_banks: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a per-slot aggressor-id stream into a bank-interleaved stream.
+
+    Returns (flat_ids, flat_banks): for each pattern slot, ``num_banks``
+    consecutive accesses hit the same aggressor row in each bank in turn —
+    the SledgeHammer interleave that keeps all banks' row cycles busy.
+    """
+    n = slot_ids.size
+    flat_ids = np.repeat(slot_ids, num_banks)
+    flat_banks = np.tile(np.arange(num_banks, dtype=np.int64), n)
+    return flat_ids, flat_banks

@@ -1,0 +1,119 @@
+"""One hammer session: pattern x location x kernel -> bit flips.
+
+The composition point of the whole simulator.  For each trial:
+
+1. the pattern's slot stream is expanded over the requested activation
+   budget and bank interleave (``multibank``),
+2. the CPU executor applies speculation (drops + reordering) and assigns
+   issue timestamps (``cpu.executor``),
+3. surviving accesses are translated and run against the DIMM's TRR and
+   cell models (``memctrl`` / ``dram``), yielding flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.isa import HammerKernelConfig
+from repro.dram.cells import FlipEvent
+from repro.hammer.multibank import interleave_stream, multibank_addresses
+from repro.patterns.frequency import NonUniformPattern
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True)
+class PatternOutcome:
+    """Result of hammering one pattern at one physical location."""
+
+    flips: tuple[FlipEvent, ...]
+    flip_count: int
+    cache_miss_rate: float
+    duration_ns: float
+    acts_issued: int
+    acts_executed: int
+    disorder_window: float
+
+    @property
+    def activation_rate_per_sec(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.acts_executed / (self.duration_ns * 1e-9)
+
+
+@dataclass
+class HammerSession:
+    """Executes patterns on one machine with one kernel configuration.
+
+    ``disturbance_gain`` carries the simulation scale: a campaign running
+    1/N of the paper's per-pattern activations sets it to N so each
+    simulated ACT deposits N activations' worth of disturbance.
+    """
+
+    machine: Machine
+    config: HammerKernelConfig
+    default_banks: tuple[int, ...] = (0,)
+    disturbance_gain: float = 1.0
+    #: Every trial is stretched to cover at least this many refresh
+    #: windows of simulated time, so slow and fast kernels see the same
+    #: accumulation horizon (a fixed activation count would hand slower
+    #: kernels more windows and bias comparisons).
+    min_refresh_windows: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.config.num_banks != len(self.default_banks):
+            self.default_banks = tuple(range(self.config.num_banks))
+
+    # ------------------------------------------------------------------
+    def run_pattern(
+        self,
+        pattern: NonUniformPattern,
+        base_row: int,
+        activations: int,
+        banks: tuple[int, ...] | None = None,
+        collect_events: bool = False,
+    ) -> PatternOutcome:
+        """Hammer ``pattern`` at ``base_row`` for ~``activations`` accesses."""
+        target_banks = list(banks if banks is not None else self.default_banks)
+        est_cost = self.machine.executor.throughput.iteration_cost(
+            self.config, miss_rate=0.7
+        ).total_ns
+        window_ns = self.machine.dimm.timing.refresh_window
+        needed = int(self.min_refresh_windows * window_ns / est_cost)
+        activations = max(activations, needed)
+        iterations = max(
+            1, activations // (pattern.base_period * len(target_banks))
+        )
+        slot_ids = pattern.intended_stream(iterations)
+        flat_ids, flat_banks = interleave_stream(slot_ids, len(target_banks))
+        # Combined id: aggressor id x bank lane, so the executor's revisit
+        # distances see each (row, bank) line as a distinct cache line.
+        n_banks = len(target_banks)
+        combined = flat_ids.astype(np.int64) * n_banks + flat_banks
+
+        execution = self.machine.executor.execute(combined, self.config)
+
+        addr_table = multibank_addresses(
+            self.machine.mapping,
+            pattern.aggressor_row_offsets(),
+            base_row,
+            target_banks,
+        )
+        flat_addrs = addr_table.reshape(-1)  # index = agg_id * n_banks + lane
+        phys = flat_addrs[execution.address_ids]
+        result = self.machine.controller.execute_acts(
+            execution.times_ns,
+            phys,
+            collect_events=collect_events,
+            disturbance_gain=self.disturbance_gain,
+        )
+        return PatternOutcome(
+            flips=result.flips,
+            flip_count=result.flip_count,
+            cache_miss_rate=execution.miss_rate,
+            duration_ns=execution.duration_ns,
+            acts_issued=execution.issued,
+            acts_executed=execution.survivors,
+            disorder_window=execution.window,
+        )

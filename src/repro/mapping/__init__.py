@@ -1,0 +1,26 @@
+"""Physical-address -> DRAM-geometry address mappings.
+
+A mapping is a set of linear XOR *bank functions* plus a contiguous range of
+*row bits* (column bits fill the remainder; Rowhammer only needs row
+granularity, so columns are tracked only to keep the address algebra exact).
+This is the proprietary memory-controller information the paper's
+reverse-engineering algorithm recovers.
+"""
+
+from repro.mapping.functions import AddressMapping, BankFunction, DramAddress
+from repro.mapping.presets import (
+    MAPPING_PRESETS,
+    MappingKey,
+    mapping_for,
+    preset_keys,
+)
+
+__all__ = [
+    "AddressMapping",
+    "BankFunction",
+    "DramAddress",
+    "MAPPING_PRESETS",
+    "MappingKey",
+    "mapping_for",
+    "preset_keys",
+]

@@ -1,0 +1,267 @@
+"""Linear XOR address-mapping functions.
+
+The memory controller computes each bank-index bit as the XOR of a fixed set
+of physical-address bits (a :class:`BankFunction`), and takes the row index
+from a contiguous physical bit range.  This module implements the forward
+translation and the inverse operations the attack needs (same-bank
+neighbouring rows, addresses for a given bank/row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import MappingError
+
+
+@dataclass(frozen=True, order=True)
+class BankFunction:
+    """One bank-index bit: XOR of the given physical-address bit positions."""
+
+    bits: tuple[int, ...]
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        ordered = tuple(sorted(set(int(b) for b in bits)))
+        if not ordered:
+            raise MappingError("a bank function needs at least one bit")
+        if any(b < 0 for b in ordered):
+            raise MappingError(f"negative bit position in {ordered}")
+        object.__setattr__(self, "bits", ordered)
+
+    @property
+    def mask(self) -> int:
+        """Bitmask with ones at every participating physical bit."""
+        value = 0
+        for bit in self.bits:
+            value |= 1 << bit
+        return value
+
+    def evaluate(self, phys_addr: int) -> int:
+        """XOR-reduce the function's bits of ``phys_addr`` to 0 or 1."""
+        return bin(phys_addr & self.mask).count("1") & 1
+
+    def evaluate_many(self, phys_addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`evaluate` over a uint64 array."""
+        acc = np.zeros(phys_addrs.shape, dtype=np.uint64)
+        for bit in self.bits:
+            acc ^= (phys_addrs >> np.uint64(bit)) & np.uint64(1)
+        return acc
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(b) for b in self.bits) + ")"
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Geographic DRAM coordinates of one physical address."""
+
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """A complete physical->DRAM translation scheme.
+
+    ``bank_functions`` are ordered; function *i* produces bank-index bit *i*.
+    ``row_bits`` is the inclusive physical bit range [low, high] that forms
+    the row index (low-order row bit first).
+    """
+
+    bank_functions: tuple[BankFunction, ...]
+    row_bits: tuple[int, int]
+    phys_bits: int = 34
+    name: str = field(default="unnamed", compare=False)
+
+    def __post_init__(self) -> None:
+        low, high = self.row_bits
+        if low > high:
+            raise MappingError(f"row bit range reversed: {self.row_bits}")
+        if high >= self.phys_bits:
+            raise MappingError(
+                f"row bits {self.row_bits} exceed {self.phys_bits} physical bits"
+            )
+        if not self.bank_functions:
+            raise MappingError("mapping needs at least one bank function")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_banks(self) -> int:
+        """Total number of addressable banks (2 ** #functions)."""
+        return 1 << len(self.bank_functions)
+
+    @property
+    def row_bit_positions(self) -> tuple[int, ...]:
+        low, high = self.row_bits
+        return tuple(range(low, high + 1))
+
+    @property
+    def num_rows(self) -> int:
+        low, high = self.row_bits
+        return 1 << (high - low + 1)
+
+    @property
+    def bank_bit_positions(self) -> tuple[int, ...]:
+        """All physical bits participating in any bank function, sorted."""
+        bits: set[int] = set()
+        for func in self.bank_functions:
+            bits.update(func.bits)
+        return tuple(sorted(bits))
+
+    @property
+    def pure_row_bits(self) -> tuple[int, ...]:
+        """Row bits that do not participate in any bank function.
+
+        Traditional mappings (Comet/Rocket Lake) have many; the paper's key
+        observation is that Alder/Raptor Lake mappings have none, which
+        breaks DRAMDig-style heuristics.
+        """
+        bank_bits = set(self.bank_bit_positions)
+        return tuple(b for b in self.row_bit_positions if b not in bank_bits)
+
+    # ------------------------------------------------------------------
+    # Forward translation
+    # ------------------------------------------------------------------
+    def bank_of(self, phys_addr: int) -> int:
+        """Bank index of a physical address."""
+        index = 0
+        for i, func in enumerate(self.bank_functions):
+            index |= func.evaluate(phys_addr) << i
+        return index
+
+    def row_of(self, phys_addr: int) -> int:
+        """Row index of a physical address."""
+        low, high = self.row_bits
+        width = high - low + 1
+        return (phys_addr >> low) & ((1 << width) - 1)
+
+    def column_of(self, phys_addr: int) -> int:
+        """Column index: the physical bits below the row range."""
+        low, _ = self.row_bits
+        return phys_addr & ((1 << low) - 1)
+
+    def translate(self, phys_addr: int) -> DramAddress:
+        """Full physical -> (bank, row, column) translation."""
+        return DramAddress(
+            bank=self.bank_of(phys_addr),
+            row=self.row_of(phys_addr),
+            column=self.column_of(phys_addr),
+        )
+
+    def bank_of_many(self, phys_addrs: np.ndarray) -> np.ndarray:
+        """Vectorised bank index for a uint64 address array."""
+        addrs = phys_addrs.astype(np.uint64, copy=False)
+        index = np.zeros(addrs.shape, dtype=np.uint64)
+        for i, func in enumerate(self.bank_functions):
+            index |= func.evaluate_many(addrs) << np.uint64(i)
+        return index
+
+    def row_of_many(self, phys_addrs: np.ndarray) -> np.ndarray:
+        """Vectorised row index for a uint64 address array."""
+        addrs = phys_addrs.astype(np.uint64, copy=False)
+        low, high = self.row_bits
+        width = high - low + 1
+        mask = np.uint64((1 << width) - 1)
+        return (addrs >> np.uint64(low)) & mask
+
+    # ------------------------------------------------------------------
+    # Inverse operations used by the attack
+    # ------------------------------------------------------------------
+    def same_bank(self, addr_a: int, addr_b: int) -> bool:
+        return self.bank_of(addr_a) == self.bank_of(addr_b)
+
+    def is_sbdr(self, addr_a: int, addr_b: int) -> bool:
+        """Same bank, different row: the slow-timing side-channel condition."""
+        return self.same_bank(addr_a, addr_b) and self.row_of(addr_a) != self.row_of(addr_b)
+
+    def neighbour_row_address(self, phys_addr: int, row_delta: int) -> int:
+        """Physical address in the *same bank* whose row differs by ``row_delta``.
+
+        Moving the row bits generally perturbs bank functions that overlap
+        the row range, so after adding the delta we repair the bank index by
+        flipping, for each disturbed function, one of its bits *below* the
+        row range (a column bit).  Mappings where some function has no
+        sub-row bit cannot be repaired this way for every address; the paper
+        sidesteps this by always picking aggressors from a same-bank pool,
+        and we raise if repair is impossible.
+        """
+        low, high = self.row_bits
+        width = high - low + 1
+        row = self.row_of(phys_addr)
+        new_row = row + row_delta
+        if not 0 <= new_row < (1 << width):
+            raise MappingError(
+                f"row {row} + {row_delta} outside the device's row range"
+            )
+        cleared = phys_addr & ~(((1 << width) - 1) << low)
+        candidate = cleared | (new_row << low)
+        target_bank = self.bank_of(phys_addr)
+        for func in self.bank_functions:
+            if func.evaluate(candidate) == _bank_bit(target_bank, self.bank_functions.index(func)):
+                continue
+            repair_bit = self._repair_bit(func)
+            candidate ^= 1 << repair_bit
+        if self.bank_of(candidate) != target_bank:
+            raise MappingError("could not repair bank index after row move")
+        return candidate
+
+    def _repair_bit(self, func: BankFunction) -> int:
+        low, _ = self.row_bits
+        for bit in func.bits:
+            if bit < low:
+                return bit
+        raise MappingError(
+            f"bank function {func} has no sub-row bit available for repair"
+        )
+
+    def addresses_in_bank(
+        self, bank: int, rows: Sequence[int], column: int = 0
+    ) -> list[int]:
+        """Construct one physical address per requested (bank, row) pair.
+
+        Used by tests and the hammer session to place aggressors exactly.
+        Strategy: start from row<<low | column, then flip sub-row repair
+        bits until every bank function matches ``bank``.
+        """
+        low, _ = self.row_bits
+        result = []
+        for row in rows:
+            if not 0 <= row < self.num_rows:
+                raise MappingError(f"row {row} out of range")
+            addr = (row << low) | column
+            for i, func in enumerate(self.bank_functions):
+                want = _bank_bit(bank, i)
+                if func.evaluate(addr) != want:
+                    addr ^= 1 << self._repair_bit(func)
+            if self.bank_of(addr) != bank or self.row_of(addr) != row:
+                raise MappingError(
+                    f"could not construct address for bank={bank} row={row}"
+                )
+            result.append(addr)
+        return result
+
+    # ------------------------------------------------------------------
+    # Canonical form, used to compare recovered vs ground-truth mappings
+    # ------------------------------------------------------------------
+    def canonical_functions(self) -> tuple[tuple[int, ...], ...]:
+        """Bank functions as a sorted tuple of bit tuples.
+
+        Function order carries no physical meaning (it only permutes bank
+        labels), so equality of recovered mappings is tested on this form.
+        """
+        return tuple(sorted(func.bits for func in self.bank_functions))
+
+    def describe(self) -> str:
+        funcs = ", ".join(str(f) for f in self.bank_functions)
+        low, high = self.row_bits
+        return f"Bank Func: {funcs}; Row: {low}-{high}"
+
+
+def _bank_bit(bank_index: int, position: int) -> int:
+    return (bank_index >> position) & 1

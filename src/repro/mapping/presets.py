@@ -1,0 +1,144 @@
+"""Ground-truth DRAM address mappings from Table 4 of the paper.
+
+Table 4 reports the reverse-engineered mapping for each of the four Intel
+architectures under three single-channel DRAM geometries.  Comet and Rocket
+Lake share the traditional scheme (with pure row bits); Alder and Raptor
+Lake share the newer scheme (wide, row-overlapping bank functions and a
+low-order (9, 11, 13) function — no pure row bits at all).
+
+These presets serve two roles: the memory-controller model uses them as the
+proprietary mapping to *simulate*, and the reverse-engineering benchmarks
+use them as ground truth to score recovery accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.common.errors import MappingError
+from repro.mapping.functions import AddressMapping, BankFunction
+
+
+class MappingKey(NamedTuple):
+    """Identifies one cell of Table 4."""
+
+    scheme: str  # "comet_rocket" or "alder_raptor"
+    size_gib: int  # 8, 16 or 32
+
+
+def _mapping(name: str, funcs: list[tuple[int, ...]], row: tuple[int, int],
+             phys_bits: int) -> AddressMapping:
+    return AddressMapping(
+        bank_functions=tuple(BankFunction(f) for f in funcs),
+        row_bits=row,
+        phys_bits=phys_bits,
+        name=name,
+    )
+
+
+# Physical address width: 8 GiB -> 33 bits, 16 GiB -> 34, 32 GiB -> 35.
+MAPPING_PRESETS: dict[MappingKey, AddressMapping] = {
+    # ----- Comet / Rocket Lake (traditional scheme) -----
+    MappingKey("comet_rocket", 8): _mapping(
+        "comet_rocket-8g",
+        [(16, 19), (15, 18), (14, 17), (6, 13)],
+        (17, 32),
+        33,
+    ),
+    MappingKey("comet_rocket", 16): _mapping(
+        "comet_rocket-16g",
+        [(17, 21), (16, 20), (15, 19), (14, 18), (6, 13)],
+        (18, 33),
+        34,
+    ),
+    MappingKey("comet_rocket", 32): _mapping(
+        "comet_rocket-32g",
+        [(17, 21), (16, 20), (15, 19), (14, 18), (6, 13)],
+        (18, 34),
+        35,
+    ),
+    # ----- Alder / Raptor Lake (new scheme, no pure row bits) -----
+    MappingKey("alder_raptor", 8): _mapping(
+        "alder_raptor-8g",
+        [
+            (14, 17, 21, 26, 29, 32),
+            (15, 18, 20, 23, 24, 27, 30),
+            (16, 19, 22, 25, 28, 31),
+            (9, 11, 13),
+        ],
+        (17, 32),
+        33,
+    ),
+    MappingKey("alder_raptor", 16): _mapping(
+        "alder_raptor-16g",
+        [
+            (14, 18, 26, 29, 32),
+            (16, 20, 23, 24, 27, 30, 33),
+            (17, 21, 22, 25, 28, 31),
+            (15, 19),
+            (9, 11, 13),
+        ],
+        (18, 33),
+        34,
+    ),
+    MappingKey("alder_raptor", 32): _mapping(
+        "alder_raptor-32g",
+        [
+            (14, 18, 26, 29, 32),
+            (16, 20, 23, 24, 27, 30, 33),
+            (17, 21, 22, 25, 28, 31, 34),
+            (15, 19),
+            (9, 11, 13),
+        ],
+        (18, 34),
+        35,
+    ),
+}
+
+
+#: DDR5 extension (Section 6): the Alder/Raptor DDR5 scheme adds a
+#: sub-channel function on top of the DDR4-style bank functions.  The
+#: sub-channel behaves like one more bank-level split for Rowhammer
+#: purposes (it changes the geographic location an address maps to).
+MAPPING_PRESETS[MappingKey("ddr5_alder_raptor", 16)] = _mapping(
+    "ddr5_alder_raptor-16g",
+    [
+        (14, 18, 26, 29, 32),
+        (16, 20, 23, 24, 27, 30, 33),
+        (17, 21, 22, 25, 28, 31),
+        (15, 19),
+        (9, 11, 13),
+        (8, 12),  # sub-channel select
+    ],
+    (18, 33),
+    34,
+)
+
+
+_SCHEME_BY_ARCH = {
+    "comet_lake": "comet_rocket",
+    "rocket_lake": "comet_rocket",
+    "alder_lake": "alder_raptor",
+    "raptor_lake": "alder_raptor",
+}
+
+
+def mapping_for(arch: str, size_gib: int) -> AddressMapping:
+    """Look up the Table 4 mapping for an architecture and DIMM size.
+
+    ``arch`` accepts either a scheme name ("comet_rocket") or an
+    architecture name ("raptor_lake").
+    """
+    scheme = _SCHEME_BY_ARCH.get(arch, arch)
+    key = MappingKey(scheme, size_gib)
+    if key not in MAPPING_PRESETS:
+        known = sorted({k.size_gib for k in MAPPING_PRESETS})
+        raise MappingError(
+            f"no preset for arch={arch!r} size={size_gib} GiB (sizes: {known})"
+        )
+    return MAPPING_PRESETS[key]
+
+
+def preset_keys() -> list[MappingKey]:
+    """All Table 4 cells, in a stable order."""
+    return sorted(MAPPING_PRESETS, key=lambda k: (k.scheme, k.size_gib))

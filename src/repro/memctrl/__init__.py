@@ -1,0 +1,14 @@
+"""Memory-controller model: address translation and the SBDR side channel."""
+
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.scheduler import Command, CommandKind, CommandScheduler
+from repro.memctrl.sidechannel import AccessKind, PairTimer
+
+__all__ = [
+    "AccessKind",
+    "Command",
+    "CommandKind",
+    "CommandScheduler",
+    "MemoryController",
+    "PairTimer",
+]

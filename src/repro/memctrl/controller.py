@@ -1,0 +1,85 @@
+"""Memory controller: physical address translation plus DRAM dispatch.
+
+The controller owns the (CPU-specific, proprietary) address mapping.  The
+rest of the system only ever hands it physical addresses; attackers on top
+of the simulator must *recover* the mapping through timing, exactly as on
+real hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.dram.device import Dimm, HammerResult
+from repro.dram.mitigations import RowRemapper
+from repro.mapping.functions import AddressMapping, DramAddress
+
+
+class MemoryController:
+    """Single-channel memory controller in front of one DIMM."""
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        dimm: Dimm,
+        remapper: RowRemapper | None = None,
+    ) -> None:
+        if mapping.num_banks != dimm.spec.geometry.total_banks:
+            raise SimulationError(
+                f"mapping addresses {mapping.num_banks} banks but DIMM has "
+                f"{dimm.spec.geometry.total_banks}"
+            )
+        self.mapping = mapping
+        self.dimm = dimm
+        self.remapper = remapper or RowRemapper()
+
+    # ------------------------------------------------------------------
+    # Translation (the attacker never calls these; the side channel and
+    # the hammer executor do).
+    # ------------------------------------------------------------------
+    def translate(self, phys_addr: int) -> DramAddress:
+        return self.mapping.translate(phys_addr)
+
+    def banks_of(self, phys_addrs: np.ndarray) -> np.ndarray:
+        return self.mapping.bank_of_many(phys_addrs)
+
+    def rows_of(self, phys_addrs: np.ndarray) -> np.ndarray:
+        return self.mapping.row_of_many(phys_addrs)
+
+    # ------------------------------------------------------------------
+    # Hammer dispatch
+    # ------------------------------------------------------------------
+    def execute_acts(
+        self,
+        times: np.ndarray,
+        phys_addrs: np.ndarray,
+        collect_events: bool = True,
+        disturbance_gain: float = 1.0,
+    ) -> HammerResult:
+        """Run a timestamped activation stream against the DIMM.
+
+        The stream is in *memory-controller arrival order*; we split it per
+        bank (banks operate independently) and apply any mitigation row
+        remapping before the device sees it.
+        """
+        if times.shape != phys_addrs.shape:
+            raise SimulationError("times and addresses must align")
+        addrs = phys_addrs.astype(np.uint64, copy=False)
+        banks = self.mapping.bank_of_many(addrs).astype(np.int64)
+        rows = self.mapping.row_of_many(addrs).astype(np.int64)
+        streams: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for bank in np.unique(banks).tolist():
+            mask = banks == bank
+            bank_times = times[mask]
+            bank_rows = rows[mask]
+            if self.remapper is not None and bank_times.size:
+                bank_rows = self.remapper.remap(
+                    bank, bank_rows, float(bank_times[-1])
+                )
+            streams[int(bank)] = (bank_times, bank_rows)
+        return self.dimm.hammer(
+            streams,
+            collect_events=collect_events,
+            disturbance_gain=disturbance_gain,
+        )

@@ -1,0 +1,130 @@
+"""Command-level DRAM scheduling model.
+
+The rest of the simulator works at access granularity with calibrated
+latency constants.  This module provides the command-level ground truth
+those constants stand in for: given a sequence of (bank, row) accesses it
+derives the ACT/RD/PRE command trace under the JEDEC timing constraints
+(tRCD, tRP, tRAS, tRRD, tFAW, tREFI/tRFC) with an open-page policy, and
+reports per-access completion latencies.
+
+It is used to validate the faster models (the SBDR latency gap, the bank
+and channel activation bounds) and is available to users who want to study
+command-level behaviour directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dram.timing import DdrTiming
+
+#: Same-bank-group ACT-to-ACT minimum (tRRD_L) and the four-activate
+#: window (tFAW), DDR4-3200 flavoured.
+T_RRD = 4.9
+T_FAW = 21.0
+#: Column access + data burst time (CL + tBURST), core-visible part.
+T_CAS = 18.0
+
+
+class CommandKind(Enum):
+    ACT = "ACT"
+    RD = "RD"
+    PRE = "PRE"
+    REF = "REF"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One scheduled DRAM command."""
+
+    kind: CommandKind
+    bank: int
+    row: int
+    issue_ns: float
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    last_act_ns: float = -1e18
+    last_pre_ns: float = -1e18
+
+
+@dataclass
+class CommandScheduler:
+    """Open-page command scheduler over one rank."""
+
+    timing: DdrTiming = field(default_factory=DdrTiming)
+    _banks: dict[int, _BankState] = field(default_factory=dict)
+    _recent_acts: deque = field(default_factory=lambda: deque(maxlen=4))
+    _clock_ns: float = 0.0
+    commands: list[Command] = field(default_factory=list)
+
+    def _bank(self, bank: int) -> _BankState:
+        return self._banks.setdefault(bank, _BankState())
+
+    def _issue(self, kind: CommandKind, bank: int, row: int, at: float) -> float:
+        self.commands.append(Command(kind=kind, bank=bank, row=row, issue_ns=at))
+        return at
+
+    def _next_act_slot(self, earliest: float) -> float:
+        """Respect tRRD between ACTs and the four-activate window."""
+        at = earliest
+        if self._recent_acts:
+            at = max(at, self._recent_acts[-1] + T_RRD)
+            if len(self._recent_acts) == 4:
+                at = max(at, self._recent_acts[0] + T_FAW)
+        return at
+
+    def access(self, bank: int, row: int) -> float:
+        """Schedule one read access; returns its completion latency in ns.
+
+        Row hit: RD only.  Row miss with a row open: PRE + ACT + RD.
+        Bank idle: ACT + RD.
+        """
+        timing = self.timing
+        state = self._bank(bank)
+        start = self._clock_ns
+        ready = start
+
+        if state.open_row == row:
+            pass  # row buffer hit
+        else:
+            if state.open_row is not None:
+                pre_at = max(ready, state.last_act_ns + timing.t_ras)
+                self._issue(CommandKind.PRE, bank, state.open_row, pre_at)
+                state.last_pre_ns = pre_at
+                ready = pre_at + timing.t_rp
+            act_at = self._next_act_slot(max(ready, state.last_pre_ns + timing.t_rp))
+            self._issue(CommandKind.ACT, bank, row, act_at)
+            self._recent_acts.append(act_at)
+            state.last_act_ns = act_at
+            state.open_row = row
+            ready = act_at + timing.t_rcd
+        rd_at = ready
+        self._issue(CommandKind.RD, bank, row, rd_at)
+        done = rd_at + T_CAS
+        self._clock_ns = done
+        return done - start
+
+    def refresh(self) -> None:
+        """Issue a REF: all banks precharged, tRFC busy time."""
+        at = self._clock_ns
+        self._issue(CommandKind.REF, -1, -1, at)
+        for state in self._banks.values():
+            state.open_row = None
+        self._clock_ns = at + self.timing.t_rfc
+
+    # ------------------------------------------------------------------
+    def run(self, accesses: list[tuple[int, int]]) -> list[float]:
+        """Schedule a whole access sequence; returns per-access latencies."""
+        return [self.access(bank, row) for bank, row in accesses]
+
+    def activation_count(self) -> int:
+        return sum(1 for c in self.commands if c.kind is CommandKind.ACT)
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self._clock_ns

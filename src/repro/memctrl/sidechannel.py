@@ -1,0 +1,86 @@
+"""The SBDR (same-bank, different-row) timing side channel.
+
+Accessing two DRAM addresses alternately is slow iff they map to the same
+bank but different rows, because each access must close the other's row
+(PRE + ACT) before reading.  Same-row and different-bank pairs are fast.
+Reverse engineering observes *only* this primitive — the attacker never
+sees the mapping directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dram.timing import AccessLatency
+from repro.memctrl.controller import MemoryController
+
+
+class AccessKind(Enum):
+    """Ground-truth classification of an address pair (tests only)."""
+
+    SAME_ROW = "SR"
+    DIFF_BANK = "DB"
+    SBDR = "SBDR"
+
+
+@dataclass
+class PairTimer:
+    """Measures alternating access latency over physical address pairs.
+
+    ``measure(a, b, reps)`` returns the average per-access latency in ns, as
+    an attacker would observe with RDTSCP around a flush+access loop.  Noise
+    and occasional refresh-interference outliers are modelled so that
+    threshold finding (Figure 3) is a genuine statistical problem.
+    """
+
+    controller: MemoryController
+    latency: AccessLatency
+    rng: RngStream
+    measurements_taken: int = 0
+
+    def classify(self, addr_a: int, addr_b: int) -> AccessKind:
+        mapping = self.controller.mapping
+        if not mapping.same_bank(addr_a, addr_b):
+            return AccessKind.DIFF_BANK
+        if mapping.row_of(addr_a) == mapping.row_of(addr_b):
+            return AccessKind.SAME_ROW
+        return AccessKind.SBDR
+
+    def _base_latency(self, kind: AccessKind) -> float:
+        if kind is AccessKind.SBDR:
+            return self.latency.row_conflict
+        if kind is AccessKind.SAME_ROW:
+            return self.latency.row_hit
+        return self.latency.diff_bank
+
+    def measure(self, addr_a: int, addr_b: int, reps: int = 50) -> float:
+        """Average alternating-access latency of one pair, in ns."""
+        kind = self.classify(addr_a, addr_b)
+        base = self._base_latency(kind)
+        samples = self.rng.normal(base, self.latency.noise_sigma, size=reps)
+        outliers = self.rng.random(reps) < self.latency.outlier_prob
+        samples = samples + outliers * self.latency.outlier_extra
+        self.measurements_taken += reps
+        return float(np.mean(samples))
+
+    def measure_many(self, pairs: np.ndarray, reps: int = 50) -> np.ndarray:
+        """Vectorised measurement of an (N, 2) array of physical pairs."""
+        a = pairs[:, 0].astype(np.uint64)
+        b = pairs[:, 1].astype(np.uint64)
+        mapping = self.controller.mapping
+        same_bank = mapping.bank_of_many(a) == mapping.bank_of_many(b)
+        same_row = mapping.row_of_many(a) == mapping.row_of_many(b)
+        base = np.where(
+            same_bank & ~same_row,
+            self.latency.row_conflict,
+            np.where(same_bank & same_row, self.latency.row_hit, self.latency.diff_bank),
+        )
+        n = pairs.shape[0]
+        noise = self.rng.normal(0.0, self.latency.noise_sigma / np.sqrt(reps), size=n)
+        outlier_rate = self.rng.generator.binomial(reps, self.latency.outlier_prob, n) / reps
+        self.measurements_taken += reps * n
+        return base + noise + outlier_rate * self.latency.outlier_extra

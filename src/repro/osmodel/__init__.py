@@ -1,0 +1,23 @@
+"""Operating-system substrate: physical memory, pagemap, buddy allocator.
+
+The paper's attacks consume two Linux interfaces: ``/proc/pid/pagemap``
+(virtual-to-physical translation, root only, used by the offline
+reverse-engineering phase) and the buddy allocator's contiguity behaviour
+(exhausting it guarantees 4 MiB-contiguous blocks to an unprivileged
+attacker, used by the Rubicon-style massaging).  Both are modelled here.
+"""
+
+from repro.osmodel.buddy import BuddyAllocator, BuddyBlock
+from repro.osmodel.hugepages import HugePage, HugePageAllocator
+from repro.osmodel.memory import PhysicalMemory
+from repro.osmodel.pagemap import AddressSpace, Pagemap
+
+__all__ = [
+    "AddressSpace",
+    "BuddyAllocator",
+    "BuddyBlock",
+    "HugePage",
+    "HugePageAllocator",
+    "Pagemap",
+    "PhysicalMemory",
+]

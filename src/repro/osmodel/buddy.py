@@ -1,0 +1,121 @@
+"""Linux buddy-allocator model for exploit massaging.
+
+Rubicon-style massaging exhausts the buddy allocator so that subsequent
+allocations drain the largest free lists, guaranteeing an unprivileged
+attacker physically contiguous blocks up to order 10 (4 MiB).  We model the
+free lists per order, splitting and coalescing, so the exploit code path
+(exhaust -> allocate contiguous 4 MiB -> template -> release -> steer a page
+table into a templated frame) is exercised faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.memory import PAGE_SIZE, PhysicalMemory
+
+MAX_ORDER = 10  # 2**10 pages = 4 MiB, Linux's largest buddy block
+
+
+@dataclass(frozen=True)
+class BuddyBlock:
+    """A physically contiguous block of 2**order pages."""
+
+    first_frame: int
+    order: int
+
+    @property
+    def num_frames(self) -> int:
+        return 1 << self.order
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_frames * PAGE_SIZE
+
+    @property
+    def phys_base(self) -> int:
+        return self.first_frame * PAGE_SIZE
+
+    def frames(self) -> range:
+        return range(self.first_frame, self.first_frame + self.num_frames)
+
+
+class BuddyAllocator:
+    """Per-order free lists over a machine's usable frames."""
+
+    def __init__(self, memory: PhysicalMemory, rng: RngStream) -> None:
+        self.memory = memory
+        self.rng = rng
+        self._free: dict[int, list[int]] = {order: [] for order in range(MAX_ORDER + 1)}
+        self._allocated: dict[int, int] = {}  # first_frame -> order
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        first = self.memory.first_usable_frame
+        # Align up to MAX_ORDER blocks.
+        block = 1 << MAX_ORDER
+        first = (first + block - 1) // block * block
+        last = self.memory.total_frames // block * block
+        for frame in range(first, last, block):
+            self._free[MAX_ORDER].append(frame)
+        # Shuffle so allocation order is not trivially physical order.
+        self.rng.shuffle(self._free[MAX_ORDER])
+
+    # ------------------------------------------------------------------
+    def free_pages(self) -> int:
+        return sum(len(blocks) << order for order, blocks in self._free.items())
+
+    def free_blocks_of_order(self, order: int) -> int:
+        return len(self._free[order])
+
+    def allocate(self, order: int) -> BuddyBlock:
+        """Allocate a 2**order-page block, splitting larger blocks as needed."""
+        if not 0 <= order <= MAX_ORDER:
+            raise SimulationError(f"order {order} out of range")
+        source = order
+        while source <= MAX_ORDER and not self._free[source]:
+            source += 1
+        if source > MAX_ORDER:
+            raise MemoryError("buddy allocator exhausted")
+        frame = self._free[source].pop()
+        while source > order:
+            source -= 1
+            buddy = frame + (1 << source)
+            self._free[source].append(buddy)
+        self._allocated[frame] = order
+        return BuddyBlock(first_frame=frame, order=order)
+
+    def free(self, block: BuddyBlock) -> None:
+        """Return a block, coalescing with its buddy where possible."""
+        if self._allocated.pop(block.first_frame, None) != block.order:
+            raise SimulationError(f"double or mismatched free of {block}")
+        frame, order = block.first_frame, block.order
+        while order < MAX_ORDER:
+            buddy = frame ^ (1 << order)
+            if buddy in self._free[order]:
+                self._free[order].remove(buddy)
+                frame = min(frame, buddy)
+                order += 1
+            else:
+                break
+        self._free[order].append(frame)
+
+    # ------------------------------------------------------------------
+    def exhaust_small_orders(self, up_to_order: int = MAX_ORDER - 1) -> list[BuddyBlock]:
+        """Drain every free list below ``up_to_order`` + 1.
+
+        After this, any allocation must split a max-order block, so the
+        attacker's subsequent 4 MiB requests are guaranteed contiguous —
+        the massaging primitive from Section 5.3.
+        """
+        held: list[BuddyBlock] = []
+        for order in range(up_to_order + 1):
+            while self._free[order]:
+                held.append(self.allocate(order))
+        return held
+
+    def allocate_contiguous_4mib(self) -> BuddyBlock:
+        """The attacker's templating unit: one full max-order block."""
+        return self.allocate(MAX_ORDER)

@@ -1,0 +1,111 @@
+"""Transparent/explicit hugepage allocation (2 MiB superpages).
+
+Reverse-engineering tools like DARE rely on superpages: within one 2 MiB
+page, virtual and physical offsets coincide, so bit differences up to
+bit 20 can be exercised *without* pagemap access.  The flip side — the
+failure mode our Table 5 baseline reproduces — is that bits above the
+superpage offset can only be compared across separately allocated pages
+whose frame numbers the unprivileged attacker does not control, bounding
+the reliably observable span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.memory import PAGE_SHIFT, PhysicalMemory
+
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT
+FRAMES_PER_HUGE_PAGE = HUGE_PAGE_SIZE >> PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class HugePage:
+    """One allocated 2 MiB superpage."""
+
+    virtual_base: int
+    phys_base: int
+
+    def __post_init__(self) -> None:
+        if self.phys_base % HUGE_PAGE_SIZE:
+            raise SimulationError("superpage physical base must be aligned")
+
+    def phys_of_offset(self, offset: int) -> int:
+        if not 0 <= offset < HUGE_PAGE_SIZE:
+            raise SimulationError(f"offset {offset:#x} outside the superpage")
+        return self.phys_base + offset
+
+    @property
+    def observable_bits(self) -> range:
+        """Physical bits an unprivileged user controls inside this page."""
+        return range(0, HUGE_PAGE_SHIFT)
+
+
+@dataclass
+class HugePageAllocator:
+    """Hands out aligned 2 MiB superpages at random physical locations."""
+
+    memory: PhysicalMemory
+    rng: RngStream
+    base_va: int = 0x7F80_0000_0000
+    _allocated: list[HugePage] = field(default_factory=list)
+
+    def allocate(self, count: int = 1) -> list[HugePage]:
+        """Allocate ``count`` superpages (distinct physical locations)."""
+        first_slot = (
+            self.memory.reserved_low_bytes + HUGE_PAGE_SIZE - 1
+        ) // HUGE_PAGE_SIZE
+        total_slots = self.memory.size_bytes // HUGE_PAGE_SIZE
+        available = total_slots - first_slot - len(self._allocated)
+        if count > available:
+            raise MemoryError("not enough superpages available")
+        taken = {p.phys_base // HUGE_PAGE_SIZE for p in self._allocated}
+        pages: list[HugePage] = []
+        while len(pages) < count:
+            slot = int(self.rng.integers(first_slot, total_slots))
+            if slot in taken:
+                continue
+            taken.add(slot)
+            page = HugePage(
+                virtual_base=self.base_va
+                + len(self._allocated + pages) * HUGE_PAGE_SIZE,
+                phys_base=slot * HUGE_PAGE_SIZE,
+            )
+            pages.append(page)
+        self._allocated.extend(pages)
+        return pages
+
+    @property
+    def allocated(self) -> tuple[HugePage, ...]:
+        return tuple(self._allocated)
+
+    def observable_span_bits(self) -> int:
+        """Highest physical bit a superpage-confined tool can exercise
+        *reliably* (within one page); cross-page comparisons depend on
+        uncontrolled frame placement."""
+        return HUGE_PAGE_SHIFT - 1
+
+    def pair_within_page(
+        self, page: HugePage, diff_bits: tuple[int, ...]
+    ) -> tuple[int, int]:
+        """A physical address pair inside ``page`` differing in the bits.
+
+        Raises when any bit exceeds the superpage offset — the structural
+        limitation the Table 5 DARE baseline inherits.
+        """
+        mask = 0
+        for bit in diff_bits:
+            if bit >= HUGE_PAGE_SHIFT:
+                raise SimulationError(
+                    f"bit {bit} exceeds the superpage offset "
+                    f"(observable span: 0..{HUGE_PAGE_SHIFT - 1})"
+                )
+            mask |= 1 << bit
+        base_offset = int(self.rng.integers(0, HUGE_PAGE_SIZE // 2)) & ~mask
+        a = page.phys_of_offset(base_offset)
+        return a, a ^ mask

@@ -1,0 +1,57 @@
+"""Physical memory: the frame pool the OS hands out.
+
+Simulated physical memory is a range of 4 KiB frames.  A small fraction is
+reserved (firmware/kernel) to make frame allocation realistically
+non-contiguous at the low end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+@dataclass(frozen=True)
+class PhysicalMemory:
+    """A machine's physical address space."""
+
+    size_bytes: int
+    reserved_low_bytes: int = 64 * 1024 * 1024  # firmware + kernel text
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= self.reserved_low_bytes:
+            raise ValueError("memory smaller than the reserved region")
+        if self.size_bytes % PAGE_SIZE:
+            raise ValueError("memory size must be page aligned")
+
+    @classmethod
+    def from_gib(cls, size_gib: int) -> "PhysicalMemory":
+        return cls(size_bytes=size_gib << 30)
+
+    @property
+    def size_gib(self) -> float:
+        return self.size_bytes / (1 << 30)
+
+    @property
+    def total_frames(self) -> int:
+        return self.size_bytes // PAGE_SIZE
+
+    @property
+    def first_usable_frame(self) -> int:
+        return self.reserved_low_bytes // PAGE_SIZE
+
+    @property
+    def usable_frames(self) -> int:
+        return self.total_frames - self.first_usable_frame
+
+    @property
+    def phys_bits(self) -> int:
+        return (self.size_bytes - 1).bit_length()
+
+    def frame_to_phys(self, frame: int) -> int:
+        return frame << PAGE_SHIFT
+
+    def phys_to_frame(self, phys: int) -> int:
+        return phys >> PAGE_SHIFT

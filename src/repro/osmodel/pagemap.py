@@ -1,0 +1,92 @@
+"""Virtual address space and the pagemap translation interface.
+
+The reverse-engineering phase mmaps ~70 % of physical memory as 4 KiB pages
+and reads ``/proc/pid/pagemap`` to learn each page's frame number.  We model
+the allocator handing out a *shuffled* subset of the usable frames — virtual
+adjacency tells the attacker nothing about physical adjacency, exactly the
+situation pagemap exists to resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+
+@dataclass
+class AddressSpace:
+    """One process's virtual memory: va page index -> physical frame."""
+
+    memory: PhysicalMemory
+    frames: np.ndarray  # frame number per allocated virtual page
+    base_va: int = 0x7F00_0000_0000
+
+    @property
+    def num_pages(self) -> int:
+        return int(self.frames.size)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * PAGE_SIZE
+
+    def va_of_page(self, page_index: int) -> int:
+        return self.base_va + page_index * PAGE_SIZE
+
+    def page_of_va(self, va: int) -> int:
+        offset = va - self.base_va
+        if offset < 0 or offset >= self.size_bytes:
+            raise SimulationError(f"va {va:#x} outside the mapped region")
+        return offset // PAGE_SIZE
+
+    def phys_of_va(self, va: int) -> int:
+        page = self.page_of_va(va)
+        offset = (va - self.base_va) % PAGE_SIZE
+        return (int(self.frames[page]) << PAGE_SHIFT) | offset
+
+    def phys_addresses(self) -> np.ndarray:
+        """Physical base address of every mapped page (uint64)."""
+        return (self.frames.astype(np.uint64)) << np.uint64(PAGE_SHIFT)
+
+
+@dataclass
+class Pagemap:
+    """The root-only ``/proc/pid/pagemap`` interface.
+
+    ``allocate_pool(fraction)`` models the paper's Step 0: allocate 4 KiB
+    pages covering ``fraction`` (default 0.7) of physical memory so every
+    potential bank bit is exercised.
+    """
+
+    memory: PhysicalMemory
+    rng: RngStream
+    require_root: bool = True
+    _has_root: bool = True
+    _allocated: set[int] = field(default_factory=set)
+
+    def drop_privileges(self) -> None:
+        """Model running without root: pagemap reads then fail."""
+        self._has_root = False
+
+    def allocate_pool(self, fraction: float = 0.7) -> AddressSpace:
+        """Allocate a shuffled pool of frames covering ``fraction`` of RAM."""
+        if not 0.0 < fraction <= 0.95:
+            raise SimulationError(f"implausible allocation fraction {fraction}")
+        want = int(self.memory.total_frames * fraction)
+        if want > self.memory.usable_frames:
+            raise SimulationError("allocation exceeds usable memory")
+        first = self.memory.first_usable_frame
+        candidates = np.arange(first, self.memory.total_frames, dtype=np.int64)
+        chosen = self.rng.choice(candidates, size=want, replace=False)
+        self._allocated.update(int(f) for f in chosen[: min(want, 4096)])
+        return AddressSpace(memory=self.memory, frames=np.sort(chosen))
+
+    def read(self, space: AddressSpace, va: int) -> int:
+        """Translate one virtual address, as a pagemap read would."""
+        if self.require_root and not self._has_root:
+            raise PermissionError("pagemap requires CAP_SYS_ADMIN")
+        return space.phys_of_va(va)

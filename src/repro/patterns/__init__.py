@@ -1,0 +1,28 @@
+"""Non-uniform hammering patterns, fuzzing and sweeping (Section 4.1).
+
+Pattern generation follows Blacksmith's frequency-domain design: a base
+period of activation slots (sized relative to the refresh interval) is
+filled by double-sided aggressor pairs, each with a frequency, phase and
+amplitude.  Patterns that keep the TRR sampler's limited slots busy with
+high-frequency pairs while lower-frequency pairs accumulate disturbance
+are the "effective patterns" fuzzing hunts for.
+"""
+
+from repro.patterns.frequency import AggressorPair, NonUniformPattern
+from repro.patterns.fuzzer import FuzzingCampaign, FuzzingReport, PatternFuzzer
+from repro.patterns.library import PATTERN_LIBRARY
+from repro.patterns.refine import RefinementResult, refine_pattern
+from repro.patterns.sweep import SweepReport, sweep_pattern
+
+__all__ = [
+    "AggressorPair",
+    "FuzzingCampaign",
+    "FuzzingReport",
+    "NonUniformPattern",
+    "PATTERN_LIBRARY",
+    "PatternFuzzer",
+    "RefinementResult",
+    "refine_pattern",
+    "SweepReport",
+    "sweep_pattern",
+]

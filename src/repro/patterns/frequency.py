@@ -1,0 +1,142 @@
+"""Frequency-domain non-uniform pattern representation.
+
+A pattern is an ordered sequence of *slots* over a base period; each slot
+names one aggressor row (by abstract id).  Aggressors come in double-sided
+pairs (rows r and r+2 around victim r+1).  A pair with frequency f, phase p
+and amplitude a occupies ``a`` consecutive pair-repetitions starting at
+every slot ``p + k * (period / f)`` — the Blacksmith parameterisation.
+
+Patterns are *relative*: they fix row offsets from a movable base row, so
+the same pattern can be swept across physical locations (Section 4.1's
+sweeping operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class AggressorPair:
+    """One double-sided aggressor pair with frequency-domain placement."""
+
+    pair_id: int
+    row_offset: int  # first aggressor row, relative to the pattern base row
+    frequency: int  # occupations per base period (power of two)
+    phase: int  # starting slot of the first occupation
+    amplitude: int  # consecutive pair repetitions per occupation
+
+    @property
+    def rows(self) -> tuple[int, int]:
+        """Aggressor row offsets (victim sits between them)."""
+        return (self.row_offset, self.row_offset + 2)
+
+    @property
+    def victim_offset(self) -> int:
+        return self.row_offset + 1
+
+    @property
+    def slots_per_period(self) -> int:
+        return self.frequency * self.amplitude * 2
+
+
+@dataclass(frozen=True)
+class NonUniformPattern:
+    """A fully laid-out pattern: slot sequence plus its pair inventory."""
+
+    pairs: tuple[AggressorPair, ...]
+    slots: np.ndarray  # int16 aggressor ids, one per slot
+    base_period: int
+
+    def __post_init__(self) -> None:
+        if self.slots.size != self.base_period:
+            raise SimulationError("slot array must cover the base period")
+        if self.slots.min() < 0:
+            raise SimulationError("pattern has unfilled slots")
+
+    @property
+    def num_aggressors(self) -> int:
+        return 2 * len(self.pairs)
+
+    def aggressor_row_offsets(self) -> np.ndarray:
+        """Row offset of each aggressor id (id = pair_id * 2 + side)."""
+        offsets = np.empty(self.num_aggressors, dtype=np.int64)
+        for pair in self.pairs:
+            offsets[pair.pair_id * 2] = pair.rows[0]
+            offsets[pair.pair_id * 2 + 1] = pair.rows[1]
+        return offsets
+
+    def victim_row_offsets(self) -> list[int]:
+        return [pair.victim_offset for pair in self.pairs]
+
+    def intended_stream(self, iterations: int) -> np.ndarray:
+        """The program-order aggressor-id stream for ``iterations`` periods."""
+        return np.tile(self.slots, iterations)
+
+    def slot_share(self, pair: AggressorPair) -> float:
+        """Fraction of slots this pair occupies (its hammer intensity)."""
+        return float(np.count_nonzero(
+            (self.slots == pair.pair_id * 2) | (self.slots == pair.pair_id * 2 + 1)
+        )) / self.base_period
+
+    def describe(self) -> str:
+        freqs = ", ".join(
+            f"P{p.pair_id}(f={p.frequency},a={p.amplitude})" for p in self.pairs
+        )
+        return f"period={self.base_period}: {freqs}"
+
+
+def lay_out_pattern(
+    pairs: list[AggressorPair],
+    base_period: int,
+    filler_pair_ids: list[int] | None = None,
+) -> NonUniformPattern:
+    """Fill the base period from the pairs' frequency-domain parameters.
+
+    Higher-frequency pairs claim their slots first (they define the
+    pattern's rhythm); remaining gaps are filled by cycling through the
+    *filler* pairs (all pairs when ``filler_pair_ids`` is None), so every
+    slot hammers something — an idle slot would only waste activation
+    budget.  Keeping low-frequency pairs out of the filler set preserves
+    their low per-interval activation count, which is what hides them from
+    a counting TRR sampler.
+    """
+    if base_period <= 0 or base_period & (base_period - 1):
+        raise SimulationError("base_period must be a power of two")
+    slots = np.full(base_period, -1, dtype=np.int16)
+    for pair in sorted(pairs, key=lambda p: -p.frequency):
+        step = base_period // pair.frequency
+        for occurrence in range(pair.frequency):
+            start = (pair.phase + occurrence * step) % base_period
+            for repeat in range(pair.amplitude):
+                for side in range(2):
+                    slot = (start + repeat * 2 + side) % base_period
+                    if slots[slot] == -1:
+                        slots[slot] = pair.pair_id * 2 + side
+    # Fill leftovers by round-robin across pairs (highest frequency first).
+    # Interleaving pairs keeps consecutive filler slots on *different* rows;
+    # back-to-back repeats of one row would only race their own CLFLUSHOPT
+    # and waste slots (the Figure 7 inversion).
+    leftovers = np.flatnonzero(slots == -1)
+    if leftovers.size:
+        fill_pairs = [
+            pair
+            for pair in sorted(pairs, key=lambda p: -p.frequency)
+            if filler_pair_ids is None or pair.pair_id in filler_pair_ids
+        ]
+        if not fill_pairs:
+            fill_pairs = sorted(pairs, key=lambda p: -p.frequency)[:1]
+        cycle: list[int] = []
+        for pair in fill_pairs:
+            cycle.extend((pair.pair_id * 2, pair.pair_id * 2 + 1))
+        fill = np.array(cycle, dtype=np.int16)
+        slots[leftovers] = fill[np.arange(leftovers.size) % fill.size]
+    return NonUniformPattern(
+        pairs=tuple(sorted(pairs, key=lambda p: p.pair_id)),
+        slots=slots,
+        base_period=base_period,
+    )

@@ -1,0 +1,150 @@
+"""Pattern fuzzing (Section 4.1): hunt for TRR-bypassing patterns.
+
+The fuzzer generates pseudo-random, unique non-uniform patterns and trials
+each at a few physical locations; a pattern is *effective* if any trial
+flips a bit, and the *best pattern* is the one with the most flips.  The
+campaign totals reproduce Table 6 / Figure 9, with the simulation scale
+translating the paper's 2-hour wall-clock budget into a pattern count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import RngStream
+from repro.cpu.isa import HammerKernelConfig
+from repro.hammer.session import HammerSession
+from repro.patterns.frequency import AggressorPair, NonUniformPattern, lay_out_pattern
+from repro.system.calibration import SimulationScale
+from repro.system.machine import Machine
+
+#: Frequency choices are powers of two so occupations divide the period.
+_FREQUENCIES = (1, 2, 4, 8, 16)
+_AMPLITUDES = (1, 1, 2, 2, 3, 4)
+_BASE_PERIODS = (64, 128, 256)
+
+
+@dataclass(frozen=True)
+class FuzzingReport:
+    """Aggregate outcome of one fuzzing campaign (one Table 6 cell)."""
+
+    total_flips: int
+    best_pattern_flips: int
+    best_pattern: NonUniformPattern | None
+    effective_patterns: int
+    patterns_tried: int
+    mean_miss_rate: float
+
+    def as_table6_cell(self) -> str:
+        return f"{self.total_flips}, {self.best_pattern_flips}"
+
+
+@dataclass
+class PatternFuzzer:
+    """Generates random frequency-domain patterns."""
+
+    rng: RngStream
+    max_pairs: int = 10
+    min_pairs: int = 3
+    row_span: int = 48  # aggressors live within this many rows of the base
+
+    def generate(self) -> NonUniformPattern:
+        """One pseudo-random non-uniform pattern."""
+        rng = self.rng
+        base_period = int(rng.choice(_BASE_PERIODS))
+        num_pairs = int(rng.integers(self.min_pairs, self.max_pairs + 1))
+        offsets = self._pair_offsets(num_pairs)
+        pairs = []
+        for pair_id in range(num_pairs):
+            pairs.append(
+                AggressorPair(
+                    pair_id=pair_id,
+                    row_offset=offsets[pair_id],
+                    frequency=int(rng.choice(_FREQUENCIES)),
+                    phase=int(rng.integers(0, base_period)),
+                    amplitude=int(rng.choice(_AMPLITUDES)),
+                )
+            )
+        # Each pair joins the filler rotation with probability 0.7; which
+        # pairs stay out of it is part of the searched pattern space (it
+        # decides who looks "cold" to a counting sampler).
+        fillers = [p.pair_id for p in pairs if rng.random() < 0.7]
+        return lay_out_pattern(pairs, base_period, filler_pair_ids=fillers or None)
+
+    def _pair_offsets(self, num_pairs: int) -> list[int]:
+        """Non-overlapping double-sided pair placements near the base row."""
+        offsets: list[int] = []
+        cursor = 0
+        for _ in range(num_pairs):
+            cursor += int(self.rng.integers(0, max(2, self.row_span // num_pairs)))
+            offsets.append(cursor)
+            cursor += 4  # pair spans rows [offset, offset+2]; keep a gap
+        return offsets
+
+
+@dataclass
+class FuzzingCampaign:
+    """Runs a fuzzing campaign for one (machine, kernel) combination."""
+
+    machine: Machine
+    config: HammerKernelConfig
+    scale: SimulationScale
+    trials_per_pattern: int = 3
+    seed_name: str = "fuzz"
+    _fuzzer: PatternFuzzer = field(init=False)
+
+    def __post_init__(self) -> None:
+        rng = self.machine.rng.child(self.seed_name, self.config.describe())
+        self._fuzzer = PatternFuzzer(rng=rng.child("patterns"))
+        self._rng = rng
+
+    def _trial_rows(self) -> list[int]:
+        rows = self.machine.dimm.spec.geometry.rows
+        margin = 256
+        return [
+            int(r)
+            for r in self._rng.integers(
+                margin, rows - margin, size=self.trials_per_pattern
+            )
+        ]
+
+    def run(self, hours: float = 2.0, max_patterns: int | None = None) -> FuzzingReport:
+        """Fuzz for a virtual campaign of ``hours`` (scale-bounded)."""
+        n_patterns = self.scale.patterns_for_hours(hours, cap=max_patterns)
+        session = HammerSession(
+            machine=self.machine,
+            config=self.config,
+            disturbance_gain=self.scale.disturbance_gain,
+        )
+        total = 0
+        best_flips = 0
+        best_pattern: NonUniformPattern | None = None
+        effective = 0
+        miss_sum = 0.0
+        trials = 0
+        for _ in range(n_patterns):
+            pattern = self._fuzzer.generate()
+            pattern_flips = 0
+            for base_row in self._trial_rows():
+                outcome = session.run_pattern(
+                    pattern,
+                    base_row,
+                    activations=self.scale.acts_per_pattern,
+                )
+                pattern_flips += outcome.flip_count
+                miss_sum += outcome.cache_miss_rate
+                trials += 1
+            total += pattern_flips
+            if pattern_flips > 0:
+                effective += 1
+            if pattern_flips > best_flips:
+                best_flips = pattern_flips
+                best_pattern = pattern
+        return FuzzingReport(
+            total_flips=total,
+            best_pattern_flips=best_flips,
+            best_pattern=best_pattern,
+            effective_patterns=effective,
+            patterns_tried=n_patterns,
+            mean_miss_rate=miss_sum / max(1, trials),
+        )

@@ -1,0 +1,101 @@
+"""A library of named hammering patterns from the literature.
+
+The paper's Section 2.2 narrative — classic uniform patterns die against
+TRR, many-sided patterns confuse weaker samplers, and frequency-domain
+non-uniform patterns (Blacksmith) are the state of the art — is directly
+testable against the simulated TRR.  These constructors give each strategy
+a faithful slot layout so campaigns can compare them head to head.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.patterns.frequency import AggressorPair, NonUniformPattern, lay_out_pattern
+
+
+def double_sided(base_period: int = 64) -> NonUniformPattern:
+    """The original double-sided pattern (Kim et al. 2014).
+
+    Two aggressors sandwich one victim and are hammered uniformly — the
+    pattern every deployed TRR was designed to catch.
+    """
+    pairs = [
+        AggressorPair(pair_id=0, row_offset=0, frequency=1, phase=0, amplitude=1),
+    ]
+    return lay_out_pattern(pairs, base_period)
+
+
+def single_sided(base_period: int = 64) -> NonUniformPattern:
+    """One aggressor next to the victim, plus a distant dummy row.
+
+    The historical "two random addresses" strategy: one neighbour does the
+    damage, the second access merely forces row-buffer conflicts.
+    """
+    pairs = [
+        AggressorPair(pair_id=0, row_offset=0, frequency=1, phase=0, amplitude=1),
+        AggressorPair(pair_id=1, row_offset=40, frequency=1, phase=2, amplitude=1),
+    ]
+    return lay_out_pattern(pairs, base_period)
+
+
+def many_sided(sides: int = 9, base_period: int = 128) -> NonUniformPattern:
+    """TRRespass-style many-sided hammering (Frigo et al. 2020).
+
+    ``sides`` aggressor pairs hammered uniformly: enough simultaneous
+    aggressors to overflow a small sampler's capacity, which bypasses
+    *weak* TRR implementations but not counting samplers with targeted
+    refreshes.
+    """
+    if sides < 2:
+        raise SimulationError("many-sided hammering needs >= 2 pairs")
+    pairs = [
+        AggressorPair(
+            pair_id=i, row_offset=4 * i, frequency=1,
+            phase=(i * base_period) // sides, amplitude=1,
+        )
+        for i in range(sides)
+    ]
+    return lay_out_pattern(pairs, base_period)
+
+
+def smash_style(base_period: int = 128, nop_slots: int = 2) -> NonUniformPattern:
+    """SMASH-flavoured synchronised double-sided hammering.
+
+    de Ridder et al. align accesses with REF commands by padding the loop;
+    in slot terms that is a double-sided pair whose occupations repeat with
+    deliberate gaps.  Against a counting sampler the synchronisation alone
+    does not hide the pair.
+    """
+    pairs = [
+        AggressorPair(pair_id=0, row_offset=0, frequency=8, phase=0,
+                      amplitude=1 + nop_slots),
+        AggressorPair(pair_id=1, row_offset=6, frequency=8, phase=8,
+                      amplitude=1 + nop_slots),
+    ]
+    return lay_out_pattern(pairs, base_period)
+
+
+def blacksmith_showcase() -> NonUniformPattern:
+    """A hand-tuned frequency-domain pattern (the paper's Figure 5 shape).
+
+    High-frequency decoy pairs absorb the sampler's top counts; a pair of
+    lower-frequency true aggressors rides below them with amplitude-boosted
+    share — the structure ρHammer's fuzzer converges to.
+    """
+    pairs = [
+        AggressorPair(pair_id=0, row_offset=0, frequency=16, phase=0, amplitude=1),
+        AggressorPair(pair_id=1, row_offset=4, frequency=16, phase=8, amplitude=1),
+        AggressorPair(pair_id=2, row_offset=8, frequency=4, phase=100, amplitude=4),
+        AggressorPair(pair_id=3, row_offset=14, frequency=2, phase=40, amplitude=4),
+    ]
+    return lay_out_pattern(pairs, 256, filler_pair_ids=[0, 1])
+
+
+#: Name -> constructor, for CLI/bench enumeration.
+PATTERN_LIBRARY = {
+    "double-sided": double_sided,
+    "single-sided": single_sided,
+    "many-sided": many_sided,
+    "smash": smash_style,
+    "blacksmith": blacksmith_showcase,
+}

@@ -1,0 +1,28 @@
+"""DRAM address-mapping reverse engineering (Section 3).
+
+``RhoHammerRevEng`` implements the paper's Algorithm 1 — selective pairwise
+SBDR measurements with structured deduction (Duet / Trios / Quartet) — and
+the ``baselines`` package implements the prior-art tools it is compared
+against in Table 5, complete with their documented failure modes.
+"""
+
+from repro.reveng.algorithm import RevEngResult, RhoHammerRevEng
+from repro.reveng.oracle import TimingOracle
+from repro.reveng.report import compare_mappings, RecoveryScore
+from repro.reveng.threshold import ThresholdResult, find_sbdr_threshold
+from repro.reveng.unprivileged import UnprivilegedResult, UnprivilegedRevEng
+from repro.reveng.validation import ValidationReport, cross_validate
+
+__all__ = [
+    "RecoveryScore",
+    "RevEngResult",
+    "RhoHammerRevEng",
+    "ThresholdResult",
+    "TimingOracle",
+    "UnprivilegedResult",
+    "UnprivilegedRevEng",
+    "ValidationReport",
+    "compare_mappings",
+    "cross_validate",
+    "find_sbdr_threshold",
+]

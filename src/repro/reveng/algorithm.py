@@ -1,0 +1,197 @@
+"""Algorithm 1: rhoHammer's structured pairwise reverse engineering.
+
+Recovers the full address mapping in four deductive steps, with no prior
+assumptions about bank-bit count, function size, or row/bank overlap:
+
+* **Step 0** — find the SBDR latency threshold (:mod:`.threshold`).
+* **Pre-scan** — single-bit probes isolate *pure row bits* (slow: flipping
+  the bit changes the row but no bank function).
+* **Step 1 (Duet)** — all two-bit probes over the remaining bits: a slow
+  pair means both bits share a bank function and at least one is a row bit.
+  This yields every row-inclusive function and, together with the pure row
+  bits, the full row range.
+* **Step 2 (Trios)** — borrow one known function pair as an SBDR base state
+  and add a third bit: a *fast* result exposes the third bit as a non-row
+  bank bit.
+* **Step 3 (Quartet)** — pair up the non-row bank bits on top of the base
+  state: slow means same function.  Finally, pairs sharing bits are merged
+  into complete functions (union-find).
+
+Complexity is O(n^2) timing primitives over n candidate bits — polynomial,
+versus the exponential function search of brute-force tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import RevEngFailure
+from repro.mapping.functions import AddressMapping, BankFunction
+from repro.reveng.oracle import TimingOracle
+from repro.reveng.threshold import ThresholdResult, find_sbdr_threshold
+
+
+@dataclass(frozen=True)
+class RevEngResult:
+    """Everything Algorithm 1 recovers, plus diagnostics."""
+
+    mapping: AddressMapping
+    threshold: ThresholdResult
+    pure_row_bits: tuple[int, ...]
+    duet_pairs: tuple[tuple[int, int], ...]
+    quartet_pairs: tuple[tuple[int, int], ...]
+    heatmap: dict[tuple[int, int], float]  # Figure 4 data
+    measurements: int
+    runtime_seconds: float
+
+
+class _UnionFind:
+    """Union-find over bit positions, for the merge step (line 22)."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def add(self, x: int) -> None:
+        self._parent.setdefault(x, x)
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> list[tuple[int, ...]]:
+        by_root: dict[int, list[int]] = {}
+        for x in self._parent:
+            by_root.setdefault(self.find(x), []).append(x)
+        return [tuple(sorted(bits)) for bits in by_root.values()]
+
+
+@dataclass
+class RhoHammerRevEng:
+    """Runs Algorithm 1 against a machine's timing oracle."""
+
+    oracle: TimingOracle
+    collect_heatmap: bool = True
+    _heatmap: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def run(self) -> RevEngResult:
+        oracle = self.oracle
+        threshold = find_sbdr_threshold(oracle)
+        thres = threshold.threshold_ns
+        bits = oracle.candidate_bits()
+
+        pure_row = self._exclude_pure_row_bits(bits, thres)
+        non_pure = [b for b in bits if b not in pure_row]
+
+        duet_pairs = self._duet(non_pure, thres)
+        row_bits = self._collect_row_bits(pure_row, duet_pairs)
+        if not duet_pairs:
+            raise RevEngFailure(
+                "no row-inclusive bank functions observed; cannot proceed"
+            )
+
+        base_pair = duet_pairs[0]
+        non_row_candidates = [
+            b for b in non_pure if b not in row_bits and b not in base_pair
+        ]
+        non_row_bank_bits = self._trios(base_pair, non_row_candidates, thres)
+        quartet_pairs = self._quartet(base_pair, non_row_bank_bits, thres)
+
+        functions = self._merge(duet_pairs, quartet_pairs, non_row_bank_bits)
+        mapping = AddressMapping(
+            bank_functions=tuple(BankFunction(f) for f in sorted(functions)),
+            row_bits=(min(row_bits), max(row_bits)),
+            phys_bits=oracle.phys_bits,
+            name=f"recovered-{oracle.machine.platform.name}",
+        )
+        return RevEngResult(
+            mapping=mapping,
+            threshold=threshold,
+            pure_row_bits=tuple(sorted(pure_row)),
+            duet_pairs=tuple(duet_pairs),
+            quartet_pairs=tuple(quartet_pairs),
+            heatmap=dict(self._heatmap),
+            measurements=oracle.timer.measurements_taken,
+            runtime_seconds=oracle.runtime_seconds(),
+        )
+
+    # ------------------------------------------------------------------
+    def _exclude_pure_row_bits(self, bits: list[int], thres: float) -> set[int]:
+        """Single-bit probes: slow <=> the bit changes only the row."""
+        pure_row: set[int] = set()
+        for bit in bits:
+            if self.oracle.t_sbdr((bit,)) > thres:
+                pure_row.add(bit)
+        return pure_row
+
+    def _duet(self, bits: list[int], thres: float) -> list[tuple[int, int]]:
+        """Step 1: all (bx, by) pairs; slow pairs are row-inclusive funcs."""
+        slow_pairs: list[tuple[int, int]] = []
+        for i, bx in enumerate(bits):
+            for by in bits[i + 1:]:
+                latency = self.oracle.t_sbdr((bx, by))
+                if self.collect_heatmap:
+                    self._heatmap[(bx, by)] = latency
+                if latency > thres:
+                    slow_pairs.append((bx, by))
+        return slow_pairs
+
+    @staticmethod
+    def _collect_row_bits(
+        pure_row: set[int], duet_pairs: list[tuple[int, int]]
+    ) -> set[int]:
+        """Line 9: pure row bits plus the higher bit of every slow duet."""
+        row_bits = set(pure_row)
+        for bx, by in duet_pairs:
+            row_bits.add(max(bx, by))
+        return row_bits
+
+    def _trios(
+        self, base_pair: tuple[int, int], candidates: list[int], thres: float
+    ) -> list[int]:
+        """Step 2: fast trio <=> the extra bit breaks the borrowed SBDR."""
+        non_row_bank: list[int] = []
+        for bx in candidates:
+            if self.oracle.t_sbdr((base_pair[0], base_pair[1], bx)) < thres:
+                non_row_bank.append(bx)
+        return non_row_bank
+
+    def _quartet(
+        self, base_pair: tuple[int, int], non_row: list[int], thres: float
+    ) -> list[tuple[int, int]]:
+        """Step 3: slow quartet <=> the two extra bits share a function."""
+        pairs: list[tuple[int, int]] = []
+        for i, bx in enumerate(non_row):
+            for by in non_row[i + 1:]:
+                diff = (base_pair[0], base_pair[1], bx, by)
+                if self.oracle.t_sbdr(diff) > thres:
+                    pairs.append((bx, by))
+        return pairs
+
+    @staticmethod
+    def _merge(
+        duet_pairs: list[tuple[int, int]],
+        quartet_pairs: list[tuple[int, int]],
+        non_row_bank_bits: list[int],
+    ) -> list[tuple[int, ...]]:
+        """Line 22: merge overlapping pairs into complete bank functions.
+
+        Non-row bank bits that never paired up are reported as single-bit
+        functions (seen on e.g. RISC-V parts; none on our presets, but the
+        algorithm supports them for free).
+        """
+        uf = _UnionFind()
+        for bx, by in duet_pairs + quartet_pairs:
+            uf.union(bx, by)
+        for bit in non_row_bank_bits:
+            uf.add(bit)
+        return uf.groups()

@@ -1,0 +1,24 @@
+"""Prior-art reverse-engineering tools (Table 5 baselines).
+
+Each baseline is implemented with the *algorithmic structure* of the
+original tool, so its documented failure mode on recent platforms emerges
+from the mechanics rather than being hard-coded:
+
+* :class:`~repro.reveng.baselines.drama.DramaRevEng` — brute-force bank
+  colouring and exhaustive XOR-function search (Pessl et al. 2016).  The
+  function search is exponential in candidate bits and capped, so modern
+  wide functions are out of reach.
+* :class:`~repro.reveng.baselines.dramdig.DramDigRevEng` — knowledge-
+  assisted narrowing that *requires pure row bits* (Wang et al. 2020);
+  aborts on Alder/Raptor mappings where none exist.
+* :class:`~repro.reveng.baselines.dare.DareRevEng` — ZenHammer's DARE:
+  superpage-confined colouring, non-deterministic and blind to function
+  bits above the superpage span.
+"""
+
+from repro.reveng.baselines.common import BaselineOutcome
+from repro.reveng.baselines.dare import DareRevEng
+from repro.reveng.baselines.drama import DramaRevEng
+from repro.reveng.baselines.dramdig import DramDigRevEng
+
+__all__ = ["BaselineOutcome", "DareRevEng", "DramDigRevEng", "DramaRevEng"]

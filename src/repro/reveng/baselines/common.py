@@ -1,0 +1,55 @@
+"""Shared result type and bank-colouring helper for the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.functions import AddressMapping
+from repro.reveng.oracle import TimingOracle
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """Result of running one prior-art tool."""
+
+    tool: str
+    succeeded: bool
+    mapping: AddressMapping | None
+    runtime_seconds: float
+    failure_reason: str | None = None
+    measurements: int = 0
+
+
+def colour_addresses(
+    oracle: TimingOracle,
+    threshold_ns: float,
+    num_addresses: int,
+    reps: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """DRAMA-style bank colouring.
+
+    Picks random pool addresses and groups them into same-bank classes by
+    timing each address against one representative per known class.
+    Returns (addresses, colour_ids).  Cost grows with addresses x classes,
+    which is what makes brute-force approaches slow.
+    """
+    rng = oracle.rng.child("colouring")
+    n_pages = oracle.space.frames.size
+    page_addrs = (oracle.space.frames.astype(np.uint64)) << np.uint64(12)
+    chosen = page_addrs[rng.integers(0, n_pages, size=num_addresses)]
+    representatives: list[int] = []
+    colours = np.full(num_addresses, -1, dtype=np.int64)
+    for i in range(num_addresses):
+        addr = int(chosen[i])
+        assigned = False
+        for colour, rep in enumerate(representatives):
+            if oracle.timer.measure(addr, rep, reps=reps) > threshold_ns:
+                colours[i] = colour
+                assigned = True
+                break
+        if not assigned:
+            colours[i] = len(representatives)
+            representatives.append(addr)
+    return chosen, colours

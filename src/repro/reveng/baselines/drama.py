@@ -1,0 +1,132 @@
+"""DRAMA (Pessl et al., USENIX Security 2016): brute-force recovery.
+
+DRAMA colours addresses into same-bank classes via row-conflict timing and
+then exhaustively searches XOR functions that are constant within every
+class.  Two structural limits make it fail on the paper's setups (Table 5
+reports no correct result on any of the four machines):
+
+* the exhaustive search is exponential in candidate bits, so the tool caps
+  per-function bit width; Alder/Raptor functions reach 7 bits over a
+  26-bit span, far beyond the cap, and the capped search cannot explain
+  the observed classes;
+* DRAMA recovers *bank functions only* — it never derives the row-bit
+  range a Rowhammer attack needs, so even a correct function set is an
+  incomplete mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.common.errors import RevEngFailure
+from repro.reveng.baselines.common import BaselineOutcome, colour_addresses
+from repro.reveng.oracle import TimingOracle
+from repro.reveng.threshold import find_sbdr_threshold
+
+
+@dataclass
+class DramaRevEng:
+    """Brute-force colouring + exhaustive XOR-function search."""
+
+    oracle: TimingOracle
+    num_addresses: int = 1200
+    max_function_bits: int = 4
+    #: The original tool evaluates every candidate function over the full
+    #: address sample; we account that cost analytically.
+    ns_per_function_eval: float = 90.0
+
+    def run(self) -> BaselineOutcome:
+        oracle = self.oracle
+        try:
+            threshold = find_sbdr_threshold(oracle, num_pairs=1200)
+        except RevEngFailure as exc:
+            return self._failure(f"threshold detection failed: {exc}", 0.0)
+        addresses, colours = colour_addresses(
+            oracle, threshold.threshold_ns, self.num_addresses
+        )
+        functions, evals = self._search_functions(addresses, colours)
+        runtime = oracle.runtime_seconds() + evals * self.ns_per_function_eval * 1e-9
+        n_classes = len(set(colours.tolist()))
+        if len(functions) == 0 or (1 << len(functions)) < n_classes:
+            return self._failure(
+                f"capped search (<= {self.max_function_bits} bits/function) "
+                f"explains {1 << max(len(functions), 0)} of {n_classes} classes",
+                runtime,
+            )
+        # Even with a plausible function set, DRAMA cannot produce the row
+        # range, so the mapping is unusable for Rowhammer templating.
+        return self._failure(
+            "bank functions found but no row-bit recovery (tool limitation)",
+            runtime,
+        )
+
+    def _search_functions(
+        self, addresses: np.ndarray, colours: np.ndarray
+    ) -> tuple[list[tuple[int, ...]], int]:
+        """Exhaustive, vectorised search for class-constant XOR functions."""
+        bits = self.oracle.candidate_bits()
+        addrs = addresses.astype(np.uint64)
+        # Pre-sort by colour so constancy is an adjacent-equality test.
+        order = np.argsort(colours, kind="stable")
+        sorted_addrs = addrs[order]
+        sorted_colours = colours[order]
+        same_class = sorted_colours[1:] == sorted_colours[:-1]
+        per_bit = {
+            bit: (sorted_addrs >> np.uint64(bit)) & np.uint64(1) for bit in bits
+        }
+        evals = 0
+        found: list[tuple[int, ...]] = []
+        for width in range(1, self.max_function_bits + 1):
+            for combo in combinations(bits, width):
+                evals += 1
+                value = per_bit[combo[0]].copy()
+                for bit in combo[1:]:
+                    value ^= per_bit[bit]
+                constant = bool(np.all(value[1:][same_class] == value[:-1][same_class]))
+                if constant and not self._is_linear_combination(found, combo):
+                    found.append(combo)
+        return found, evals
+
+    @staticmethod
+    def _is_linear_combination(found, combo) -> bool:
+        """Reject XOR-combinations of already-found functions (GF(2) span)."""
+        basis: list[int] = []
+        for f in found:
+            mask = 0
+            for bit in f:
+                mask |= 1 << bit
+            cur = mask
+            changed = True
+            while changed:
+                changed = False
+                for b in basis:
+                    if cur ^ b < cur:
+                        cur ^= b
+                        changed = True
+            if cur:
+                basis.append(cur)
+        target = 0
+        for bit in combo:
+            target |= 1 << bit
+        cur = target
+        changed = True
+        while changed:
+            changed = False
+            for b in basis:
+                if cur ^ b < cur:
+                    cur ^= b
+                    changed = True
+        return cur == 0
+
+    def _failure(self, reason: str, runtime: float) -> BaselineOutcome:
+        return BaselineOutcome(
+            tool="DRAMA",
+            succeeded=False,
+            mapping=None,
+            runtime_seconds=runtime,
+            failure_reason=reason,
+            measurements=self.oracle.timer.measurements_taken,
+        )

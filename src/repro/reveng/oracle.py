@@ -1,0 +1,130 @@
+"""The attacker's timing oracle over an allocated memory pool.
+
+Wraps the allocated page pool plus the SBDR side channel into the
+``T_SBDR(M, B_diff)`` primitive Algorithm 1 is written in terms of: the
+average alternating-access latency over address pairs that differ exactly
+in the physical bits named by ``B_diff``.
+
+The oracle also accounts simulated attacker runtime (accesses x per-access
+latency plus the pool-allocation overhead), which is how Table 5's
+comparative timings are produced without wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import RevEngFailure
+from repro.common.rng import RngStream
+from repro.dram.timing import AccessLatency
+from repro.memctrl.sidechannel import PairTimer
+from repro.osmodel.memory import PAGE_SHIFT
+from repro.osmodel.pagemap import AddressSpace
+from repro.system.machine import Machine
+
+#: Measurement protocol from Section 3.3: each primitive averages 16 random
+#: address pairs, each accessed 50 times.
+PAIRS_PER_PRIMITIVE = 16
+REPS_PER_PAIR = 50
+
+
+@dataclass
+class TimingOracle:
+    """T_SBDR measurement primitive over one machine's allocated pool."""
+
+    machine: Machine
+    space: AddressSpace
+    timer: PairTimer
+    rng: RngStream
+    pairs_per_primitive: int = PAIRS_PER_PRIMITIVE
+    reps_per_pair: int = REPS_PER_PAIR
+
+    @classmethod
+    def allocate(
+        cls,
+        machine: Machine,
+        fraction: float = 0.7,
+        latency: AccessLatency | None = None,
+        seed_name: str = "oracle",
+    ) -> "TimingOracle":
+        """Allocate the Step-0 pool (default 70 % of RAM) and build probes."""
+        space = machine.pagemap.allocate_pool(fraction)
+        return cls(
+            machine=machine,
+            space=space,
+            timer=machine.pair_timer(latency),
+            rng=machine.rng.child(seed_name),
+        )
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        frames = self.space.frames
+        self._frame_set = set(int(f) for f in frames)
+        self._page_addrs = frames.astype(np.uint64) << np.uint64(PAGE_SHIFT)
+
+    @property
+    def phys_bits(self) -> int:
+        return self.machine.memory.phys_bits
+
+    def candidate_bits(self) -> list[int]:
+        """Physical bits a mapping could plausibly use (above cache lines)."""
+        return list(range(6, self.phys_bits))
+
+    # ------------------------------------------------------------------
+    def _has_partner(self, addr: int, mask: int) -> bool:
+        partner_frame = (addr ^ mask) >> PAGE_SHIFT
+        return partner_frame in self._frame_set
+
+    def sample_pairs(self, diff_bits: tuple[int, ...], count: int) -> np.ndarray:
+        """Random address pairs differing exactly in ``diff_bits``.
+
+        Sub-page bits are free (any page contains both offsets); page-level
+        bits require the partner frame to be in the pool, which the Step-0
+        70 % allocation makes likely.
+        """
+        mask = 0
+        for bit in diff_bits:
+            mask |= 1 << bit
+        page_mask = mask & ~((1 << PAGE_SHIFT) - 1)
+        pairs = np.empty((count, 2), dtype=np.uint64)
+        found = 0
+        attempts = 0
+        max_attempts = count * 400
+        n_pages = self._page_addrs.size
+        while found < count:
+            if attempts >= max_attempts:
+                raise RevEngFailure(
+                    f"could not find {count} pairs for bits {diff_bits}"
+                )
+            attempts += 1
+            base = int(self._page_addrs[int(self.rng.integers(0, n_pages))])
+            # Random sub-page offset, cache-line aligned.
+            base |= int(self.rng.integers(0, 1 << (PAGE_SHIFT - 6))) << 6
+            if page_mask and not self._has_partner(base, page_mask):
+                continue
+            pairs[found, 0] = base
+            pairs[found, 1] = base ^ mask
+            found += 1
+        return pairs
+
+    def t_sbdr(self, diff_bits: tuple[int, ...]) -> float:
+        """The paper's T_SBDR(M, B_diff): mean latency over sampled pairs."""
+        pairs = self.sample_pairs(diff_bits, self.pairs_per_primitive)
+        latencies = self.timer.measure_many(pairs, reps=self.reps_per_pair)
+        return float(np.mean(latencies))
+
+    # ------------------------------------------------------------------
+    # Simulated attacker runtime accounting (Table 5)
+    # ------------------------------------------------------------------
+    def runtime_seconds(self, extra_overhead_s: float | None = None) -> float:
+        """Attacker wall-clock this oracle's measurements would have cost."""
+        per_access_ns = self.timer.latency.row_conflict  # pessimistic bound
+        access_s = self.timer.measurements_taken * 2 * per_access_ns * 1e-9
+        overhead = (
+            self.machine.platform.reveng_alloc_overhead_s
+            if extra_overhead_s is None
+            else extra_overhead_s
+        )
+        return access_s + overhead

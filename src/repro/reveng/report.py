@@ -1,0 +1,39 @@
+"""Scoring recovered mappings against ground truth (Tables 4 and 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.functions import AddressMapping
+
+
+@dataclass(frozen=True)
+class RecoveryScore:
+    """How a recovered mapping compares to the proprietary one."""
+
+    functions_correct: bool
+    row_range_correct: bool
+    missing_functions: tuple[tuple[int, ...], ...]
+    spurious_functions: tuple[tuple[int, ...], ...]
+
+    @property
+    def fully_correct(self) -> bool:
+        return self.functions_correct and self.row_range_correct
+
+
+def compare_mappings(
+    recovered: AddressMapping, truth: AddressMapping
+) -> RecoveryScore:
+    """Compare canonical bank-function sets and the row-bit range.
+
+    Bank-function order is irrelevant (it only relabels banks), so the
+    comparison is on canonical sorted bit tuples.
+    """
+    rec = set(recovered.canonical_functions())
+    exp = set(truth.canonical_functions())
+    return RecoveryScore(
+        functions_correct=rec == exp,
+        row_range_correct=recovered.row_bits == truth.row_bits,
+        missing_functions=tuple(sorted(exp - rec)),
+        spurious_functions=tuple(sorted(rec - exp)),
+    )

@@ -1,0 +1,88 @@
+"""Step 0: finding the SBDR latency threshold (Figure 3).
+
+Random address pairs from a power-of-two aligned region split into two
+latency modes — slow SBDR pairs (fraction ~ 1/(#banks - 1)) and everything
+else.  We recover the separating threshold with a deterministic 1-D
+two-means clustering, and export the histogram for the Figure 3 density
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import RevEngFailure
+from repro.reveng.oracle import TimingOracle
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """Outcome of the threshold-finding step."""
+
+    threshold_ns: float
+    fast_center_ns: float
+    slow_center_ns: float
+    slow_fraction: float
+    samples: np.ndarray  # raw per-pair latencies, for Figure 3
+
+    def histogram(self, bins: int = 60) -> tuple[np.ndarray, np.ndarray]:
+        return np.histogram(self.samples, bins=bins)
+
+
+def _two_means(samples: np.ndarray, iterations: int = 32) -> tuple[float, float]:
+    """Deterministic 1-D k-means with k=2, seeded at the 10/90 percentiles."""
+    lo = float(np.percentile(samples, 10))
+    hi = float(np.percentile(samples, 90))
+    if hi - lo < 1e-9:
+        raise RevEngFailure("latency distribution has no spread")
+    for _ in range(iterations):
+        split = (lo + hi) / 2.0
+        low_mask = samples < split
+        if not low_mask.any() or low_mask.all():
+            break
+        new_lo = float(samples[low_mask].mean())
+        new_hi = float(samples[~low_mask].mean())
+        if abs(new_lo - lo) < 1e-6 and abs(new_hi - hi) < 1e-6:
+            break
+        lo, hi = new_lo, new_hi
+    return lo, hi
+
+
+def find_sbdr_threshold(
+    oracle: TimingOracle,
+    num_pairs: int = 3000,
+    reps: int = 8,
+) -> ThresholdResult:
+    """Sample random pairs and locate the SBDR/non-SBDR boundary.
+
+    Pairs are drawn with *arbitrary* bit differences (uniformly random
+    second address from the pool), so the slow mode's mass reflects the
+    true bank collision probability.
+    """
+    rng = oracle.rng.child("threshold")
+    n_pages = oracle.space.frames.size
+    page_addrs = (oracle.space.frames.astype(np.uint64)) << np.uint64(12)
+    idx_a = rng.integers(0, n_pages, size=num_pairs)
+    idx_b = rng.integers(0, n_pages, size=num_pairs)
+    offsets_a = rng.integers(0, 64, size=num_pairs).astype(np.uint64) << np.uint64(6)
+    offsets_b = rng.integers(0, 64, size=num_pairs).astype(np.uint64) << np.uint64(6)
+    pairs = np.stack(
+        [page_addrs[idx_a] | offsets_a, page_addrs[idx_b] | offsets_b], axis=1
+    )
+    samples = oracle.timer.measure_many(pairs, reps=reps)
+    fast, slow = _two_means(samples)
+    if slow - fast < 4 * oracle.timer.latency.noise_sigma:
+        raise RevEngFailure(
+            "latency modes not separable; SBDR side channel too noisy"
+        )
+    threshold = (fast + slow) / 2.0
+    slow_fraction = float(np.mean(samples > threshold))
+    return ThresholdResult(
+        threshold_ns=threshold,
+        fast_center_ns=fast,
+        slow_center_ns=slow,
+        slow_fraction=slow_fraction,
+        samples=samples,
+    )

@@ -1,0 +1,147 @@
+"""Unprivileged reverse engineering: superpages instead of pagemap.
+
+Algorithm 1 assumes root (pagemap exposes every pair's physical bits).  An
+unprivileged attacker only controls physical bits *inside* 2 MiB
+superpages (bits 0..20); higher bits vary uncontrollably across pages.
+This module runs the same deductive probing within that budget and
+reports what is — and provably is not — recoverable:
+
+* sub-offset *projections* of the bank functions: bits that are
+  bank-relevant, grouped by same-function membership.  Whether a
+  projection is the whole function or the visible slice of a larger one
+  is **undecidable** from inside a superpage (e.g. Raptor Lake's
+  (14, 18) slice of the (14, 18, 26, 29, 32) function times identically
+  to a genuinely two-bit function);
+* the row range is out of reach entirely (every row bit is page-level).
+
+This quantifies why the paper's offline phase requires root: hammering
+needs complete row adjacency and full functions, and no superpage-
+confined probe can certify either.
+
+Probing uses the three timing classes the side channel exposes within a
+page: row hits (~200 ns), different-bank pairs (~215 ns) and SBDR pairs
+(~330 ns).  A bit set that leaves the timing out of the different-bank
+class keeps the bank — the same-function criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from itertools import combinations
+
+from repro.dram.timing import AccessLatency
+from repro.memctrl.sidechannel import PairTimer
+from repro.osmodel.hugepages import HUGE_PAGE_SHIFT, HugePageAllocator
+from repro.system.machine import Machine
+
+
+class _TimingClass(Enum):
+    HIT = "hit"
+    DIFF_BANK = "bank"
+    SBDR = "sbdr"
+
+
+@dataclass(frozen=True)
+class UnprivilegedResult:
+    """What superpage-confined probing could learn."""
+
+    function_projections: tuple[tuple[int, ...], ...]
+    unpaired_bank_bits: tuple[int, ...]
+    pure_column_bits: tuple[int, ...]
+    observable_bits: tuple[int, int]  # inclusive probe range
+    measurements: int
+
+    @property
+    def recovered_anything(self) -> bool:
+        return bool(self.function_projections or self.unpaired_bank_bits)
+
+
+@dataclass
+class UnprivilegedRevEng:
+    """Structured deduction confined to one superpage's offset bits."""
+
+    machine: Machine
+    pages: int = 4
+    probes_per_page: int = 5
+    reps: int = 40
+    latency: AccessLatency | None = None
+
+    def run(self) -> UnprivilegedResult:
+        machine = self.machine
+        allocator = HugePageAllocator(
+            memory=machine.memory, rng=machine.rng.child("thp")
+        )
+        pages = allocator.allocate(self.pages)
+        timer = PairTimer(
+            controller=machine.controller,
+            latency=self.latency or AccessLatency(),
+            rng=machine.rng.child("thp-timer"),
+        )
+        lat = timer.latency
+        hit_bank_split = (lat.row_hit + lat.diff_bank) / 2.0
+        bank_sbdr_split = (lat.diff_bank + lat.row_conflict) / 2.0
+
+        def classify(diff_bits: tuple[int, ...]) -> _TimingClass:
+            total = 0.0
+            samples = 0
+            for page in pages:
+                for _ in range(self.probes_per_page):
+                    a, b = allocator.pair_within_page(page, diff_bits)
+                    total += timer.measure(a, b, reps=self.reps)
+                    samples += 1
+            mean = total / samples
+            if mean > bank_sbdr_split:
+                return _TimingClass.SBDR
+            if mean > hit_bank_split:
+                return _TimingClass.DIFF_BANK
+            return _TimingClass.HIT
+
+        bits = list(range(6, HUGE_PAGE_SHIFT))
+        # Single-bit pass: a flip that leaves the hit class is
+        # bank-relevant (it either moved the bank, or moved the row via a
+        # row-overlapping function member — bank-relevant either way).
+        bank_bits: list[int] = []
+        columns: list[int] = []
+        for bit in bits:
+            if classify((bit,)) is _TimingClass.HIT:
+                columns.append(bit)
+            else:
+                bank_bits.append(bit)
+        # Pair pass: two bank-relevant bits share a function iff flipping
+        # both *keeps* the bank (HIT when no row member, SBDR when the
+        # pair includes a row-overlapping member).
+        pairs: list[tuple[int, int]] = []
+        for bx, by in combinations(bank_bits, 2):
+            if classify((bx, by)) is not _TimingClass.DIFF_BANK:
+                pairs.append((bx, by))
+        projections = self._merge(pairs)
+        grouped = {bit for group in projections for bit in group}
+        unpaired = tuple(b for b in bank_bits if b not in grouped)
+        return UnprivilegedResult(
+            function_projections=tuple(sorted(projections)),
+            unpaired_bank_bits=unpaired,
+            pure_column_bits=tuple(columns),
+            observable_bits=(6, HUGE_PAGE_SHIFT - 1),
+            measurements=timer.measurements_taken,
+        )
+
+    @staticmethod
+    def _merge(pairs: list[tuple[int, int]]) -> list[tuple[int, ...]]:
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in pairs:
+            parent.setdefault(a, a)
+            parent.setdefault(b, b)
+            parent[find(a)] = find(b)
+        groups: dict[int, list[int]] = {}
+        for x in parent:
+            groups.setdefault(find(x), []).append(x)
+        return [tuple(sorted(g)) for g in groups.values()]

@@ -1,0 +1,20 @@
+"""System assembly: machines (Table 1), DIMMs (Table 2), calibration."""
+
+from repro.system.calibration import SimulationScale
+from repro.system.machine import Machine, build_machine
+from repro.system.presets import (
+    DIMM_SPECS,
+    dimm_by_id,
+    dimm_ids,
+    machine_names,
+)
+
+__all__ = [
+    "DIMM_SPECS",
+    "Machine",
+    "SimulationScale",
+    "build_machine",
+    "dimm_by_id",
+    "dimm_ids",
+    "machine_names",
+]

@@ -1,0 +1,74 @@
+"""Simulation scale and cross-cutting calibration constants.
+
+The paper's campaigns run for wall-clock hours with a 64 ms DRAM refresh
+window bounding every victim's disturbance accumulation.  Simulating full
+64 ms windows per pattern trial is wasteful in pure Python, so the
+simulator *compresses time*: the refresh window shrinks by
+``time_compression`` while every activation deposits ``time_compression``
+activations' worth of disturbance.  The product — peak disturbance =
+activation rate x slot share x 64 ms — is invariant, so per-cell flip
+thresholds keep their physical meaning (a HC_first-like activation count)
+and the activation-rate advantage of prefetching matters exactly as on
+real hardware.
+
+TRR granularity (tREFI) is *not* compressed: the sampler sees the same
+number of activations per REF as the real device would, preserving the
+pattern-vs-sampler dynamics that fuzzing explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CalibrationError
+from repro.common.units import MS
+from repro.dram.timing import DdrTiming
+
+
+@dataclass(frozen=True)
+class SimulationScale:
+    """How a simulated campaign maps onto the paper's wall-clock campaign.
+
+    ``time_compression`` divides the refresh window (64 ms -> 64/T ms) and
+    multiplies per-activation disturbance by T.  ``acts_per_pattern`` is
+    the kernel-iteration budget per pattern trial; it should span at least
+    two compressed refresh windows for the slowest kernel of interest.
+    ``patterns_per_hour`` converts the paper's fuzzing hours into pattern
+    counts (Blacksmith-style cadence).
+    """
+
+    time_compression: float = 24.0
+    acts_per_pattern: int = 150_000
+    patterns_per_hour: int = 430
+
+    def __post_init__(self) -> None:
+        if self.time_compression < 1.0:
+            raise CalibrationError("time_compression must be >= 1")
+        if self.acts_per_pattern <= 0:
+            raise CalibrationError("acts_per_pattern must be positive")
+
+    @property
+    def disturbance_gain(self) -> float:
+        """Disturbance units deposited per simulated activation."""
+        return self.time_compression
+
+    @property
+    def refresh_window_ns(self) -> float:
+        return 64.0 * MS / self.time_compression
+
+    def timing(self) -> DdrTiming:
+        """DDR timing with the compressed refresh window."""
+        return DdrTiming(refresh_window=self.refresh_window_ns)
+
+    def patterns_for_hours(self, hours: float, cap: int | None = None) -> int:
+        """Number of fuzzed patterns a campaign of ``hours`` evaluates."""
+        count = int(round(hours * self.patterns_per_hour))
+        return min(count, cap) if cap is not None else count
+
+
+#: Scales used by the shipped experiments.  ``QUICK`` keeps unit tests
+#: fast; ``BENCH`` is what the benchmark harness runs; ``FINE`` trades
+#: runtime for longer accumulation windows (closer to the real device).
+QUICK_SCALE = SimulationScale(time_compression=48.0, acts_per_pattern=80_000)
+BENCH_SCALE = SimulationScale(time_compression=24.0, acts_per_pattern=150_000)
+FINE_SCALE = SimulationScale(time_compression=8.0, acts_per_pattern=450_000)

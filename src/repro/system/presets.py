@@ -1,0 +1,126 @@
+"""Table 2: the seven DDR4 UDIMMs, with vulnerability calibration.
+
+Vendors are anonymised in the paper as S (Samsung-class), H and M.  The
+``median_flip_threshold`` / ``weak_cell_density`` pairs are the simulator's
+substitution for each DIMM's physical Rowhammer tolerance; they are chosen
+so the *relative* flip yields across DIMMs track Table 6 (S4 and S3 most
+flip-prone, S5/H1 weakly vulnerable, M1 invulnerable).  Thresholds are in
+effective activations accumulated by a victim between two of its refreshes.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SimulationError
+from repro.dram.device import DimmSpec
+from repro.dram.geometry import DramGeometry
+
+_GEOM_16G = DramGeometry(ranks=2, banks=16, rows=1 << 16)
+_GEOM_8G = DramGeometry(ranks=1, banks=16, rows=1 << 16)
+_GEOM_32G = DramGeometry(ranks=2, banks=16, rows=1 << 17)
+
+DIMM_SPECS: dict[str, DimmSpec] = {
+    "S1": DimmSpec(
+        dimm_id="S1",
+        vendor="S",
+        production_week="W35-2023",
+        freq_mhz=3200,
+        size_gib=16,
+        geometry=_GEOM_16G,
+        median_flip_threshold=65_000.0,
+        weak_cell_density=0.30,
+    ),
+    "S2": DimmSpec(
+        dimm_id="S2",
+        vendor="S",
+        production_week="W33-2021",
+        freq_mhz=3200,
+        size_gib=8,
+        geometry=_GEOM_8G,
+        median_flip_threshold=60_000.0,
+        weak_cell_density=0.38,
+    ),
+    "S3": DimmSpec(
+        dimm_id="S3",
+        vendor="S",
+        production_week="W30-2020",
+        freq_mhz=2933,
+        size_gib=16,
+        geometry=_GEOM_16G,
+        median_flip_threshold=55_000.0,
+        weak_cell_density=0.55,
+    ),
+    "S4": DimmSpec(
+        dimm_id="S4",
+        vendor="S",
+        production_week="W49-2018",
+        freq_mhz=2666,
+        size_gib=16,
+        geometry=_GEOM_16G,
+        median_flip_threshold=50_000.0,
+        weak_cell_density=0.62,
+    ),
+    "S5": DimmSpec(
+        dimm_id="S5",
+        vendor="S",
+        production_week="W22-2017",
+        freq_mhz=2400,
+        size_gib=16,
+        geometry=_GEOM_16G,
+        median_flip_threshold=100_000.0,
+        weak_cell_density=0.06,
+    ),
+    "H1": DimmSpec(
+        dimm_id="H1",
+        vendor="H",
+        production_week="W13-2020",
+        freq_mhz=2666,
+        size_gib=16,
+        geometry=_GEOM_16G,
+        median_flip_threshold=110_000.0,
+        weak_cell_density=0.045,
+    ),
+    "M1": DimmSpec(
+        dimm_id="M1",
+        vendor="M",
+        production_week="W01-2024",
+        freq_mhz=3200,
+        size_gib=32,
+        geometry=_GEOM_32G,
+        median_flip_threshold=1e12,  # never reached
+        weak_cell_density=0.0,
+    ),
+}
+
+
+#: DDR5 UDIMM used by the Section 6 future-work experiments.  Denser DDR5
+#: cells have *lower* intrinsic flip thresholds, but refresh management
+#: bounds per-bank activations architecturally.
+DDR5_DIMM = DimmSpec(
+    dimm_id="D1",
+    vendor="S",
+    production_week="W20-2024",
+    freq_mhz=5600,
+    size_gib=16,
+    geometry=DramGeometry(ranks=1, banks=64, rows=1 << 16),
+    median_flip_threshold=30_000.0,
+    weak_cell_density=0.5,
+)
+
+
+def dimm_by_id(dimm_id: str) -> DimmSpec:
+    try:
+        return DIMM_SPECS[dimm_id]
+    except KeyError:
+        raise SimulationError(
+            f"unknown DIMM {dimm_id!r}; known: {sorted(DIMM_SPECS)}"
+        ) from None
+
+
+def dimm_ids() -> list[str]:
+    """Table 2 order: S1..S5, H1, M1."""
+    return ["S1", "S2", "S3", "S4", "S5", "H1", "M1"]
+
+
+def machine_names() -> list[str]:
+    """Table 1 order."""
+    return ["comet_lake", "rocket_lake", "alder_lake", "raptor_lake"]

@@ -1,0 +1,34 @@
+"""Shared fixtures: machines are expensive-ish, so cache per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QUICK_SCALE, build_machine
+from repro.reveng.oracle import TimingOracle
+
+
+@pytest.fixture(scope="session")
+def comet_machine():
+    return build_machine("comet_lake", "S3", scale=QUICK_SCALE)
+
+
+@pytest.fixture(scope="session")
+def raptor_machine():
+    return build_machine("raptor_lake", "S3", scale=QUICK_SCALE)
+
+
+@pytest.fixture(scope="session")
+def comet_oracle(comet_machine):
+    return TimingOracle.allocate(comet_machine, fraction=0.4)
+
+
+@pytest.fixture(scope="session")
+def raptor_oracle(raptor_machine):
+    return TimingOracle.allocate(raptor_machine, fraction=0.4)
+
+
+@pytest.fixture()
+def fresh_comet():
+    """A comet machine not shared with other tests (mutating tests)."""
+    return build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=99)

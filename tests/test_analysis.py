@@ -1,0 +1,68 @@
+"""Analysis helpers: tables, histograms, heatmaps, stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.reporting import Table, render_histogram
+from repro.analysis.stats import geometric_speedup, summarize_flips
+
+
+def test_table_renders_aligned_rows():
+    table = Table("demo", ["name", "value"])
+    table.add_row("alpha", 1)
+    table.add_row("beta", 22)
+    text = table.render()
+    assert "demo" in text
+    assert "alpha" in text and "22" in text
+    lines = text.splitlines()
+    assert len({len(line) for line in lines[2:5]}) >= 1
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_histogram_shows_all_samples():
+    samples = np.concatenate([np.full(50, 10.0), np.full(10, 100.0)])
+    text = render_histogram(samples, bins=10)
+    assert "60 samples" in text
+    assert "#" in text
+
+
+def test_render_heatmap_marks_threshold_crossers():
+    bits = [6, 7, 8]
+    grid = np.zeros((3, 3))
+    grid[0, 2] = grid[2, 0] = 500.0
+    text = render_heatmap(grid, bits, threshold=300.0)
+    assert "##" in text
+    assert ".." in text
+
+
+def test_summarize_flips():
+    summary = summarize_flips(np.array([0, 3, 0, 7]))
+    assert summary.total == 10
+    assert summary.maximum == 7
+    assert summary.nonzero_locations == 2
+    assert summary.hit_rate == pytest.approx(0.5)
+    assert summary.mean == pytest.approx(2.5)
+
+
+def test_summarize_empty():
+    summary = summarize_flips(np.array([], dtype=int))
+    assert summary.total == 0
+    assert summary.hit_rate == 0.0
+
+
+def test_geometric_speedup():
+    base = np.array([100.0, 400.0])
+    new = np.array([50.0, 100.0])
+    # Ratios 2 and 4 -> geometric mean sqrt(8).
+    assert geometric_speedup(base, new) == pytest.approx(np.sqrt(8.0))
+
+
+def test_geometric_speedup_validates():
+    with pytest.raises(ValueError):
+        geometric_speedup(np.array([1.0]), np.array([1.0, 2.0]))

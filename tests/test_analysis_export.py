@@ -1,0 +1,60 @@
+"""CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    load_table_json,
+    series_to_csv,
+    table_to_csv,
+    table_to_json,
+)
+from repro.analysis.reporting import Table
+
+
+@pytest.fixture()
+def table():
+    t = Table("demo", ["arch", "flips"])
+    t.add_row("comet_lake", 100)
+    t.add_row("raptor_lake", 7)
+    return t
+
+
+def test_csv_round_trips_through_reader(table):
+    rows = list(csv.reader(io.StringIO(table_to_csv(table))))
+    assert rows[0] == ["arch", "flips"]
+    assert rows[1] == ["comet_lake", "100"]
+    assert len(rows) == 3
+
+
+def test_json_contains_title_and_rows(table):
+    payload = json.loads(table_to_json(table))
+    assert payload["title"] == "demo"
+    assert payload["rows"][1] == {"arch": "raptor_lake", "flips": "7"}
+
+
+def test_json_round_trip(table):
+    rebuilt = load_table_json(table_to_json(table))
+    assert rebuilt.title == table.title
+    assert rebuilt.columns == table.columns
+    assert rebuilt.rows == table.rows
+
+
+def test_series_to_csv_aligns_columns():
+    text = series_to_csv({"b": [1, 2], "a": [3, 4]}, index_name="loc")
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["loc", "a", "b"]
+    assert rows[1] == ["0", "3", "1"]
+    assert rows[2] == ["1", "4", "2"]
+
+
+def test_series_to_csv_rejects_ragged_input():
+    with pytest.raises(ValueError):
+        series_to_csv({"a": [1], "b": [1, 2]})
+
+
+def test_empty_series():
+    assert series_to_csv({}) == "index\r\n"

@@ -1,0 +1,71 @@
+"""Flip-map aggregation and rendering."""
+
+import pytest
+
+from repro import QUICK_SCALE, rhohammer_config
+from repro.analysis.flipmap import build_flip_map, render_flip_map
+from repro.dram.cells import FlipEvent
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.session import HammerSession
+
+
+def make_flip(bank=0, row=100, bit=8, direction=1):
+    return FlipEvent(bank=bank, row=row, bit_index=bit, direction=direction)
+
+
+def test_empty_flip_map():
+    flip_map = build_flip_map([])
+    assert flip_map.total == 0
+    assert flip_map.distinct_victims == 0
+    assert flip_map.direction_ratio == 0.0
+    assert "0 flips" in render_flip_map(flip_map)
+
+
+def test_aggregation_counts_rows_and_directions():
+    flips = [
+        make_flip(row=100, direction=1),
+        make_flip(row=100, direction=0),
+        make_flip(row=102, direction=1),
+    ]
+    flip_map = build_flip_map(flips)
+    assert flip_map.total == 3
+    assert flip_map.by_row[(0, 100)] == 2
+    assert flip_map.by_row[(0, 102)] == 1
+    assert flip_map.zero_to_one == 2
+    assert flip_map.direction_ratio == pytest.approx(2 / 3)
+
+
+def test_hottest_victims_ordering():
+    flips = [make_flip(row=1)] * 5 + [make_flip(row=2)] * 2
+    flip_map = build_flip_map(flips)
+    ranked = flip_map.hottest_victims(top=2)
+    assert ranked[0] == ((0, 1), 5)
+    assert ranked[1] == ((0, 2), 2)
+
+
+def test_render_includes_bars():
+    flips = [make_flip(row=1)] * 4 + [make_flip(row=9, direction=0)]
+    text = render_flip_map(build_flip_map(flips))
+    assert "row      1" in text
+    assert "#" in text
+    assert "1 x 1->0" in text
+
+
+def test_flip_map_from_a_real_session(comet_machine):
+    session = HammerSession(
+        machine=comet_machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+    outcome = session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+        collect_events=True,
+    )
+    flip_map = build_flip_map(outcome.flips)
+    assert flip_map.total == outcome.flip_count > 0
+    # Victims concentrate around the escapee pair's sandwiched row.
+    (bank_row, count) = flip_map.hottest_victims(top=1)[0]
+    assert 6000 <= bank_row[1] <= 6012
+    # Flip directions are cell-determined, roughly balanced over many cells.
+    assert 0.2 < flip_map.direction_ratio < 0.8

@@ -1,0 +1,67 @@
+"""Machine-checkable paper claims."""
+
+import pytest
+
+from repro.analysis.paper import (
+    CLAIMS,
+    ClaimResult,
+    evaluate_claims,
+    render_scorecard,
+)
+
+
+GOOD_MEASUREMENTS = {
+    "flips/comet_lake/rho": 10_000,
+    "flips/comet_lake/baseline": 1_200,
+    "flips/raptor_lake/rho": 800,
+    "flips/raptor_lake/baseline": 5,
+    "rate/comet_lake/rho": 250_000.0,
+    "rate/raptor_lake/rho": 14_000.0,
+    "reveng_s/rhohammer/raptor_lake": 4.0,
+    "reveng_s/rhohammer/comet_lake": 8.4,
+    "reveng_s/dramdig/comet_lake": 700.0,
+    "flips/comet_lake/rho-multibank": 9_000,
+    "flips/comet_lake/rho-singlebank": 5_000,
+    "flips/raptor_lake/rho-ptrr": 3,
+}
+
+
+def test_all_claims_pass_on_reference_numbers():
+    results = evaluate_claims(GOOD_MEASUREMENTS)
+    assert all(r.status == "pass" for r in results)
+    assert len(results) == len(CLAIMS)
+
+
+def test_missing_keys_skip_rather_than_fail():
+    results = evaluate_claims({"rate/raptor_lake/rho": 100.0})
+    by_id = {r.claim.claim_id: r.status for r in results}
+    assert by_id["raptor-still-practical"] == "pass"
+    assert by_id["rho-beats-baseline-comet"] == "skipped"
+
+
+def test_violations_fail():
+    bad = dict(GOOD_MEASUREMENTS)
+    bad["flips/raptor_lake/baseline"] = 790  # baseline ~as good as rho
+    bad["reveng_s/dramdig/comet_lake"] = 10.0  # DRAMDig suddenly fast
+    by_id = {r.claim.claim_id: r.status for r in evaluate_claims(bad)}
+    assert by_id["revival-raptor"] == "fail"
+    assert by_id["reveng-beats-dramdig"] == "fail"
+
+
+def test_zero_denominator_is_infinite_ratio():
+    m = dict(GOOD_MEASUREMENTS)
+    m["flips/comet_lake/baseline"] = 0
+    by_id = {r.claim.claim_id: r.status for r in evaluate_claims(m)}
+    assert by_id["rho-beats-baseline-comet"] == "pass"
+
+
+def test_scorecard_rendering():
+    results = evaluate_claims(GOOD_MEASUREMENTS)
+    text = render_scorecard(results)
+    assert "PASS" in text
+    assert f"{len(CLAIMS)} pass, 0 fail, 0 skipped" in text
+
+
+def test_claims_have_unique_ids():
+    ids = [c.claim_id for c in CLAIMS]
+    assert len(ids) == len(set(ids))

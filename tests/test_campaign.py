@@ -1,0 +1,67 @@
+"""The full Figure 5 workflow as one campaign."""
+
+import pytest
+
+from repro import QUICK_SCALE, build_machine
+from repro.campaign import CampaignReport, RhoHammerCampaign
+from repro.reveng import compare_mappings
+
+
+@pytest.fixture(scope="module")
+def raptor_report(raptor_machine):
+    campaign = RhoHammerCampaign(
+        machine=raptor_machine,
+        scale=QUICK_SCALE,
+        fuzz_patterns=15,
+        sweep_locations=8,
+        refine_rounds=1,
+        run_exploit=True,
+    )
+    return campaign.run()
+
+
+def test_campaign_recovers_and_validates_the_mapping(
+    raptor_report, raptor_machine
+):
+    assert raptor_report.reveng is not None
+    score = compare_mappings(
+        raptor_report.reveng.mapping, raptor_machine.mapping
+    )
+    assert score.fully_correct
+    assert raptor_report.mapping_validation.validated
+
+
+def test_campaign_tunes_an_interior_nop_count(raptor_report):
+    assert raptor_report.tuning is not None
+    assert 0 < raptor_report.tuning.best_nop_count < 1000
+    assert raptor_report.kernel.nop_count == raptor_report.tuning.best_nop_count
+
+
+def test_campaign_finds_and_sweeps_flips(raptor_report):
+    assert raptor_report.fuzzing is not None
+    assert raptor_report.fuzzing.total_flips > 0
+    assert raptor_report.best_pattern is not None
+    assert raptor_report.sweep is not None
+    assert raptor_report.succeeded
+
+
+def test_refinement_never_loses_ground(raptor_report):
+    refinement = raptor_report.refinement
+    assert refinement is not None
+    assert refinement.best_flips >= refinement.seed_flips
+
+
+def test_campaign_exploit_reaches_page_tables(raptor_report):
+    assert raptor_report.exploit is not None
+    assert raptor_report.exploit.succeeded
+
+
+def test_summary_covers_every_phase(raptor_report):
+    text = raptor_report.summary()
+    for keyword in ("mapping", "tuning", "fuzzing", "sweeping", "exploit"):
+        assert keyword in text
+
+
+def test_empty_report_summary():
+    assert CampaignReport().summary() == "(empty campaign)"
+    assert not CampaignReport().succeeded

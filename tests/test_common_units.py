@@ -1,0 +1,24 @@
+"""Unit conversions and duration formatting."""
+
+from repro.common.units import MS, NS, SEC, US, format_duration, ns_to_ms, ns_to_sec
+
+
+def test_unit_constants_are_consistent():
+    assert US == 1_000 * NS
+    assert MS == 1_000 * US
+    assert SEC == 1_000 * MS
+
+
+def test_ns_to_ms():
+    assert ns_to_ms(2_500_000) == 2.5
+
+
+def test_ns_to_sec():
+    assert ns_to_sec(3e9) == 3.0
+
+
+def test_format_duration_picks_unit():
+    assert format_duration(500) == "500 ns"
+    assert format_duration(1_500) == "1.50 us"
+    assert format_duration(2_500_000) == "2.50 ms"
+    assert format_duration(3e9) == "3.00 s"

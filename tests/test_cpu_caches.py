@@ -1,0 +1,94 @@
+"""Reference cache hierarchy and cross-validation of the fast executor."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.cpu.caches import CacheHierarchy, CacheLevel, ReferenceExecutor
+from repro.cpu.executor import HammerExecutor
+from repro.cpu.isa import HammerInstruction, rhohammer_config
+from repro.cpu.platform import platform_by_name
+
+
+def test_cache_level_lru_eviction():
+    level = CacheLevel("L1", size_bytes=64 * 4, ways=2)  # 2 sets x 2 ways
+    set0_lines = [0, 2, 4]  # all map to set 0
+    level.fill(set0_lines[0])
+    level.fill(set0_lines[1])
+    assert level.lookup(set0_lines[0])  # refresh LRU position of line 0
+    level.fill(set0_lines[2])  # evicts line 2 (least recent)
+    assert level.lookup(set0_lines[0])
+    assert not level.lookup(set0_lines[1])
+
+
+def test_hierarchy_miss_then_hit():
+    caches = CacheHierarchy()
+    assert caches.access(0x1000, HammerInstruction.LOAD)  # miss
+    assert not caches.access(0x1000, HammerInstruction.LOAD)  # hit
+
+
+def test_clflush_invalidates_everywhere():
+    caches = CacheHierarchy()
+    caches.access(0x2000, HammerInstruction.PREFETCHT0)
+    caches.clflush(0x2000)
+    assert caches.access(0x2000, HammerInstruction.LOAD)  # misses again
+
+
+def test_prefetch_hint_fills_only_target_levels():
+    caches = CacheHierarchy()
+    caches.access(0x3000, HammerInstruction.PREFETCHT2)  # LLC only
+    line = CacheHierarchy.line_of(0x3000)
+    assert not caches.levels[0].lookup(line)  # not in L1
+    assert caches.levels[2].lookup(line)  # in LLC
+
+
+def test_same_line_aliasing():
+    caches = CacheHierarchy()
+    caches.access(0x4000, HammerInstruction.LOAD)
+    # Same 64-byte line, different offset: a hit.
+    assert not caches.access(0x4020, HammerInstruction.LOAD)
+
+
+def test_reference_matches_fast_executor_when_serial():
+    """Strongest cross-check: under a serial kernel both executors must
+    report a 100 % miss rate with all accesses surviving."""
+    platform = platform_by_name("comet_lake")
+    config = rhohammer_config(nop_count=500)
+    ids = np.tile(np.arange(6), 300)
+    addresses = (np.arange(6, dtype=np.uint64) + 1) * np.uint64(1 << 20)
+
+    fast = HammerExecutor(platform, rng=RngStream(1)).execute(ids, config)
+    ref = ReferenceExecutor(platform, rng=RngStream(2)).execute(
+        ids, addresses, config
+    )
+    assert fast.miss_rate == 1.0
+    assert ref.miss_rate == 1.0
+    assert np.array_equal(ref.surviving_ids, ids)
+
+
+def test_reference_sees_drops_under_disorder():
+    platform = platform_by_name("raptor_lake")
+    config = rhohammer_config(nop_count=0)  # large residual window
+    ids = np.tile(np.arange(6), 300)
+    addresses = (np.arange(6, dtype=np.uint64) + 1) * np.uint64(1 << 20)
+    ref = ReferenceExecutor(platform, rng=RngStream(3)).execute(
+        ids, addresses, config
+    )
+    assert ref.miss_rate < 0.9
+
+
+def test_reference_and_fast_agree_on_direction():
+    """Both models must agree that Raptor drops more than Comet."""
+    ids = np.tile(np.arange(6), 400)
+    addresses = (np.arange(6, dtype=np.uint64) + 1) * np.uint64(1 << 20)
+    config = rhohammer_config(nop_count=0)
+    rates = {}
+    for name in ("comet_lake", "raptor_lake"):
+        platform = platform_by_name(name)
+        fast = HammerExecutor(platform, rng=RngStream(4)).execute(ids, config)
+        ref = ReferenceExecutor(platform, rng=RngStream(5)).execute(
+            ids, addresses, config
+        )
+        rates[name] = (fast.miss_rate, ref.miss_rate)
+    assert rates["comet_lake"][0] > rates["raptor_lake"][0]
+    assert rates["comet_lake"][1] > rates["raptor_lake"][1]

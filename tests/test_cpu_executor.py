@@ -1,0 +1,112 @@
+"""The vectorised hammer executor."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.cpu.executor import HammerExecutor
+from repro.cpu.isa import HammerKernelConfig, baseline_load_config, rhohammer_config
+from repro.cpu.platform import platform_by_name
+
+
+@pytest.fixture(scope="module")
+def raptor_executor() -> HammerExecutor:
+    return HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(41))
+
+
+@pytest.fixture(scope="module")
+def comet_executor() -> HammerExecutor:
+    return HammerExecutor(platform_by_name("comet_lake"), rng=RngStream(42))
+
+
+def stream(n_addresses=8, repeats=2000):
+    return np.tile(np.arange(n_addresses), repeats)
+
+
+def test_empty_stream(raptor_executor):
+    result = raptor_executor.execute(np.array([]), HammerKernelConfig())
+    assert result.issued == 0
+    assert result.duration_ns == 0.0
+    assert result.survivors == 0
+
+
+def test_serial_config_preserves_everything(comet_executor):
+    # On Comet Lake obfuscation removes the whole branch window, so a
+    # strong NOP pseudo-barrier leaves a truly serial stream.
+    config = rhohammer_config(nop_count=500)
+    result = comet_executor.execute(stream(), config)
+    assert result.miss_rate == 1.0
+    assert result.survivors == result.issued
+    # Order preserved: surviving ids cycle exactly like the input.
+    assert np.array_equal(result.address_ids[:16], stream()[:16])
+
+
+def test_raptor_keeps_residual_disorder_even_with_nops(raptor_executor):
+    # The hybrid parts see through the obfuscation partially; NOPs alone
+    # cannot push the window to zero (Section 4.4 / platform residual).
+    config = rhohammer_config(nop_count=500)
+    result = raptor_executor.execute(stream(), config)
+    residual = raptor_executor.platform.branch_window * (
+        raptor_executor.platform.obfuscation_residual
+    )
+    assert result.window >= residual
+    assert result.miss_rate < 1.0
+
+
+def test_disordered_prefetch_drops_accesses(raptor_executor):
+    config = HammerKernelConfig()  # no counter-speculation at all
+    result = raptor_executor.execute(stream(), config)
+    assert result.miss_rate < 0.5
+    assert result.survivors < result.issued
+
+
+def test_times_are_sorted_and_positive(raptor_executor):
+    result = raptor_executor.execute(stream(), HammerKernelConfig())
+    assert (np.diff(result.times_ns) >= 0).all()
+    assert result.times_ns.min() > 0
+
+
+def test_duration_covers_all_issued_slots(raptor_executor):
+    config = rhohammer_config(nop_count=200, num_banks=2)
+    result = raptor_executor.execute(stream(), config)
+    assert result.duration_ns >= result.times_ns.max()
+    per_slot = result.duration_ns / result.issued
+    cost = raptor_executor.throughput.iteration_cost(config, result.miss_rate)
+    assert per_slot == pytest.approx(cost.total_ns)
+
+
+def test_execution_is_deterministic_per_seed():
+    a = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(7))
+    b = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(7))
+    config = HammerKernelConfig()
+    ra = a.execute(stream(), config)
+    rb = b.execute(stream(), config)
+    assert np.array_equal(ra.address_ids, rb.address_ids)
+    assert ra.miss_rate == rb.miss_rate
+
+
+def test_comet_keeps_more_order_than_raptor(comet_executor, raptor_executor):
+    config = HammerKernelConfig()
+    comet = comet_executor.execute(stream(), config)
+    raptor = raptor_executor.execute(stream(), config)
+    assert comet.miss_rate > raptor.miss_rate
+    assert comet.window < raptor.window
+
+
+def test_multibank_raises_miss_rate(comet_executor):
+    """Figure 8: interleaving stretches flush->prefetch spacing.
+
+    Uses Comet Lake, whose moderate reorder window sits between the
+    single-bank and four-bank revisit distances; on Raptor Lake the plain
+    kernel's window dwarfs both and the drops saturate either way.
+    """
+    def run(banks):
+        ids = np.tile(np.arange(8 * banks), 2000)
+        return comet_executor.execute(ids, HammerKernelConfig(num_banks=banks))
+    assert run(4).miss_rate > run(1).miss_rate
+
+
+def test_activation_rate_property(raptor_executor):
+    result = raptor_executor.execute(stream(), rhohammer_config(nop_count=300))
+    expected = result.survivors / (result.duration_ns * 1e-9)
+    assert result.activation_rate_per_sec == pytest.approx(expected)

@@ -1,0 +1,58 @@
+"""Perf-style counter derivation."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.cpu.executor import HammerExecutor
+from repro.cpu.hpc import CORE_GHZ, PerfEvent, read_counters
+from repro.cpu.isa import HammerKernelConfig, rhohammer_config
+from repro.cpu.platform import platform_by_name
+
+
+@pytest.fixture(scope="module")
+def run():
+    executor = HammerExecutor(platform_by_name("comet_lake"), rng=RngStream(77))
+    config = rhohammer_config(nop_count=50)
+    ids = np.tile(np.arange(8), 1500)
+    return executor.execute(ids, config), config
+
+
+def test_miss_rate_matches_executor(run):
+    result, config = run
+    reading = read_counters(result, config)
+    assert reading.miss_rate == pytest.approx(result.miss_rate)
+
+
+def test_instruction_count_includes_nops(run):
+    result, config = run
+    reading = read_counters(result, config)
+    assert reading[PerfEvent.INSTRUCTIONS] == result.issued * (
+        3 + config.nop_count
+    )
+
+
+def test_cycles_track_duration(run):
+    result, config = run
+    reading = read_counters(result, config)
+    assert reading[PerfEvent.CYCLES] == int(result.duration_ns * CORE_GHZ)
+
+
+def test_activations_equal_misses(run):
+    result, config = run
+    reading = read_counters(result, config)
+    assert reading[PerfEvent.DRAM_ACTIVATIONS] == result.survivors
+
+
+def test_ipc_is_finite_and_positive(run):
+    result, config = run
+    reading = read_counters(result, config)
+    assert 0 < reading.ipc < 64
+
+
+def test_empty_run_counters():
+    executor = HammerExecutor(platform_by_name("comet_lake"), rng=RngStream(78))
+    result = executor.execute(np.array([]), HammerKernelConfig())
+    reading = read_counters(result, HammerKernelConfig())
+    assert reading.miss_rate == 0.0
+    assert reading.ipc == 0.0

@@ -1,0 +1,78 @@
+"""ISA definitions and kernel configuration."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cpu.isa import (
+    AddressingMode,
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+    baseline_load_config,
+    rhohammer_config,
+)
+
+
+def test_prefetch_classification():
+    assert not HammerInstruction.LOAD.is_prefetch
+    for instr in (
+        HammerInstruction.PREFETCHT0,
+        HammerInstruction.PREFETCHT1,
+        HammerInstruction.PREFETCHT2,
+        HammerInstruction.PREFETCHNTA,
+    ):
+        assert instr.is_prefetch
+
+
+def test_cache_levels_by_hint():
+    assert HammerInstruction.PREFETCHT0.cache_levels_filled == 3
+    assert HammerInstruction.PREFETCHT1.cache_levels_filled == 2
+    assert HammerInstruction.PREFETCHT2.cache_levels_filled == 1
+    assert HammerInstruction.PREFETCHNTA.cache_levels_filled == 1
+
+
+def test_config_rejects_negative_nops():
+    with pytest.raises(SimulationError):
+        HammerKernelConfig(nop_count=-1)
+
+
+def test_config_rejects_zero_banks():
+    with pytest.raises(SimulationError):
+        HammerKernelConfig(num_banks=0)
+
+
+def test_uops_include_nops():
+    config = HammerKernelConfig(nop_count=10)
+    assert config.uops_per_iteration == HammerKernelConfig().uops_per_iteration + 10
+
+
+def test_with_banks_and_with_nops_are_functional():
+    config = HammerKernelConfig()
+    banked = config.with_banks(4)
+    nopped = config.with_nops(100)
+    assert config.num_banks == 1 and config.nop_count == 0
+    assert banked.num_banks == 4
+    assert nopped.nop_count == 100
+
+
+def test_describe_mentions_settings():
+    config = rhohammer_config(nop_count=220, num_banks=3)
+    text = config.describe()
+    assert "nops=220" in text
+    assert "banks=3" in text
+    assert "obfuscated" in text
+
+
+def test_baseline_is_fence_free_load():
+    config = baseline_load_config()
+    assert config.instruction is HammerInstruction.LOAD
+    assert config.barrier is Barrier.NONE
+    assert not config.obfuscate_control_flow
+    assert config.addressing is AddressingMode.INDEXED
+
+
+def test_rhohammer_uses_prefetch_and_obfuscation():
+    config = rhohammer_config(nop_count=100)
+    assert config.instruction.is_prefetch
+    assert config.obfuscate_control_flow
+    assert config.nop_count == 100

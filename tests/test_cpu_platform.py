@@ -1,0 +1,53 @@
+"""Platform presets (Table 1)."""
+
+import pytest
+
+from repro.common.errors import CalibrationError
+from repro.cpu.platform import PLATFORMS, platform_by_name
+
+
+def test_all_four_architectures_present():
+    assert set(PLATFORMS) == {
+        "comet_lake", "rocket_lake", "alder_lake", "raptor_lake"
+    }
+
+
+def test_table1_cpus():
+    assert platform_by_name("comet_lake").cpu == "i7-10700K"
+    assert platform_by_name("rocket_lake").cpu == "i7-11700"
+    assert platform_by_name("alder_lake").cpu == "i9-12900"
+    assert platform_by_name("raptor_lake").cpu == "i7-14700K"
+
+
+def test_mapping_schemes_split_by_generation():
+    assert platform_by_name("comet_lake").mapping_scheme == "comet_rocket"
+    assert platform_by_name("rocket_lake").mapping_scheme == "comet_rocket"
+    assert platform_by_name("alder_lake").mapping_scheme == "alder_raptor"
+    assert platform_by_name("raptor_lake").mapping_scheme == "alder_raptor"
+
+
+def test_speculation_grows_with_generation():
+    """The paper's core observation: newer parts speculate more."""
+    names = ["comet_lake", "rocket_lake", "alder_lake", "raptor_lake"]
+    robs = [platform_by_name(n).rob_size for n in names]
+    branches = [platform_by_name(n).branch_window for n in names]
+    assert robs == sorted(robs)
+    assert branches == sorted(branches)
+
+
+def test_obfuscation_residual_split():
+    """Counter-speculation fully works on Comet/Rocket, partially on
+    Alder/Raptor — the reason rhoHammer's flip rates differ by orders of
+    magnitude across the generations."""
+    assert platform_by_name("comet_lake").obfuscation_residual == 0.0
+    assert platform_by_name("raptor_lake").obfuscation_residual > 0.05
+
+
+def test_unknown_platform_raises():
+    with pytest.raises(CalibrationError):
+        platform_by_name("meteor_lake")
+
+
+def test_max_mem_freq_matches_table1():
+    assert platform_by_name("comet_lake").max_mem_freq == 2933
+    assert platform_by_name("raptor_lake").max_mem_freq == 3200

@@ -1,0 +1,194 @@
+"""Disorder model: windows, drops, reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngStream
+from repro.cpu.isa import (
+    AddressingMode,
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+)
+from repro.cpu.platform import platform_by_name
+from repro.cpu.speculation import DisorderModel, revisit_distances
+
+
+@pytest.fixture(scope="module")
+def raptor_model() -> DisorderModel:
+    return DisorderModel(platform_by_name("raptor_lake"))
+
+
+@pytest.fixture(scope="module")
+def comet_model() -> DisorderModel:
+    return DisorderModel(platform_by_name("comet_lake"))
+
+
+def test_nops_shrink_the_window(raptor_model):
+    bare = raptor_model.profile(HammerKernelConfig(nop_count=0))
+    padded = raptor_model.profile(HammerKernelConfig(nop_count=300))
+    assert padded.window < bare.window
+
+
+def test_enough_nops_plus_obfuscation_serialise(raptor_model):
+    config = HammerKernelConfig(nop_count=500, obfuscate_control_flow=True)
+    profile = raptor_model.profile(config)
+    assert profile.window < 13  # only the obfuscation residual remains
+
+
+def test_obfuscation_removes_branch_disorder_on_comet(comet_model):
+    plain = comet_model.profile(HammerKernelConfig())
+    obfuscated = comet_model.profile(
+        HammerKernelConfig(obfuscate_control_flow=True)
+    )
+    branch = comet_model.platform.branch_window
+    assert plain.window - obfuscated.window == pytest.approx(branch)
+
+
+def test_immediate_addressing_widens_window(comet_model):
+    indexed = comet_model.profile(
+        HammerKernelConfig(addressing=AddressingMode.INDEXED)
+    )
+    immediate = comet_model.profile(
+        HammerKernelConfig(addressing=AddressingMode.IMMEDIATE)
+    )
+    assert immediate.window > indexed.window * 2
+
+
+def test_lfence_orders_indexed_but_not_immediate_prefetch(raptor_model):
+    indexed = raptor_model.profile(HammerKernelConfig(
+        barrier=Barrier.LFENCE,
+        addressing=AddressingMode.INDEXED,
+        obfuscate_control_flow=True,
+    ))
+    immediate = raptor_model.profile(HammerKernelConfig(
+        barrier=Barrier.LFENCE,
+        addressing=AddressingMode.IMMEDIATE,
+        obfuscate_control_flow=True,
+    ))
+    # The paper's Section 4.4 finding: LFENCE only orders prefetches
+    # indirectly through the address-resolution dependency.
+    assert immediate.window > indexed.window * 3
+
+
+def test_mfence_orders_loads_not_prefetches(raptor_model):
+    load = raptor_model.profile(HammerKernelConfig(
+        instruction=HammerInstruction.LOAD,
+        barrier=Barrier.MFENCE,
+        obfuscate_control_flow=True,
+    ))
+    prefetch = raptor_model.profile(HammerKernelConfig(
+        instruction=HammerInstruction.PREFETCHT2,
+        barrier=Barrier.MFENCE,
+        obfuscate_control_flow=True,
+        addressing=AddressingMode.IMMEDIATE,
+    ))
+    assert load.window < prefetch.window
+
+
+def test_cpuid_serialises_everything(raptor_model):
+    profile = raptor_model.profile(HammerKernelConfig(
+        barrier=Barrier.CPUID,
+        obfuscate_control_flow=True,
+        addressing=AddressingMode.IMMEDIATE,
+    ))
+    assert profile.window < 13
+
+
+def test_newer_platform_has_larger_windows(comet_model, raptor_model):
+    config = HammerKernelConfig()
+    assert raptor_model.profile(config).window > comet_model.profile(config).window
+
+
+# ----------------------------------------------------------------------
+# Drop probabilities
+# ----------------------------------------------------------------------
+def test_drops_decrease_with_distance(raptor_model):
+    profile = raptor_model.profile(HammerKernelConfig())
+    d = np.array([1, 10, 100, 1000, 100000])
+    p = raptor_model.drop_probabilities(d, profile)
+    assert np.all(np.diff(p) <= 0)
+    assert p[0] > 0.8 * profile.drop_cap
+    assert p[-1] < 0.01
+
+
+def test_serial_profile_never_drops(comet_model):
+    config = HammerKernelConfig(nop_count=600, obfuscate_control_flow=True)
+    profile = comet_model.profile(config)
+    assert profile.effectively_serial
+    p = comet_model.drop_probabilities(np.array([1, 2, 3]), profile)
+    assert np.all(p == 0)
+
+
+def test_load_cap_below_prefetch_cap(comet_model):
+    load = comet_model.profile(
+        HammerKernelConfig(instruction=HammerInstruction.LOAD)
+    )
+    prefetch = comet_model.profile(
+        HammerKernelConfig(instruction=HammerInstruction.PREFETCHT2)
+    )
+    assert load.drop_cap < prefetch.drop_cap
+
+
+# ----------------------------------------------------------------------
+# Reordering
+# ----------------------------------------------------------------------
+def test_serial_order_is_program_order(comet_model):
+    profile = comet_model.profile(
+        HammerKernelConfig(nop_count=600, obfuscate_control_flow=True)
+    )
+    order = comet_model.shuffle_order(100, profile, RngStream(1))
+    assert np.array_equal(order, np.arange(100))
+
+
+def test_shuffle_displacement_is_bounded(raptor_model):
+    profile = raptor_model.profile(HammerKernelConfig())
+    order = raptor_model.shuffle_order(5000, profile, RngStream(2))
+    displacement = np.abs(order - np.arange(5000))
+    assert displacement.max() <= profile.window + 1
+    assert displacement.max() > 0
+
+
+def test_shuffle_is_a_permutation(raptor_model):
+    profile = raptor_model.profile(HammerKernelConfig())
+    order = raptor_model.shuffle_order(1000, profile, RngStream(3))
+    assert sorted(order.tolist()) == list(range(1000))
+
+
+# ----------------------------------------------------------------------
+# Revisit distances
+# ----------------------------------------------------------------------
+def naive_revisit(ids):
+    last = {}
+    out = []
+    for i, x in enumerate(ids):
+        out.append(i - last[x] if x in last else 10**17)
+        last[x] = i
+    return out
+
+
+def test_revisit_distances_simple():
+    ids = np.array([7, 8, 7, 7, 8])
+    d = revisit_distances(ids)
+    assert d[2] == 2 and d[3] == 1 and d[4] == 3
+    assert d[0] > 10**6 and d[1] > 10**6
+
+
+def test_revisit_distances_empty():
+    assert revisit_distances(np.array([], dtype=np.int64)).size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(ids=st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=200))
+def test_revisit_distances_match_naive(ids):
+    arr = np.array(ids, dtype=np.int64)
+    fast = revisit_distances(arr)
+    slow = naive_revisit(ids)
+    for f, s in zip(fast.tolist(), slow):
+        if s >= 10**17:
+            assert f > 10**6
+        else:
+            assert f == s

@@ -1,0 +1,106 @@
+"""Throughput model: per-iteration costs and memory bounds."""
+
+import pytest
+
+from repro.cpu.isa import (
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+    baseline_load_config,
+    rhohammer_config,
+)
+from repro.cpu.platform import platform_by_name
+from repro.cpu.timing import CHANNEL_ACT_FLOOR_NS, ThroughputModel
+
+
+@pytest.fixture(scope="module")
+def model() -> ThroughputModel:
+    return ThroughputModel(platform_by_name("raptor_lake"))
+
+
+def test_prefetch_cheaper_than_load_at_full_miss(model):
+    prefetch = model.cpu_cost_ns(HammerKernelConfig(), miss_rate=1.0)
+    load = model.cpu_cost_ns(baseline_load_config(), miss_rate=1.0)
+    assert load > prefetch * 1.5
+
+
+def test_prefetch_cost_independent_of_miss_rate(model):
+    config = HammerKernelConfig()
+    assert model.cpu_cost_ns(config, 0.1) == model.cpu_cost_ns(config, 1.0)
+
+
+def test_load_cost_rises_with_miss_rate(model):
+    config = baseline_load_config()
+    assert model.cpu_cost_ns(config, 1.0) > model.cpu_cost_ns(config, 0.1)
+
+
+def test_multibank_improves_load_mlp(model):
+    one = model.cpu_cost_ns(baseline_load_config(num_banks=1), 1.0)
+    four = model.cpu_cost_ns(baseline_load_config(num_banks=4), 1.0)
+    assert four < one
+
+
+def test_lfence_load_pays_full_dram_latency(model):
+    config = HammerKernelConfig(
+        instruction=HammerInstruction.LOAD, barrier=Barrier.LFENCE
+    )
+    cost = model.barrier_cost_ns(config)
+    assert cost == model.platform.dram_latency_ns
+
+
+def test_barrier_cost_ordering(model):
+    """CPUID > MFENCE > LFENCE(prefetch) > none — Table 3's time column."""
+    def cost(barrier):
+        return model.barrier_cost_ns(HammerKernelConfig(barrier=barrier))
+    assert cost(Barrier.CPUID) > cost(Barrier.MFENCE)
+    assert cost(Barrier.MFENCE) > cost(Barrier.LFENCE)
+    assert cost(Barrier.LFENCE) > cost(Barrier.NONE) == 0.0
+
+
+def test_nops_add_linear_cost(model):
+    base = model.cpu_cost_ns(HammerKernelConfig(nop_count=0), 1.0)
+    padded = model.cpu_cost_ns(HammerKernelConfig(nop_count=100), 1.0)
+    per_nop = (padded - base) / 100
+    assert per_nop == pytest.approx(model.platform.nop_cost_ns)
+
+
+def test_obfuscation_adds_overhead(model):
+    plain = model.cpu_cost_ns(HammerKernelConfig(), 1.0)
+    obfuscated = model.cpu_cost_ns(
+        HammerKernelConfig(obfuscate_control_flow=True), 1.0
+    )
+    assert obfuscated - plain == pytest.approx(
+        model.platform.obfuscation_overhead_ns
+    )
+
+
+def test_single_bank_hits_the_row_cycle_bound(model):
+    breakdown = model.iteration_cost(HammerKernelConfig(num_banks=1), 1.0)
+    assert breakdown.memory_bound
+    assert breakdown.total_ns == pytest.approx(model.timing.t_rc)
+
+
+def test_bank_bound_divides_with_interleaving(model):
+    one = model.iteration_cost(HammerKernelConfig(num_banks=1), 1.0)
+    four = model.iteration_cost(HammerKernelConfig(num_banks=4), 1.0)
+    assert four.bank_bound_ns == pytest.approx(one.bank_bound_ns / 4)
+
+
+def test_memory_bounds_scale_with_miss_rate(model):
+    full = model.iteration_cost(HammerKernelConfig(num_banks=1), 1.0)
+    half = model.iteration_cost(HammerKernelConfig(num_banks=1), 0.5)
+    assert half.bank_bound_ns == pytest.approx(full.bank_bound_ns / 2)
+
+
+def test_channel_floor_binds_at_many_banks(model):
+    breakdown = model.iteration_cost(
+        rhohammer_config(nop_count=0, num_banks=16), 1.0
+    )
+    assert breakdown.channel_bound_ns == pytest.approx(CHANNEL_ACT_FLOOR_NS)
+
+
+def test_activation_rate_accounts_for_drops(model):
+    config = HammerKernelConfig(num_banks=4)
+    full = model.activation_rate_per_sec(config, 1.0)
+    half = model.activation_rate_per_sec(config, 0.5)
+    assert half < full

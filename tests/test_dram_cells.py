@@ -1,0 +1,99 @@
+"""Per-cell flip threshold population."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.cells import CellPopulation
+
+
+def make_population(**kwargs) -> CellPopulation:
+    defaults = dict(
+        dimm_uid="TEST", median_threshold=50_000.0, weak_cell_density=0.5
+    )
+    defaults.update(kwargs)
+    return CellPopulation(**defaults)
+
+
+def test_profiles_are_deterministic():
+    a = make_population().profile(3, 1000)
+    b = make_population().profile(3, 1000)
+    assert np.array_equal(a.thresholds, b.thresholds)
+    assert np.array_equal(a.bit_indices, b.bit_indices)
+
+
+def test_profiles_differ_across_rows():
+    pop = make_population()
+    a = pop.profile(3, 1000)
+    b = pop.profile(3, 1001)
+    assert not np.array_equal(a.bit_indices, b.bit_indices)
+
+
+def test_profiles_differ_across_dimms():
+    a = make_population(dimm_uid="A").profile(0, 5)
+    b = make_population(dimm_uid="B").profile(0, 5)
+    assert not np.array_equal(a.thresholds, b.thresholds)
+
+
+def test_thresholds_sorted_ascending():
+    prof = make_population().profile(0, 42)
+    assert np.all(np.diff(prof.thresholds) >= 0)
+
+
+def test_zero_density_is_invulnerable():
+    pop = make_population(weak_cell_density=0.0)
+    assert pop.flip_count_for(0, 7, 1e12) == 0
+    assert pop.flips_for(0, 7, 1e12) == []
+
+
+def test_no_flips_below_all_thresholds():
+    pop = make_population()
+    assert pop.flip_count_for(0, 9, 1.0) == 0
+
+
+def test_all_cells_flip_at_huge_disturbance():
+    pop = make_population()
+    prof = pop.profile(0, 9)
+    assert pop.flip_count_for(0, 9, 1e15) == prof.thresholds.size
+
+
+def test_flip_events_match_count():
+    pop = make_population()
+    peak = 60_000.0
+    events = pop.flips_for(2, 11, peak)
+    assert len(events) == pop.flip_count_for(2, 11, peak)
+    for event in events:
+        assert event.bank == 2
+        assert event.row == 11
+        assert 0 <= event.bit_index < 65536
+        assert event.direction in (0, 1)
+
+
+def test_bit_indices_unique_within_row():
+    prof = make_population(weak_cell_density=1.0).profile(0, 3)
+    assert len(set(prof.bit_indices.tolist())) == prof.bit_indices.size
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        make_population(median_threshold=0.0)
+    with pytest.raises(ValueError):
+        make_population(weak_cell_density=1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    peak_a=st.floats(min_value=0, max_value=1e7),
+    peak_b=st.floats(min_value=0, max_value=1e7),
+)
+def test_flip_count_monotone_in_peak(peak_a, peak_b):
+    pop = make_population()
+    lo, hi = sorted((peak_a, peak_b))
+    assert pop.flip_count_for(1, 77, lo) <= pop.flip_count_for(1, 77, hi)
+
+
+def test_cache_reuses_profiles():
+    pop = make_population()
+    first = pop.profile(0, 1)
+    assert pop.profile(0, 1) is first

@@ -1,0 +1,65 @@
+"""Data patterns and flip observability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.cells import FlipEvent
+from repro.dram.datapattern import (
+    DEFAULT_TEMPLATE_PATTERNS,
+    DataPattern,
+    observable,
+    observable_flips,
+    stored_bit,
+)
+
+
+def flip(row=0, bit=0, direction=1):
+    return FlipEvent(bank=0, row=row, bit_index=bit, direction=direction)
+
+
+def test_solid_patterns():
+    assert stored_bit(DataPattern.ALL_ZEROS, 5, 9) == 0
+    assert stored_bit(DataPattern.ALL_ONES, 5, 9) == 1
+
+
+def test_checkerboard_alternates_with_bit_index():
+    assert stored_bit(DataPattern.CHECKERBOARD, 0, 0) == 0
+    assert stored_bit(DataPattern.CHECKERBOARD, 0, 1) == 1
+    assert stored_bit(DataPattern.CHECKERBOARD_INV, 0, 0) == 1
+
+
+def test_row_stripe_alternates_with_row():
+    assert stored_bit(DataPattern.ROW_STRIPE, 0, 7) == 0
+    assert stored_bit(DataPattern.ROW_STRIPE, 1, 7) == 1
+
+
+def test_all_zeros_sees_only_up_flips():
+    up = flip(direction=1)
+    down = flip(direction=0)
+    assert observable(up, DataPattern.ALL_ZEROS)
+    assert not observable(down, DataPattern.ALL_ZEROS)
+    assert observable(down, DataPattern.ALL_ONES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    row=st.integers(min_value=0, max_value=1000),
+    bit=st.integers(min_value=0, max_value=65535),
+    direction=st.integers(min_value=0, max_value=1),
+    pattern=st.sampled_from(list(DataPattern)),
+)
+def test_complement_covers_what_the_pattern_misses(row, bit, direction, pattern):
+    event = flip(row=row, bit=bit, direction=direction)
+    assert observable(event, pattern) != observable(event, pattern.complement)
+
+
+def test_default_sweep_loses_nothing():
+    flips = [flip(bit=b, direction=b % 2) for b in range(32)]
+    assert observable_flips(flips, DEFAULT_TEMPLATE_PATTERNS) == flips
+
+
+def test_single_polarity_sees_about_half():
+    flips = [flip(bit=b, direction=d) for b in range(64) for d in (0, 1)]
+    seen = observable_flips(flips, (DataPattern.ALL_ZEROS,))
+    assert len(seen) == len(flips) // 2

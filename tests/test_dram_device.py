@@ -1,0 +1,130 @@
+"""The DIMM hammer engine: disturbance, refresh, TRR interplay."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.dram.device import Dimm, DimmSpec
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DdrTiming
+from repro.dram.trr import PtrrShield, TrrConfig
+
+
+def make_dimm(
+    median=5_000.0,
+    density=0.6,
+    trr: TrrConfig | None = None,
+    ptrr_enabled=False,
+    window_ns=2.0e6,
+) -> Dimm:
+    spec = DimmSpec(
+        dimm_id="T1",
+        vendor="T",
+        production_week="W01-2025",
+        freq_mhz=3200,
+        size_gib=16,
+        geometry=DramGeometry(ranks=2, banks=16, rows=1 << 16),
+        median_flip_threshold=median,
+        weak_cell_density=density,
+    )
+    return Dimm(
+        spec=spec,
+        timing=DdrTiming(refresh_window=window_ns),
+        trr_config=trr or TrrConfig(capacity=2, sample_prob=1.0),
+        ptrr=PtrrShield(enabled=ptrr_enabled),
+        rng=RngStream(5, "dimm-test"),
+    )
+
+
+def uniform_stream(rows, n, spacing_ns=50.0):
+    times = (np.arange(n, dtype=np.float64) + 1) * spacing_ns
+    row_arr = np.tile(np.asarray(rows, dtype=np.int64), n // len(rows) + 1)[:n]
+    return times, row_arr
+
+
+def test_empty_stream_yields_nothing():
+    dimm = make_dimm()
+    result = dimm.hammer({0: (np.array([]), np.array([]))})
+    assert result.flip_count == 0
+    assert result.acts_executed == 0
+
+
+def test_mismatched_stream_raises():
+    dimm = make_dimm()
+    with pytest.raises(Exception):
+        dimm.hammer({0: (np.array([1.0, 2.0]), np.array([5]))})
+
+
+def test_double_sided_hammer_flips_without_trr():
+    # Sampler with zero-probability observation = no TRR at all.
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12))
+    times, rows = uniform_stream([100, 102], 40_000)
+    result = dimm.hammer({0: (times, rows)}, collect_events=True)
+    assert result.flip_count > 0
+    flipped_rows = {f.row for f in result.flips}
+    assert 101 in flipped_rows  # the sandwiched victim flips first
+
+
+def test_trr_defeats_naive_double_sided():
+    # A two-entry sampler trivially tracks a classic double-sided pair.
+    dimm = make_dimm(trr=TrrConfig(capacity=2, sample_prob=1.0,
+                                   refreshes_per_ref=2, flush_every_refs=2))
+    times, rows = uniform_stream([100, 102], 40_000)
+    result = dimm.hammer({0: (times, rows)})
+    assert result.flip_count == 0
+    assert result.trr_refreshes > 0
+
+
+def test_disturbance_gain_scales_peaks():
+    dimm_lo = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12),
+                        median=1e9)
+    times, rows = uniform_stream([100, 102], 20_000)
+    none = dimm_lo.hammer({0: (times, rows)}, disturbance_gain=1.0)
+    dimm_hi = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12),
+                        median=1e6, density=0.9)
+    boosted = dimm_hi.hammer({0: (times, rows)}, disturbance_gain=100.0)
+    assert none.flip_count == 0
+    assert boosted.flip_count > 0
+
+
+def test_banks_are_independent():
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12))
+    times, rows = uniform_stream([100, 102], 30_000)
+    split = dimm.hammer({0: (times, rows), 5: (times, rows)},
+                        collect_events=True)
+    banks = {f.bank for f in split.flips}
+    assert banks == {0, 5}
+
+
+def test_ptrr_suppresses_flips():
+    vulnerable = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12))
+    protected = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12),
+                          ptrr_enabled=True)
+    times, rows = uniform_stream([100, 102], 40_000)
+    open_result = vulnerable.hammer({0: (times, rows)})
+    shut_result = protected.hammer({0: (times, rows)})
+    assert open_result.flip_count > 0
+    assert shut_result.flip_count < open_result.flip_count / 5
+
+
+def test_periodic_refresh_bounds_accumulation():
+    # With a tiny refresh window every victim is reset constantly, so the
+    # same stream that flips under a long window cannot flip.
+    long_window = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12),
+                            window_ns=2.0e6)
+    short_window = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12),
+                             window_ns=0.05e6)
+    times, rows = uniform_stream([100, 102], 40_000)
+    assert long_window.hammer({0: (times, rows)}).flip_count > 0
+    assert short_window.hammer({0: (times, rows)}).flip_count == 0
+
+
+def test_flip_events_only_materialised_on_request():
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12))
+    times, rows = uniform_stream([100, 102], 40_000)
+    counted = dimm.hammer({0: (times, rows)}, collect_events=False)
+    detailed = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-12)).hammer(
+        {0: (times, rows)}, collect_events=True
+    )
+    assert counted.flips == ()
+    assert counted.flip_count == detailed.flip_count > 0

@@ -1,0 +1,49 @@
+"""DRAM geometry validation."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.dram.geometry import DramGeometry
+
+
+def test_total_banks():
+    geo = DramGeometry(ranks=2, banks=16, rows=1 << 16)
+    assert geo.total_banks == 32
+
+
+def test_bit_widths():
+    geo = DramGeometry(ranks=2, banks=16, rows=1 << 17)
+    assert geo.row_bits == 17
+    assert geo.bank_bits == 5
+
+
+def test_contains_row():
+    geo = DramGeometry(ranks=1, banks=16, rows=1 << 16)
+    assert geo.contains_row(0)
+    assert geo.contains_row((1 << 16) - 1)
+    assert not geo.contains_row(-1)
+    assert not geo.contains_row(1 << 16)
+
+
+def test_clamp_row():
+    geo = DramGeometry(ranks=1, banks=16, rows=256)
+    assert geo.clamp_row(-5) == 0
+    assert geo.clamp_row(300) == 255
+    assert geo.clamp_row(100) == 100
+
+
+@pytest.mark.parametrize("ranks", [0, 3, 4])
+def test_invalid_ranks(ranks):
+    with pytest.raises(SimulationError):
+        DramGeometry(ranks=ranks, banks=16, rows=256)
+
+
+@pytest.mark.parametrize("banks", [0, 3, 17])
+def test_non_power_of_two_banks(banks):
+    with pytest.raises(SimulationError):
+        DramGeometry(ranks=1, banks=banks, rows=256)
+
+
+def test_non_power_of_two_rows():
+    with pytest.raises(SimulationError):
+        DramGeometry(ranks=1, banks=16, rows=1000)

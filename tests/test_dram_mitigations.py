@@ -1,0 +1,111 @@
+"""Section 6 mitigation remappers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngStream
+from repro.dram.geometry import DramGeometry
+from repro.dram.mitigations import (
+    RandomizedRowSwap,
+    RowRemapper,
+    ScrambledMapping,
+)
+
+GEO = DramGeometry(ranks=2, banks=16, rows=1 << 16)
+
+
+def test_identity_remapper_is_noop():
+    rows = np.arange(100, dtype=np.int64)
+    out = RowRemapper().remap(0, rows, 0.0)
+    assert np.array_equal(out, rows)
+
+
+def test_scramble_changes_rows():
+    scramble = ScrambledMapping(geometry=GEO, boot_key=0xBEEF)
+    rows = np.arange(1000, dtype=np.int64)
+    out = scramble.remap(0, rows, 0.0)
+    assert not np.array_equal(out, rows)
+
+
+def test_scramble_is_deterministic_per_boot_key():
+    rows = np.arange(256, dtype=np.int64)
+    a = ScrambledMapping(geometry=GEO, boot_key=1).remap(0, rows, 0.0)
+    b = ScrambledMapping(geometry=GEO, boot_key=1).remap(0, rows, 0.0)
+    c = ScrambledMapping(geometry=GEO, boot_key=2).remap(0, rows, 0.0)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_scramble_differs_per_bank():
+    scramble = ScrambledMapping(geometry=GEO, boot_key=7)
+    rows = np.arange(256, dtype=np.int64)
+    assert not np.array_equal(
+        scramble.remap(0, rows, 0.0), scramble.remap(1, rows, 0.0)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=st.integers(min_value=0, max_value=2**32 - 1))
+def test_scramble_is_a_bijection(key):
+    """A real scrambler must remain a bijection or normal reads break."""
+    scramble = ScrambledMapping(geometry=GEO, boot_key=key)
+    rows = np.arange(GEO.rows, dtype=np.int64)
+    out = scramble.remap(3, rows, 0.0)
+    assert len(np.unique(out)) == GEO.rows
+    assert out.min() >= 0 and out.max() < GEO.rows
+
+
+def test_scramble_breaks_adjacency():
+    scramble = ScrambledMapping(geometry=GEO, boot_key=0xABCD)
+    rows = np.arange(0, 64, dtype=np.int64)
+    out = scramble.remap(0, rows, 0.0)
+    adjacent = np.abs(np.diff(np.sort(out))) == 1
+    # Nearly all previously adjacent rows scatter apart.
+    assert adjacent.mean() < 0.2
+
+
+def test_rrs_swaps_hot_rows():
+    rrs = RandomizedRowSwap(
+        geometry=GEO, rng=RngStream(1, "rrs"), swap_threshold=100
+    )
+    hot = np.full(1000, 5000, dtype=np.int64)
+    out = rrs.remap(0, hot, 0.0)
+    # Counts are evaluated per processing chunk (256 accesses), so a
+    # continuously hot row swaps about once per chunk.
+    assert rrs.swaps_performed >= 3
+    # Early accesses still hit the original row, later ones move.
+    assert out[0] == 5000
+    assert len(np.unique(out)) > 1
+
+
+def test_rrs_leaves_cold_rows_alone():
+    rrs = RandomizedRowSwap(
+        geometry=GEO, rng=RngStream(2, "rrs"), swap_threshold=1000
+    )
+    cold = np.arange(500, dtype=np.int64)  # each row touched once
+    out = rrs.remap(0, cold, 0.0)
+    assert np.array_equal(out, cold)
+    assert rrs.swaps_performed == 0
+
+
+def test_rrs_counts_accumulate_across_calls():
+    rrs = RandomizedRowSwap(
+        geometry=GEO, rng=RngStream(3, "rrs"), swap_threshold=150
+    )
+    batch = np.full(100, 42, dtype=np.int64)
+    rrs.remap(0, batch, 0.0)
+    assert rrs.swaps_performed == 0
+    rrs.remap(0, batch, 1.0)
+    assert rrs.swaps_performed == 1
+
+
+def test_rrs_tables_are_per_bank():
+    rrs = RandomizedRowSwap(
+        geometry=GEO, rng=RngStream(4, "rrs"), swap_threshold=50
+    )
+    hot = np.full(200, 7, dtype=np.int64)
+    rrs.remap(0, hot, 0.0)
+    # Bank 1 was never hammered: its table is untouched.
+    out = rrs.remap(1, np.array([7], dtype=np.int64), 0.0)
+    assert out[0] == 7

@@ -1,0 +1,38 @@
+"""DDR timing derived quantities."""
+
+from repro.dram.timing import AccessLatency, DdrTiming
+
+
+def test_row_cycle_is_ras_plus_rp():
+    timing = DdrTiming()
+    assert timing.t_rc == timing.t_ras + timing.t_rp
+
+
+def test_refs_per_window_ddr4_default():
+    timing = DdrTiming()
+    # 64 ms / 7.8 us ~ 8205 REF commands per window.
+    assert 8000 <= timing.refs_per_window <= 8300
+
+
+def test_compressed_window_scales_refs():
+    timing = DdrTiming(refresh_window=64e6 / 32)
+    assert timing.refs_per_window == DdrTiming().refs_per_window // 32
+
+
+def test_max_acts_per_refi_positive_and_bounded():
+    timing = DdrTiming()
+    assert 100 < timing.max_acts_per_refi < 200
+
+
+def test_max_acts_per_window():
+    timing = DdrTiming()
+    expected = timing.max_acts_per_refi * timing.refs_per_window
+    assert timing.max_acts_per_window == expected
+
+
+def test_access_latency_ordering():
+    lat = AccessLatency()
+    assert lat.row_hit < lat.diff_bank < lat.row_conflict
+    # The SBDR gap must dominate measurement noise for the side channel
+    # to be usable at all.
+    assert lat.row_conflict - lat.diff_bank > 6 * lat.noise_sigma

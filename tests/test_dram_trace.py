@@ -1,0 +1,106 @@
+"""Activation-trace recording, persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro import QUICK_SCALE, build_machine, rhohammer_config
+from repro.dram.device import Dimm
+from repro.dram.trace import ActivationTrace, record_trace, replay_trace
+from repro.dram.trr import TrrConfig
+from repro.exploit.endtoend import canonical_compact_pattern
+
+
+@pytest.fixture(scope="module")
+def trace(comet_machine):
+    return record_trace(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        canonical_compact_pattern(),
+        base_row=6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+
+
+def test_trace_covers_the_target_banks(trace):
+    assert trace.banks == (0, 1, 2)
+    assert trace.total_acts > 0
+    assert trace.duration_ns > 0
+
+
+def test_trace_rows_are_pattern_rows(trace):
+    rows = np.concatenate([r for _, r in trace.bank_streams.values()])
+    offsets = set(int(r) - 6000 for r in np.unique(rows))
+    expected = {off for p in canonical_compact_pattern().pairs for off in p.rows}
+    assert offsets == expected
+
+
+def test_replay_reproduces_the_original_flips(trace, comet_machine):
+    direct = replay_trace(trace, comet_machine.dimm)
+    again = replay_trace(trace, comet_machine.dimm)
+    assert direct.flip_count > 0
+    # Same trace, same DIMM: deterministic cell population, near-identical
+    # counts (the sampler draws fresh noise per replay).
+    assert abs(direct.flip_count - again.flip_count) <= max(
+        3, direct.flip_count // 5
+    )
+
+
+def test_replay_against_stronger_trr(trace, comet_machine):
+    """One recorded campaign, two TRR strengths — the record/replay
+    use-case."""
+    spec = comet_machine.dimm.spec
+    tight = Dimm(
+        spec=spec,
+        timing=comet_machine.dimm.timing,
+        trr_config=TrrConfig(capacity=2, refreshes_per_ref=2),
+    )
+    baseline = replay_trace(trace, comet_machine.dimm)
+    protected = replay_trace(trace, tight)
+    assert protected.flip_count < baseline.flip_count
+
+
+def test_save_load_roundtrip(trace, tmp_path):
+    path = tmp_path / "trace.npz"
+    trace.save(path)
+    loaded = ActivationTrace.load(path)
+    assert loaded.banks == trace.banks
+    assert loaded.total_acts == trace.total_acts
+    assert loaded.disturbance_gain == trace.disturbance_gain
+    assert loaded.description == trace.description
+    for bank in trace.banks:
+        times_a, rows_a = trace.bank_streams[bank]
+        times_b, rows_b = loaded.bank_streams[bank]
+        assert np.array_equal(times_a, times_b)
+        assert np.array_equal(rows_a, rows_b)
+
+
+def test_load_rejects_empty_archive(tmp_path):
+    import numpy as np
+    path = tmp_path / "empty.npz"
+    np.savez_compressed(path, meta=np.array([1.0]),
+                        description=np.array(["x"]))
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        ActivationTrace.load(path)
+
+
+def test_replayed_flips_match_live_session(comet_machine, trace):
+    """Trace replay and the live session produce comparable flip counts
+    for the same kernel/pattern/location."""
+    from repro.hammer.session import HammerSession
+
+    session = HammerSession(
+        machine=comet_machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+    live = session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    replayed = replay_trace(trace, comet_machine.dimm)
+    assert replayed.flip_count > 0
+    assert abs(live.flip_count - replayed.flip_count) <= max(
+        5, live.flip_count // 3
+    )

@@ -1,0 +1,119 @@
+"""TRR sampler dynamics and pTRR."""
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dram.trr import PtrrShield, TrrConfig, TrrSampler
+
+
+def make_sampler(**kwargs) -> TrrSampler:
+    config = TrrConfig(**{**dict(sample_prob=1.0), **kwargs})
+    return TrrSampler(config=config, rng=RngStream(1, "trr"))
+
+
+def test_top_count_rows_are_refreshed():
+    sampler = make_sampler(capacity=6, refreshes_per_ref=2)
+    stream = np.array([10] * 8 + [20] * 7 + [30] * 2 + [40] * 1)
+    sampler.observe(stream)
+    targets = sampler.on_ref()
+    assert set(targets) == {10, 20}
+
+
+def test_capacity_shields_late_rows():
+    sampler = make_sampler(capacity=3, refreshes_per_ref=3)
+    # Three early rows fill the table; the late row is never tracked.
+    early = np.array([1, 2, 3] * 5)
+    late = np.array([99] * 10)
+    sampler.observe(np.concatenate([early, late]))
+    assert 99 not in sampler._counts
+    assert set(sampler.on_ref()) <= {1, 2, 3}
+
+
+def test_refreshed_entries_are_cleared():
+    sampler = make_sampler(capacity=4, refreshes_per_ref=1, flush_every_refs=100)
+    sampler.observe(np.array([5] * 10 + [6] * 3))
+    assert sampler.on_ref() == [5]
+    assert 5 not in sampler._counts
+    assert 6 in sampler._counts
+
+
+def test_flush_clears_table_without_refreshing():
+    sampler = make_sampler(capacity=6, refreshes_per_ref=1, flush_every_refs=2)
+    sampler.observe(np.array([1] * 5 + [2] * 4 + [3] * 3))
+    sampler.on_ref()  # pops row 1, counts 2 and 3 linger
+    assert 3 in sampler._counts
+    sampler.on_ref()  # second REF triggers the flush
+    assert sampler._counts == {}
+
+
+def test_sampling_probability_thins_observations():
+    full = make_sampler(capacity=100, sample_prob=1.0)
+    thinned = make_sampler(capacity=100, sample_prob=0.3)
+    stream = np.arange(1000) % 50
+    full.observe(stream)
+    thinned.observe(stream)
+    assert sum(thinned._counts.values()) < sum(full._counts.values())
+
+
+def test_empty_observation_is_noop():
+    sampler = make_sampler()
+    sampler.observe(np.array([], dtype=np.int64))
+    assert sampler.on_ref() == []
+
+
+def test_reset():
+    sampler = make_sampler()
+    sampler.observe(np.array([1, 1, 2]))
+    sampler.reset()
+    assert sampler.on_ref() == []
+
+
+def test_scaled_config():
+    config = TrrConfig(capacity=6, sample_prob=0.8, refreshes_per_ref=2)
+    strong = config.scaled(2.0)
+    assert strong.capacity == 12
+    assert strong.sample_prob == 1.0
+    assert strong.refreshes_per_ref == 4
+    weak = config.scaled(0.5)
+    assert weak.capacity == 3
+
+
+def test_ptrr_disabled_never_triggers():
+    shield = PtrrShield(enabled=False)
+    mask = shield.refresh_mask(1000, RngStream(2))
+    assert not mask.any()
+
+
+def test_ptrr_enabled_triggers_at_rate():
+    shield = PtrrShield(enabled=True, para_prob=0.05)
+    mask = shield.refresh_mask(20_000, RngStream(3))
+    rate = mask.mean()
+    assert 0.03 < rate < 0.07
+
+
+# ----------------------------------------------------------------------
+# Vendor profiles
+# ----------------------------------------------------------------------
+def test_vendor_profiles_cover_the_three_manufacturers():
+    from repro.dram.trr import VENDOR_TRR_PROFILES
+
+    assert set(VENDOR_TRR_PROFILES) == {"S", "H", "M"}
+    for config in VENDOR_TRR_PROFILES.values():
+        assert config.capacity >= 1
+        assert 0 < config.sample_prob <= 1
+
+
+def test_vendor_profiles_differ_in_overflow_resistance():
+    """An H-style sampler (small table) is overflowed by many-sided
+    patterns that an M-style sampler (large table) still tracks."""
+    import numpy as np
+
+    from repro.dram.trr import VENDOR_TRR_PROFILES, TrrSampler
+
+    stream = np.tile(np.arange(10), 40)  # 10 distinct aggressors
+    h_sampler = TrrSampler(VENDOR_TRR_PROFILES["H"], RngStream(71, "h"))
+    m_sampler = TrrSampler(VENDOR_TRR_PROFILES["M"], RngStream(72, "m"))
+    h_sampler.observe(stream)
+    m_sampler.observe(stream)
+    assert len(h_sampler._counts) <= 4
+    assert len(m_sampler._counts) >= 9

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are the library's public face; each is executed in-process
+(monkeypatched to a tiny workload where needed) and must finish without
+raising.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _quiet_argv(monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["example"])
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "correct   : True" in out
+    assert "total bit flips" in out
+
+
+def test_end_to_end_attack_runs(capsys):
+    runpy.run_path("examples/end_to_end_attack.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "optimal NOP count" in out
+    assert "Massaging + templating" in out
+
+
+@pytest.mark.slow
+def test_reverse_engineering_tour_runs(capsys):
+    runpy.run_path(
+        "examples/reverse_engineering_tour.py", run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "threshold" in out
+    assert "rhoHammer : correct=True" in out
+
+
+@pytest.mark.slow
+def test_mitigation_study_runs(capsys):
+    runpy.run_path("examples/mitigation_study.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "pTRR" in out
+    assert "randomized row-swap" in out
+
+
+@pytest.mark.slow
+def test_pattern_zoo_runs(capsys):
+    runpy.run_path("examples/pattern_zoo.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "blacksmith" in out
+    assert "double-sided" in out
+
+
+@pytest.mark.slow
+def test_ddr5_outlook_runs(capsys):
+    runpy.run_path("examples/ddr5_outlook.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "DDR5 + RFM (production)" in out
+    assert "0 flips" in out
+
+
+@pytest.mark.slow
+def test_full_campaign_runs(capsys):
+    runpy.run_path("examples/full_campaign.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "campaign succeeded: True" in out

@@ -1,0 +1,68 @@
+"""Barrier strategy comparison (Table 3)."""
+
+import pytest
+
+from repro import QUICK_SCALE
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.barriers import compare_barriers
+
+
+@pytest.fixture(scope="module")
+def raptor_rows(raptor_machine):
+    return compare_barriers(
+        raptor_machine,
+        canonical_compact_pattern(),
+        base_rows=[4096, 20000],
+        activations_per_row=QUICK_SCALE.acts_per_pattern,
+        nop_count=220,
+        num_banks=3,
+        scale=QUICK_SCALE,
+    )
+
+
+def by_name(rows):
+    return {row.strategy: row for row in rows}
+
+
+def test_all_six_strategies_present(raptor_rows):
+    assert {r.strategy for r in raptor_rows} == {
+        "None", "CPUID", "MFENCE", "LFENCE (load)", "LFENCE (prefetch)", "NOP"
+    }
+
+
+def test_serialising_instructions_yield_no_flips(raptor_rows):
+    rows = by_name(raptor_rows)
+    assert rows["CPUID"].flips == 0
+    assert rows["MFENCE"].flips == 0
+
+
+def test_lfence_load_is_rate_starved(raptor_rows):
+    """Table 3: even perfectly ordered loads barely flip Raptor Lake —
+    the activation rate, not the ordering, is the bottleneck.  (At the
+    quick simulation scale a couple of tail flips can leak through.)"""
+    rows = by_name(raptor_rows)
+    assert rows["LFENCE (load)"].flips <= 5
+    assert rows["LFENCE (load)"].flips < rows["NOP"].flips / 20
+
+
+def test_nop_and_lfence_prefetch_flip(raptor_rows):
+    rows = by_name(raptor_rows)
+    assert rows["NOP"].flips > 0
+    assert rows["LFENCE (prefetch)"].flips > 0
+
+
+def test_time_column_ordering(raptor_rows):
+    """CPUID is the slowest strategy, MFENCE next; NOP and LFENCE(prefetch)
+    are close; no-barrier is the fastest."""
+    rows = by_name(raptor_rows)
+    assert rows["CPUID"].time_ms > rows["MFENCE"].time_ms
+    assert rows["MFENCE"].time_ms > rows["NOP"].time_ms
+    assert rows["None"].time_ms < rows["NOP"].time_ms
+    ratio = rows["LFENCE (prefetch)"].time_ms / rows["NOP"].time_ms
+    assert 0.5 < ratio < 2.0
+
+
+def test_unordered_prefetch_fails_despite_speed(raptor_rows):
+    rows = by_name(raptor_rows)
+    assert rows["None"].flips == 0
+    assert rows["None"].miss_rate < 0.9

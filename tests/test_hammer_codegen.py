@@ -1,0 +1,88 @@
+"""Generated kernel source: structural properties."""
+
+import pytest
+
+from repro.cpu.isa import (
+    AddressingMode,
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+    baseline_load_config,
+    rhohammer_config,
+)
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.codegen import emit_asm, emit_cpp, instruction_estimate
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return canonical_compact_pattern()
+
+
+def test_cpp_kernel_contains_listing1_shape(pattern):
+    source = emit_cpp(baseline_load_config(), pattern)
+    assert "for (int idx = 0; idx < num_of_act; idx++)" in source
+    assert "aggr_row_addrs[idx]" in source
+    assert "_mm_clflushopt" in source
+    assert "_mm_prefetch" not in source
+
+
+def test_cpp_prefetch_uses_the_hint(pattern):
+    config = rhohammer_config(nop_count=220, num_banks=3)
+    source = emit_cpp(config, pattern)
+    assert "_MM_HINT_T2" in source
+    assert "_rdrand64_step" in source  # obfuscation skeleton
+    assert ".rept 220" in source  # NOP pseudo-barrier
+
+
+def test_cpp_barriers_render(pattern):
+    lfence = emit_cpp(HammerKernelConfig(barrier=Barrier.LFENCE), pattern)
+    cpuid = emit_cpp(HammerKernelConfig(barrier=Barrier.CPUID), pattern)
+    assert "_mm_lfence" in lfence
+    assert "cpuid" in cpuid
+
+
+def test_asm_requires_immediate_addressing(pattern):
+    with pytest.raises(ValueError):
+        emit_asm(HammerKernelConfig(addressing=AddressingMode.INDEXED), pattern)
+
+
+def test_asm_unrolls_each_slot(pattern):
+    config = HammerKernelConfig(
+        addressing=AddressingMode.IMMEDIATE,
+        instruction=HammerInstruction.PREFETCHT2,
+    )
+    source = emit_asm(config, pattern, unroll_slots=16)
+    assert source.count("prefetcht2 byte ptr") == 16
+    assert source.count("clflushopt") == 16
+    # Immediate addresses, no register indirection through an index.
+    assert "[idx]" not in source
+    assert "0x2" in source
+
+
+def test_asm_groups_follow_pattern_order(pattern):
+    config = HammerKernelConfig(
+        addressing=AddressingMode.IMMEDIATE,
+        instruction=HammerInstruction.PREFETCHT2,
+    )
+    source = emit_asm(config, pattern, unroll_slots=4)
+    expected = pattern.slots[:4].tolist()
+    seen = [
+        int(line.split("aggressor")[1])
+        for line in source.splitlines()
+        if "; slot" in line
+    ]
+    assert seen == expected
+
+
+def test_instruction_estimate_accounts_everything(pattern):
+    config = rhohammer_config(nop_count=100, num_banks=3)
+    counts = instruction_estimate(config, pattern)
+    slots = pattern.base_period
+    assert counts["hammer"] == counts["clflushopt"] == slots
+    assert counts["nop"] == 100 * slots
+    assert counts["barrier"] == 0
+    assert counts["obfuscation"] == 4 * slots
+    assert counts["total"] == sum(
+        v for k, v in counts.items() if k != "total"
+    )

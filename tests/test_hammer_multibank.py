@@ -1,0 +1,54 @@
+"""Multi-bank aggressor placement and stream interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MappingError, SimulationError
+from repro.hammer.multibank import interleave_stream, multibank_addresses
+from repro.mapping.presets import mapping_for
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    return mapping_for("raptor_lake", 16)
+
+
+def test_addresses_land_in_requested_banks(mapping):
+    offsets = np.array([0, 2, 6, 8])
+    table = multibank_addresses(mapping, offsets, base_row=5000, banks=[0, 3, 7])
+    assert table.shape == (4, 3)
+    for i, offset in enumerate(offsets.tolist()):
+        for j, bank in enumerate([0, 3, 7]):
+            addr = int(table[i, j])
+            assert mapping.bank_of(addr) == bank
+            assert mapping.row_of(addr) == 5000 + offset
+
+
+def test_rejects_empty_bank_list(mapping):
+    with pytest.raises(SimulationError):
+        multibank_addresses(mapping, np.array([0]), 100, banks=[])
+
+
+def test_rejects_out_of_range_rows(mapping):
+    with pytest.raises(MappingError):
+        multibank_addresses(
+            mapping, np.array([10]), mapping.num_rows - 5, banks=[0]
+        )
+
+
+def test_interleave_orders_banks_within_slot():
+    ids, banks = interleave_stream(np.array([7, 9]), num_banks=3)
+    assert ids.tolist() == [7, 7, 7, 9, 9, 9]
+    assert banks.tolist() == [0, 1, 2, 0, 1, 2]
+
+
+def test_interleave_single_bank_is_identity():
+    ids, banks = interleave_stream(np.array([1, 2, 3]), num_banks=1)
+    assert ids.tolist() == [1, 2, 3]
+    assert banks.tolist() == [0, 0, 0]
+
+
+def test_interleave_preserves_slot_order():
+    slots = np.arange(100)
+    ids, _ = interleave_stream(slots, num_banks=4)
+    assert np.array_equal(ids[::4], slots)

@@ -1,0 +1,60 @@
+"""NOP pseudo-barrier tuning (Figure 10)."""
+
+import pytest
+
+from repro import QUICK_SCALE, rhohammer_config
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.nops import tune_nop_count
+
+
+@pytest.fixture(scope="module")
+def raptor_tuning(raptor_machine):
+    return tune_nop_count(
+        raptor_machine,
+        rhohammer_config(nop_count=0, num_banks=3),
+        canonical_compact_pattern(),
+        base_rows=[4096, 20000],
+        activations_per_row=QUICK_SCALE.acts_per_pattern,
+        nop_grid=(0, 50, 150, 250, 500, 1000),
+        scale=QUICK_SCALE,
+    )
+
+
+def test_figure10_shape(raptor_tuning):
+    """Zero flips at both extremes, a positive band in between."""
+    flips = raptor_tuning.flips_by_count
+    assert flips[0] == 0  # too few NOPs: OoO disorder wins
+    assert flips[1000] == 0  # too many: activation rate collapses
+    assert raptor_tuning.best_flips > 0
+    assert 0 < raptor_tuning.best_nop_count < 1000
+
+
+def test_positive_range_is_intermediate(raptor_tuning):
+    band = raptor_tuning.positive_range
+    assert band is not None
+    low, high = band
+    assert low > 0
+    assert high < 1000
+
+
+def test_time_grows_with_nops(raptor_tuning):
+    times = raptor_tuning.times_ms_by_count
+    assert times[1000] > times[0]
+
+
+def test_grid_fully_evaluated(raptor_tuning):
+    assert set(raptor_tuning.flips_by_count) == {0, 50, 150, 250, 500, 1000}
+
+
+def test_no_flips_reports_none_band(comet_machine):
+    result = tune_nop_count(
+        comet_machine,
+        rhohammer_config(nop_count=0, num_banks=3),
+        canonical_compact_pattern(),
+        base_rows=[4096],
+        activations_per_row=2_000,  # far too short to flip anything
+        nop_grid=(0, 100),
+        scale=None,
+    )
+    assert result.best_flips == 0
+    assert result.positive_range is None

@@ -1,0 +1,87 @@
+"""The hammer session: full pattern -> flips pipeline."""
+
+import pytest
+
+from repro import QUICK_SCALE, build_machine, rhohammer_config
+from repro.hammer.session import HammerSession
+from repro.exploit.endtoend import canonical_compact_pattern
+
+
+@pytest.fixture(scope="module")
+def comet_session(comet_machine):
+    return HammerSession(
+        machine=comet_machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+
+
+def test_effective_pattern_produces_flips(comet_session):
+    outcome = comet_session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    assert outcome.flip_count > 0
+    assert outcome.cache_miss_rate > 0.9
+    assert outcome.acts_executed > 0
+    assert outcome.duration_ns > 0
+
+
+def test_collect_events_returns_locations(comet_session):
+    outcome = comet_session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+        collect_events=True,
+    )
+    assert len(outcome.flips) == outcome.flip_count > 0
+    victim_rows = {f.row for f in outcome.flips}
+    # Victims sit inside the pattern's row span around the base row.
+    assert all(6000 <= row <= 6000 + 12 for row in victim_rows)
+    assert {f.bank for f in outcome.flips} <= {0, 1, 2}
+
+
+def test_bank_override(comet_session):
+    outcome = comet_session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+        banks=(8, 9, 10),
+        collect_events=True,
+    )
+    assert {f.bank for f in outcome.flips} <= {8, 9, 10}
+
+
+def test_same_location_reproduces_flip_count(comet_session):
+    """Vulnerability is location-determined (Orosa et al.): repeating the
+    identical run at the same base row flips the same cells."""
+    a = comet_session.run_pattern(
+        canonical_compact_pattern(), 7000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    b = comet_session.run_pattern(
+        canonical_compact_pattern(), 7000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    assert abs(a.flip_count - b.flip_count) <= max(3, a.flip_count // 5)
+
+
+def test_invulnerable_dimm_never_flips():
+    machine = build_machine("comet_lake", "M1", scale=QUICK_SCALE)
+    session = HammerSession(
+        machine=machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+    outcome = session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    assert outcome.flip_count == 0
+
+
+def test_activation_rate_property(comet_session):
+    outcome = comet_session.run_pattern(
+        canonical_compact_pattern(), 6000,
+        activations=QUICK_SCALE.acts_per_pattern,
+    )
+    expected = outcome.acts_executed / (outcome.duration_ns * 1e-9)
+    assert outcome.activation_rate_per_sec == pytest.approx(expected)

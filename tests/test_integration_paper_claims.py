@@ -1,0 +1,102 @@
+"""Integration: the paper's headline claims, end to end.
+
+Each test drives the whole stack (patterns -> CPU -> controller -> DRAM)
+and asserts a *shape* the paper reports, at the quick simulation scale.
+"""
+
+import pytest
+
+from repro import (
+    FuzzingCampaign,
+    QUICK_SCALE,
+    RhoHammerRevEng,
+    TimingOracle,
+    baseline_load_config,
+    build_machine,
+    rhohammer_config,
+    sweep_pattern,
+)
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.reveng import compare_mappings
+
+
+def run_campaign(machine, config, patterns=12):
+    campaign = FuzzingCampaign(
+        machine=machine, config=config, scale=QUICK_SCALE, trials_per_pattern=2
+    )
+    return campaign.run(max_patterns=patterns)
+
+
+def test_claim_prefetch_beats_loads_on_comet(comet_machine):
+    """Table 6: rhoHammer outperforms the load baseline severalfold."""
+    rho = run_campaign(comet_machine, rhohammer_config(nop_count=60, num_banks=3))
+    baseline = run_campaign(comet_machine, baseline_load_config(num_banks=1))
+    assert rho.total_flips > 2 * max(1, baseline.total_flips)
+    assert rho.effective_patterns >= baseline.effective_patterns
+
+
+def test_claim_rowhammer_revived_on_raptor(raptor_machine):
+    """Table 6 / Section 5: baselines fail on Raptor Lake, rhoHammer does
+    not."""
+    rho = run_campaign(raptor_machine, rhohammer_config(nop_count=220, num_banks=3))
+    baseline = run_campaign(raptor_machine, baseline_load_config(num_banks=1))
+    assert rho.total_flips > 50
+    assert baseline.total_flips < rho.total_flips / 10
+
+
+def test_claim_counter_speculation_is_necessary(raptor_machine):
+    """Figure 9 vs Table 6: prefetching alone (no NOPs, no obfuscation)
+    stays flip-free on the newest architecture."""
+    from repro import HammerKernelConfig
+
+    plain_prefetch = HammerKernelConfig(num_banks=3)  # no NOPs, no obfuscation
+    raw_prefetch = run_campaign(raptor_machine, plain_prefetch)
+    assert raw_prefetch.total_flips <= 3
+
+
+def test_claim_multibank_amplifies(comet_machine):
+    """Figure 9: multi-bank rhoHammer beats single-bank."""
+    multi = run_campaign(comet_machine, rhohammer_config(nop_count=60, num_banks=3))
+    single = run_campaign(comet_machine, rhohammer_config(nop_count=60, num_banks=1))
+    assert multi.total_flips >= single.total_flips
+
+
+def test_claim_mapping_recovery_all_platforms():
+    """Table 4/5: the reverse-engineering method is generic and correct."""
+    for platform in ("comet_lake", "raptor_lake"):
+        machine = build_machine(platform, "S3", seed=321)
+        oracle = TimingOracle.allocate(machine, fraction=0.4)
+        result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+        assert compare_mappings(result.mapping, machine.mapping).fully_correct
+        assert result.runtime_seconds < 15.0
+
+
+def test_claim_flip_rate_hierarchy():
+    """Figure 11: Comet Lake sweeps orders of magnitude faster than
+    Raptor Lake, which still sustains a practical rate."""
+    rates = {}
+    for platform, nops in (("comet_lake", 60), ("raptor_lake", 220)):
+        machine = build_machine(platform, "S3", scale=QUICK_SCALE, seed=11)
+        report = sweep_pattern(
+            machine,
+            rhohammer_config(nop_count=nops, num_banks=3),
+            canonical_compact_pattern(),
+            num_locations=10,
+            scale=QUICK_SCALE,
+        )
+        rates[platform] = report.flips_per_minute
+    assert rates["comet_lake"] > rates["raptor_lake"] > 0
+
+
+def test_claim_ptrr_mitigates(raptor_machine):
+    """Section 6: the BIOS Rowhammer-Prevention option removes the threat."""
+    protected = build_machine(
+        "raptor_lake", "S3", scale=QUICK_SCALE, ptrr_enabled=True
+    )
+    open_report = run_campaign(
+        raptor_machine, rhohammer_config(nop_count=220, num_banks=3)
+    )
+    shut_report = run_campaign(
+        protected, rhohammer_config(nop_count=220, num_banks=3)
+    )
+    assert shut_report.total_flips < open_report.total_flips / 5

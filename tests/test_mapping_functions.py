@@ -1,0 +1,150 @@
+"""Mapping algebra: bank functions, translation, inverse operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import MappingError
+from repro.mapping.functions import AddressMapping, BankFunction
+from repro.mapping.presets import mapping_for
+
+
+def test_bank_function_normalises_bits():
+    func = BankFunction([19, 16, 19])
+    assert func.bits == (16, 19)
+
+
+def test_bank_function_rejects_empty():
+    with pytest.raises(MappingError):
+        BankFunction([])
+
+
+def test_bank_function_rejects_negative():
+    with pytest.raises(MappingError):
+        BankFunction([-1, 4])
+
+
+def test_bank_function_evaluate_parity():
+    func = BankFunction([0, 2])
+    assert func.evaluate(0b000) == 0
+    assert func.evaluate(0b001) == 1
+    assert func.evaluate(0b100) == 1
+    assert func.evaluate(0b101) == 0
+
+
+def test_evaluate_many_matches_scalar():
+    func = BankFunction([6, 13, 17])
+    addrs = np.arange(0, 1 << 18, 977, dtype=np.uint64)
+    vector = func.evaluate_many(addrs)
+    scalar = np.array([func.evaluate(int(a)) for a in addrs])
+    assert np.array_equal(vector.astype(int), scalar)
+
+
+@pytest.fixture(scope="module")
+def comet16() -> AddressMapping:
+    return mapping_for("comet_lake", 16)
+
+
+@pytest.fixture(scope="module")
+def raptor16() -> AddressMapping:
+    return mapping_for("raptor_lake", 16)
+
+
+def test_mapping_validation_rejects_bad_row_range():
+    with pytest.raises(MappingError):
+        AddressMapping(
+            bank_functions=(BankFunction([6, 13]),),
+            row_bits=(20, 10),
+        )
+
+
+def test_mapping_validation_rejects_row_beyond_phys():
+    with pytest.raises(MappingError):
+        AddressMapping(
+            bank_functions=(BankFunction([6, 13]),),
+            row_bits=(17, 40),
+            phys_bits=34,
+        )
+
+
+def test_num_banks(comet16, raptor16):
+    assert comet16.num_banks == 32
+    assert raptor16.num_banks == 32
+
+
+def test_pure_row_bits_traditional_vs_new(comet16, raptor16):
+    assert len(comet16.pure_row_bits) > 0
+    assert raptor16.pure_row_bits == ()
+
+
+def test_translate_roundtrip_row_and_column(comet16):
+    addr = (12345 << 18) | 777
+    geo = comet16.translate(addr)
+    assert geo.row == 12345
+    assert geo.column == 777
+
+
+def test_bank_of_many_matches_scalar(comet16):
+    addrs = np.arange(0, 1 << 22, 4097, dtype=np.uint64)
+    vec = comet16.bank_of_many(addrs).astype(int)
+    assert vec.tolist() == [comet16.bank_of(int(a)) for a in addrs]
+
+
+def test_row_of_many_matches_scalar(raptor16):
+    addrs = np.arange(0, 1 << 24, 65537, dtype=np.uint64)
+    vec = raptor16.row_of_many(addrs).astype(int)
+    assert vec.tolist() == [raptor16.row_of(int(a)) for a in addrs]
+
+
+@settings(max_examples=60, deadline=None)
+@given(row=st.integers(min_value=0, max_value=(1 << 16) - 1),
+       bank=st.integers(min_value=0, max_value=31))
+def test_addresses_in_bank_places_exactly(row, bank):
+    mapping = mapping_for("raptor_lake", 16)
+    addr = mapping.addresses_in_bank(bank, [row])[0]
+    assert mapping.bank_of(addr) == bank
+    assert mapping.row_of(addr) == row
+
+
+@settings(max_examples=60, deadline=None)
+@given(row=st.integers(min_value=1, max_value=(1 << 16) - 2),
+       delta=st.sampled_from([-1, 1, 2, -2]))
+def test_neighbour_row_address_keeps_bank(row, delta):
+    mapping = mapping_for("comet_lake", 16)
+    if not 0 <= row + delta < mapping.num_rows:
+        return
+    base = mapping.addresses_in_bank(5, [row])[0]
+    neighbour = mapping.neighbour_row_address(base, delta)
+    assert mapping.bank_of(neighbour) == mapping.bank_of(base)
+    assert mapping.row_of(neighbour) == row + delta
+
+
+def test_neighbour_row_address_out_of_range(comet16):
+    base = comet16.addresses_in_bank(0, [0])[0]
+    with pytest.raises(MappingError):
+        comet16.neighbour_row_address(base, -1)
+
+
+def test_is_sbdr(comet16):
+    a = comet16.addresses_in_bank(3, [100])[0]
+    b = comet16.addresses_in_bank(3, [200])[0]
+    c = comet16.addresses_in_bank(4, [100])[0]
+    assert comet16.is_sbdr(a, b)
+    assert not comet16.is_sbdr(a, a)
+    assert not comet16.is_sbdr(a, c)
+
+
+def test_canonical_functions_order_independent(comet16):
+    reordered = AddressMapping(
+        bank_functions=tuple(reversed(comet16.bank_functions)),
+        row_bits=comet16.row_bits,
+        phys_bits=comet16.phys_bits,
+    )
+    assert reordered.canonical_functions() == comet16.canonical_functions()
+
+
+def test_describe_mentions_rows(comet16):
+    text = comet16.describe()
+    assert "Row: 18-33" in text
+    assert "(6, 13)" in text

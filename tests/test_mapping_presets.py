@@ -1,0 +1,71 @@
+"""Table 4 mapping presets."""
+
+import pytest
+
+from repro.common.errors import MappingError
+from repro.mapping.presets import (
+    MAPPING_PRESETS,
+    MappingKey,
+    mapping_for,
+    preset_keys,
+)
+
+
+def test_all_cells_covered():
+    # Table 4 has 2 schemes x 3 geometries (each scheme shared by 2
+    # archs), plus the Section 6 DDR5 extension cell.
+    assert len(MAPPING_PRESETS) == 7
+    assert len(preset_keys()) == 7
+
+
+@pytest.mark.parametrize("key", preset_keys())
+def test_preset_bank_count_matches_geometry(key: MappingKey):
+    mapping = MAPPING_PRESETS[key]
+    if key.scheme == "ddr5_alder_raptor":
+        expected_banks = 64  # 2 sub-channels x 32 banks
+    else:
+        expected_banks = 16 if key.size_gib == 8 else 32
+    assert mapping.num_banks == expected_banks
+
+
+@pytest.mark.parametrize("key", preset_keys())
+def test_preset_bits_within_physical_space(key: MappingKey):
+    mapping = MAPPING_PRESETS[key]
+    top = mapping.phys_bits - 1
+    assert max(mapping.bank_bit_positions) <= top
+    assert mapping.row_bits[1] <= top
+
+
+@pytest.mark.parametrize("size,expected_rows", [(8, 16), (16, 16), (32, 17)])
+def test_row_width_matches_device(size, expected_rows):
+    mapping = mapping_for("alder_raptor", size)
+    low, high = mapping.row_bits
+    assert high - low + 1 == expected_rows
+
+
+def test_arch_aliases_resolve():
+    assert mapping_for("comet_lake", 16) is mapping_for("rocket_lake", 16)
+    assert mapping_for("alder_lake", 16) is mapping_for("raptor_lake", 16)
+
+
+def test_scheme_names_resolve():
+    assert mapping_for("comet_rocket", 8).name == "comet_rocket-8g"
+
+
+def test_unknown_size_raises():
+    with pytest.raises(MappingError):
+        mapping_for("comet_lake", 64)
+
+
+def test_new_scheme_has_low_order_function():
+    mapping = mapping_for("alder_raptor", 16)
+    assert (9, 11, 13) in mapping.canonical_functions()
+
+
+def test_traditional_scheme_has_pure_row_bits():
+    assert len(mapping_for("comet_rocket", 16).pure_row_bits) >= 10
+
+
+def test_new_scheme_has_no_pure_row_bits():
+    for size in (8, 16, 32):
+        assert mapping_for("alder_raptor", size).pure_row_bits == ()

@@ -1,0 +1,151 @@
+"""Command-level scheduler: timing invariants and cross-validation."""
+
+import pytest
+
+from repro.dram.timing import AccessLatency, DdrTiming
+from repro.memctrl.scheduler import (
+    T_CAS,
+    T_FAW,
+    T_RRD,
+    Command,
+    CommandKind,
+    CommandScheduler,
+)
+
+
+def acts(scheduler):
+    return [c for c in scheduler.commands if c.kind is CommandKind.ACT]
+
+
+def test_row_hit_needs_no_activation():
+    scheduler = CommandScheduler()
+    first = scheduler.access(0, 100)
+    hit = scheduler.access(0, 100)
+    assert scheduler.activation_count() == 1
+    assert hit < first
+    assert hit == pytest.approx(T_CAS)
+
+
+def test_row_conflict_pays_pre_act_rcd():
+    timing = DdrTiming()
+    scheduler = CommandScheduler(timing=timing)
+    scheduler.access(0, 100)
+    conflict = scheduler.access(0, 200)
+    # PRE cannot issue before tRAS after the ACT; then tRP + tRCD + CAS.
+    assert conflict >= timing.t_rp + timing.t_rcd + T_CAS
+    kinds = [c.kind for c in scheduler.commands]
+    assert kinds == [
+        CommandKind.ACT, CommandKind.RD,
+        CommandKind.PRE, CommandKind.ACT, CommandKind.RD,
+    ]
+
+
+def test_different_bank_avoids_the_precharge():
+    scheduler = CommandScheduler()
+    scheduler.access(0, 100)
+    other_bank = scheduler.access(1, 100)
+    scheduler2 = CommandScheduler()
+    scheduler2.access(0, 100)
+    conflict = scheduler2.access(0, 200)
+    assert other_bank < conflict
+
+
+def test_trrd_spacing_between_activations():
+    scheduler = CommandScheduler()
+    for bank in range(4):
+        scheduler.access(bank, 50)
+    times = [c.issue_ns for c in acts(scheduler)]
+    for a, b in zip(times, times[1:]):
+        assert b - a >= T_RRD - 1e-9
+
+
+def test_four_activate_window():
+    scheduler = CommandScheduler()
+    for bank in range(8):
+        scheduler.access(bank, 50)
+    times = [c.issue_ns for c in acts(scheduler)]
+    for i in range(len(times) - 4):
+        assert times[i + 4] - times[i] >= T_FAW - 1e-9
+
+
+def test_same_bank_act_spacing_respects_row_cycle():
+    timing = DdrTiming()
+    scheduler = CommandScheduler(timing=timing)
+    for _ in range(5):
+        scheduler.access(0, 100)
+        scheduler.access(0, 200)
+    times = [c.issue_ns for c in acts(scheduler)]
+    for a, b in zip(times, times[1:]):
+        assert b - a >= timing.t_rc - 1e-9
+
+
+def test_refresh_closes_all_rows():
+    scheduler = CommandScheduler()
+    scheduler.access(0, 100)
+    scheduler.access(3, 700)
+    scheduler.refresh()
+    before = scheduler.activation_count()
+    scheduler.access(0, 100)  # same row, but must re-activate
+    assert scheduler.activation_count() == before + 1
+
+
+def test_scheduler_validates_sbdr_latency_direction():
+    """Cross-validation of the calibrated AccessLatency constants.
+
+    At command level the conflict premium is exactly tRP + tRCD; the
+    core-visible premium the attacker measures (AccessLatency) is larger
+    because every measured access also traverses the flush + dependent-
+    load path, which amplifies DRAM-side stalls.  The command-level model
+    pins the lower bound and the direction of the gap.
+    """
+    timing = DdrTiming()
+    latency = AccessLatency()
+    scheduler = CommandScheduler(timing=timing)
+    scheduler.access(0, 1)
+    conflict = scheduler.access(0, 2)
+    hit_sched = CommandScheduler(timing=timing)
+    hit_sched.access(0, 1)
+    hit_latency = hit_sched.access(0, 1)
+    command_gap = conflict - hit_latency
+    assert command_gap == pytest.approx(timing.t_rp + timing.t_rcd, rel=0.01)
+    calibrated_gap = latency.row_conflict - latency.row_hit
+    assert calibrated_gap > command_gap
+    # The measurement-side amplification stays within one order of
+    # magnitude of the raw command premium.
+    assert calibrated_gap < 10 * command_gap
+
+
+def test_run_helper_matches_sequential_access():
+    a = CommandScheduler()
+    latencies = a.run([(0, 1), (0, 2), (1, 1)])
+    b = CommandScheduler()
+    expected = [b.access(0, 1), b.access(0, 2), b.access(1, 1)]
+    assert latencies == expected
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(accesses=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7),
+              st.integers(min_value=0, max_value=500)),
+    min_size=1, max_size=60,
+))
+def test_scheduler_invariants(accesses):
+    """For any access sequence: latencies are at least the column access
+    time, commands are issued in non-decreasing time, and the activation
+    count never exceeds the access count."""
+    scheduler = CommandScheduler()
+    latencies = scheduler.run(accesses)
+    assert all(lat >= T_CAS - 1e-9 for lat in latencies)
+    times = [c.issue_ns for c in scheduler.commands]
+    assert times == sorted(times)
+    assert scheduler.activation_count() <= len(accesses)
+    # Every access ends with exactly one RD command.
+    reads = sum(1 for c in scheduler.commands if c.kind is CommandKind.RD)
+    assert reads == len(accesses)

@@ -1,0 +1,104 @@
+"""Buddy allocator: splitting, coalescing, exhaustion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.buddy import MAX_ORDER, BuddyAllocator
+from repro.osmodel.memory import PhysicalMemory
+
+
+def make_allocator(gib=8) -> BuddyAllocator:
+    return BuddyAllocator(PhysicalMemory.from_gib(gib), RngStream(31, "buddy"))
+
+
+def test_block_geometry():
+    allocator = make_allocator()
+    block = allocator.allocate(MAX_ORDER)
+    assert block.num_frames == 1024
+    assert block.size_bytes == 4 << 20
+    assert block.first_frame % block.num_frames == 0  # order-aligned
+
+
+def test_small_allocation_splits_larger_block():
+    allocator = make_allocator()
+    assert allocator.free_blocks_of_order(0) == 0
+    allocator.allocate(0)
+    # Splitting a max-order block leaves one buddy at every lower order.
+    for order in range(MAX_ORDER):
+        assert allocator.free_blocks_of_order(order) == 1
+
+
+def test_free_pages_accounting():
+    allocator = make_allocator()
+    before = allocator.free_pages()
+    block = allocator.allocate(4)
+    assert allocator.free_pages() == before - 16
+    allocator.free(block)
+    assert allocator.free_pages() == before
+
+
+def test_free_coalesces_back_to_max_order():
+    allocator = make_allocator()
+    top_before = allocator.free_blocks_of_order(MAX_ORDER)
+    block = allocator.allocate(0)
+    allocator.free(block)
+    assert allocator.free_blocks_of_order(MAX_ORDER) == top_before
+    for order in range(MAX_ORDER):
+        assert allocator.free_blocks_of_order(order) == 0
+
+
+def test_double_free_rejected():
+    allocator = make_allocator()
+    block = allocator.allocate(2)
+    allocator.free(block)
+    with pytest.raises(SimulationError):
+        allocator.free(block)
+
+
+def test_order_out_of_range():
+    allocator = make_allocator()
+    with pytest.raises(SimulationError):
+        allocator.allocate(MAX_ORDER + 1)
+
+
+def test_exhaust_small_orders_forces_contiguity():
+    allocator = make_allocator()
+    allocator.exhaust_small_orders()
+    for order in range(MAX_ORDER):
+        assert allocator.free_blocks_of_order(order) == 0
+    # Any further request must carve a fresh max-order block.
+    block = allocator.allocate_contiguous_4mib()
+    assert block.order == MAX_ORDER
+
+
+def test_allocator_exhaustion_raises_memory_error():
+    allocator = make_allocator()
+    while True:
+        try:
+            allocator.allocate(MAX_ORDER)
+        except MemoryError:
+            break
+    with pytest.raises(MemoryError):
+        allocator.allocate(0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(orders=st.lists(st.integers(min_value=0, max_value=MAX_ORDER),
+                       min_size=1, max_size=40))
+def test_allocated_blocks_never_overlap(orders):
+    allocator = make_allocator()
+    taken: set[int] = set()
+    blocks = []
+    for order in orders:
+        block = allocator.allocate(order)
+        frames = set(block.frames())
+        assert not frames & taken
+        taken |= frames
+        blocks.append(block)
+    total_before = allocator.free_pages()
+    for block in blocks:
+        allocator.free(block)
+    assert allocator.free_pages() == total_before + len(taken)

@@ -1,0 +1,82 @@
+"""Superpage allocation and the observable-span limitation."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.hugepages import (
+    FRAMES_PER_HUGE_PAGE,
+    HUGE_PAGE_SHIFT,
+    HUGE_PAGE_SIZE,
+    HugePage,
+    HugePageAllocator,
+)
+from repro.osmodel.memory import PhysicalMemory
+
+
+@pytest.fixture()
+def allocator():
+    return HugePageAllocator(
+        memory=PhysicalMemory.from_gib(8), rng=RngStream(61, "huge")
+    )
+
+
+def test_constants():
+    assert HUGE_PAGE_SIZE == 2 * 1024 * 1024
+    assert FRAMES_PER_HUGE_PAGE == 512
+
+
+def test_pages_are_aligned_and_distinct(allocator):
+    pages = allocator.allocate(8)
+    bases = [p.phys_base for p in pages]
+    assert len(set(bases)) == 8
+    for base in bases:
+        assert base % HUGE_PAGE_SIZE == 0
+        assert base >= allocator.memory.reserved_low_bytes
+
+
+def test_unaligned_page_rejected():
+    with pytest.raises(SimulationError):
+        HugePage(virtual_base=0, phys_base=4096)
+
+
+def test_offset_translation(allocator):
+    page = allocator.allocate(1)[0]
+    assert page.phys_of_offset(0x1234) == page.phys_base + 0x1234
+    with pytest.raises(SimulationError):
+        page.phys_of_offset(HUGE_PAGE_SIZE)
+
+
+def test_pair_within_page_differs_exactly(allocator):
+    page = allocator.allocate(1)[0]
+    a, b = allocator.pair_within_page(page, (6, 13, 19))
+    assert a ^ b == (1 << 6) | (1 << 13) | (1 << 19)
+    assert page.phys_base <= a < page.phys_base + HUGE_PAGE_SIZE
+    assert page.phys_base <= b < page.phys_base + HUGE_PAGE_SIZE
+
+
+def test_bits_above_the_offset_are_unobservable(allocator):
+    """The structural limit DARE inherits: superpage-confined probing
+    cannot exercise bits >= 21."""
+    page = allocator.allocate(1)[0]
+    with pytest.raises(SimulationError):
+        allocator.pair_within_page(page, (6, 21))
+    assert allocator.observable_span_bits() == HUGE_PAGE_SHIFT - 1
+
+
+def test_exhaustion():
+    tiny = HugePageAllocator(
+        memory=PhysicalMemory(size_bytes=128 * 1024 * 1024),
+        rng=RngStream(62, "huge"),
+    )
+    with pytest.raises(MemoryError):
+        tiny.allocate(1000)
+
+
+def test_virtual_bases_do_not_overlap(allocator):
+    pages = allocator.allocate(3) + allocator.allocate(2)
+    bases = [p.virtual_base for p in pages]
+    assert len(set(bases)) == 5
+    assert all(
+        abs(a - b) >= HUGE_PAGE_SIZE for a in bases for b in bases if a != b
+    )

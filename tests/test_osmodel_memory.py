@@ -1,0 +1,38 @@
+"""Physical memory model."""
+
+import pytest
+
+from repro.osmodel.memory import PAGE_SIZE, PhysicalMemory
+
+
+def test_from_gib():
+    mem = PhysicalMemory.from_gib(16)
+    assert mem.size_bytes == 16 << 30
+    assert mem.size_gib == 16.0
+
+
+def test_frame_counts():
+    mem = PhysicalMemory.from_gib(8)
+    assert mem.total_frames == (8 << 30) // PAGE_SIZE
+    assert mem.usable_frames == mem.total_frames - mem.first_usable_frame
+
+
+def test_phys_bits():
+    assert PhysicalMemory.from_gib(8).phys_bits == 33
+    assert PhysicalMemory.from_gib(16).phys_bits == 34
+    assert PhysicalMemory.from_gib(32).phys_bits == 35
+
+
+def test_frame_phys_roundtrip():
+    mem = PhysicalMemory.from_gib(8)
+    assert mem.phys_to_frame(mem.frame_to_phys(12345)) == 12345
+
+
+def test_rejects_tiny_memory():
+    with pytest.raises(ValueError):
+        PhysicalMemory(size_bytes=1 << 20)
+
+
+def test_rejects_unaligned_size():
+    with pytest.raises(ValueError):
+        PhysicalMemory(size_bytes=(1 << 30) + 17)

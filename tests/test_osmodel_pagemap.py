@@ -1,0 +1,80 @@
+"""Pagemap and the allocated virtual address space."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import RngStream
+from repro.osmodel.memory import PAGE_SIZE, PhysicalMemory
+from repro.osmodel.pagemap import Pagemap
+
+
+def make_pagemap(gib=8) -> Pagemap:
+    return Pagemap(memory=PhysicalMemory.from_gib(gib), rng=RngStream(21, "pm"))
+
+
+def test_pool_covers_requested_fraction():
+    pagemap = make_pagemap()
+    space = pagemap.allocate_pool(0.3)
+    expected = int(pagemap.memory.total_frames * 0.3)
+    assert space.num_pages == expected
+
+
+def test_pool_frames_are_unique_and_usable():
+    pagemap = make_pagemap()
+    space = pagemap.allocate_pool(0.2)
+    frames = space.frames
+    assert len(np.unique(frames)) == frames.size
+    assert frames.min() >= pagemap.memory.first_usable_frame
+    assert frames.max() < pagemap.memory.total_frames
+
+
+def test_virtual_adjacency_hides_physical_layout():
+    space = make_pagemap().allocate_pool(0.2)
+    gaps = np.diff(space.frames[np.argsort(space.frames)])
+    # Frames were drawn randomly: a contiguous run would be suspicious.
+    assert space.frames.size > 0
+    # va page order is ascending-frame here, but the *selection* skipped
+    # many frames: gaps larger than one page must exist.
+    assert (gaps > 1).any()
+
+
+def test_va_phys_roundtrip():
+    pagemap = make_pagemap()
+    space = pagemap.allocate_pool(0.1)
+    va = space.va_of_page(17) + 123
+    phys = space.phys_of_va(va)
+    assert phys >> 12 == int(space.frames[17])
+    assert phys & 0xFFF == 123
+
+
+def test_page_of_va_out_of_range():
+    space = make_pagemap().allocate_pool(0.05)
+    with pytest.raises(SimulationError):
+        space.page_of_va(space.base_va - PAGE_SIZE)
+    with pytest.raises(SimulationError):
+        space.page_of_va(space.base_va + space.size_bytes)
+
+
+def test_pagemap_read_requires_root():
+    pagemap = make_pagemap()
+    space = pagemap.allocate_pool(0.05)
+    va = space.va_of_page(0)
+    assert pagemap.read(space, va) == space.phys_of_va(va)
+    pagemap.drop_privileges()
+    with pytest.raises(PermissionError):
+        pagemap.read(space, va)
+
+
+def test_allocation_fraction_bounds():
+    pagemap = make_pagemap()
+    with pytest.raises(SimulationError):
+        pagemap.allocate_pool(0.0)
+    with pytest.raises(SimulationError):
+        pagemap.allocate_pool(0.99)
+
+
+def test_phys_addresses_are_page_aligned():
+    space = make_pagemap().allocate_pool(0.05)
+    addrs = space.phys_addresses()
+    assert (addrs % PAGE_SIZE == 0).all()

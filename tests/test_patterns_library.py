@@ -1,0 +1,96 @@
+"""The literature-pattern library vs the simulated TRR.
+
+The historical arc — classic uniform patterns die against TRR, the
+frequency-domain non-uniform structure survives — must reproduce on the
+simulated sampler for the fuzzing results to mean anything.
+"""
+
+import pytest
+
+from repro import QUICK_SCALE, rhohammer_config
+from repro.hammer.session import HammerSession
+from repro.patterns.library import (
+    PATTERN_LIBRARY,
+    blacksmith_showcase,
+    double_sided,
+    many_sided,
+    single_sided,
+    smash_style,
+)
+
+
+@pytest.fixture(scope="module")
+def session(comet_machine):
+    return HammerSession(
+        machine=comet_machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+
+
+def flips(session, pattern) -> int:
+    return sum(
+        session.run_pattern(
+            pattern, row, activations=QUICK_SCALE.acts_per_pattern
+        ).flip_count
+        for row in (6000, 22000)
+    )
+
+
+def test_library_is_enumerable():
+    assert set(PATTERN_LIBRARY) == {
+        "double-sided", "single-sided", "many-sided", "smash", "blacksmith"
+    }
+    for factory in PATTERN_LIBRARY.values():
+        pattern = factory()
+        assert pattern.base_period in (64, 128, 256)
+
+
+def test_double_sided_is_caught_by_trr(session):
+    assert flips(session, double_sided()) == 0
+
+
+def test_single_sided_is_caught_by_trr(session):
+    assert flips(session, single_sided()) == 0
+
+
+def test_smash_sync_alone_does_not_bypass_counting_trr(session):
+    assert flips(session, smash_style()) == 0
+
+
+def test_blacksmith_structure_bypasses(session):
+    assert flips(session, blacksmith_showcase()) > 0
+
+
+def test_non_uniform_beats_every_classic_pattern(session):
+    best_classic = max(
+        flips(session, factory())
+        for name, factory in PATTERN_LIBRARY.items()
+        if name != "blacksmith"
+    )
+    assert flips(session, blacksmith_showcase()) > best_classic
+
+
+def test_many_sided_overflows_a_tiny_sampler():
+    """TRRespass's premise: enough simultaneous aggressors overflow a
+    capacity-limited sampler.  With the default 6-slot sampler a 9-sided
+    pattern keeps some pairs permanently untracked."""
+    from repro import build_machine
+    from repro.dram.trr import TrrConfig
+
+    weak = build_machine(
+        "comet_lake", "S3", scale=QUICK_SCALE, seed=313,
+        trr_config=TrrConfig(capacity=4, refreshes_per_ref=1),
+    )
+    session = HammerSession(
+        machine=weak,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        disturbance_gain=QUICK_SCALE.disturbance_gain,
+    )
+    assert flips(session, many_sided(sides=9)) > 0
+
+
+def test_many_sided_validation():
+    from repro.common.errors import SimulationError
+    with pytest.raises(SimulationError):
+        many_sided(sides=1)

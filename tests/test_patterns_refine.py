@@ -1,0 +1,77 @@
+"""Pattern refinement (Blacksmith's hill-climbing stage)."""
+
+import pytest
+
+from repro import QUICK_SCALE, rhohammer_config
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.patterns.frequency import AggressorPair, lay_out_pattern
+from repro.patterns.refine import RefinementResult, refine_pattern
+
+
+@pytest.fixture(scope="module")
+def weak_seed():
+    """A pattern with a sub-optimal escapee (amplitude 1 -> low share)."""
+    pairs = [
+        AggressorPair(pair_id=0, row_offset=0, frequency=16, phase=0, amplitude=1),
+        AggressorPair(pair_id=1, row_offset=4, frequency=16, phase=8, amplitude=1),
+        AggressorPair(pair_id=2, row_offset=8, frequency=2, phase=100, amplitude=1),
+    ]
+    return lay_out_pattern(pairs, 256, filler_pair_ids=[0, 1])
+
+
+def test_refinement_never_regresses(comet_machine, weak_seed):
+    result = refine_pattern(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        weak_seed,
+        QUICK_SCALE,
+        max_rounds=2,
+        neighbours_per_round=8,
+    )
+    assert result.best_flips >= result.seed_flips
+    assert result.evaluations >= 1
+    assert result.rounds >= 1
+
+
+def test_refinement_improves_a_weak_seed(comet_machine, weak_seed):
+    """The weak escapee is one amplitude mutation away from a much better
+    pattern; the climber must find an improvement."""
+    result = refine_pattern(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        weak_seed,
+        QUICK_SCALE,
+        max_rounds=3,
+        neighbours_per_round=12,
+    )
+    assert result.best_flips > result.seed_flips
+    assert result.improvement > 1.0
+
+
+def test_good_seed_is_kept(comet_machine):
+    """Refining an already-strong pattern must at worst return it."""
+    seed = canonical_compact_pattern()
+    result = refine_pattern(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        seed,
+        QUICK_SCALE,
+        max_rounds=1,
+        neighbours_per_round=6,
+    )
+    assert result.best_flips >= result.seed_flips
+    if result.best_flips == result.seed_flips:
+        assert result.best_pattern is seed
+
+
+def test_result_reports_bookkeeping(comet_machine, weak_seed):
+    result = refine_pattern(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        weak_seed,
+        QUICK_SCALE,
+        max_rounds=1,
+        neighbours_per_round=4,
+    )
+    assert isinstance(result, RefinementResult)
+    assert result.evaluations <= 1 + 4  # seed + one round of neighbours

@@ -1,0 +1,48 @@
+"""Sweeping an effective pattern across locations (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro import QUICK_SCALE, rhohammer_config, sweep_pattern
+from repro.exploit.endtoend import canonical_compact_pattern
+
+
+@pytest.fixture(scope="module")
+def comet_sweep(comet_machine):
+    return sweep_pattern(
+        comet_machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        canonical_compact_pattern(),
+        num_locations=12,
+        scale=QUICK_SCALE,
+    )
+
+
+def test_sweep_visits_distinct_locations(comet_sweep):
+    assert len(set(comet_sweep.base_rows)) == 12
+
+
+def test_sweep_accumulates_flips(comet_sweep):
+    assert comet_sweep.total_flips > 0
+    cumulative = comet_sweep.cumulative_flips
+    assert (np.diff(cumulative) >= 0).all()
+    assert cumulative[-1] == comet_sweep.total_flips
+
+
+def test_virtual_time_is_monotone(comet_sweep):
+    assert (np.diff(comet_sweep.virtual_minutes) > 0).all()
+
+
+def test_flip_rate_is_positive(comet_sweep):
+    assert comet_sweep.flips_per_minute > 0
+
+
+def test_flips_spread_across_locations(comet_sweep):
+    """Figure 11's observation: flips progress smoothly — desired flips
+    can be found at most positions, not just a lucky few."""
+    assert comet_sweep.locations_with_flips >= 12 * 0.5
+
+
+def test_sweep_report_consistency(comet_sweep):
+    assert comet_sweep.flips_per_location.size == 12
+    assert comet_sweep.virtual_minutes.size == 12

@@ -1,0 +1,95 @@
+"""Property-based invariants across the hammer pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngStream
+from repro.cpu.executor import HammerExecutor
+from repro.cpu.isa import (
+    AddressingMode,
+    Barrier,
+    HammerInstruction,
+    HammerKernelConfig,
+)
+from repro.cpu.platform import PLATFORMS, platform_by_name
+from repro.cpu.speculation import DisorderModel
+
+
+config_strategy = st.builds(
+    HammerKernelConfig,
+    instruction=st.sampled_from(list(HammerInstruction)),
+    addressing=st.sampled_from(list(AddressingMode)),
+    barrier=st.sampled_from(list(Barrier)),
+    nop_count=st.integers(min_value=0, max_value=1000),
+    obfuscate_control_flow=st.booleans(),
+    num_banks=st.integers(min_value=1, max_value=8),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy, platform=st.sampled_from(sorted(PLATFORMS)))
+def test_executor_invariants(config, platform):
+    """For any kernel configuration on any platform:
+
+    * survivors are a subset of issued accesses,
+    * the realised miss rate equals survivors/issued,
+    * issue times are sorted, positive, and within the run duration,
+    * surviving ids come from the input id set.
+    """
+    executor = HammerExecutor(
+        platform_by_name(platform), rng=RngStream(99, platform)
+    )
+    ids = np.tile(np.arange(6), 400)
+    result = executor.execute(ids, config)
+    assert 0 <= result.survivors <= result.issued == ids.size
+    assert result.miss_rate == pytest.approx(result.survivors / ids.size)
+    if result.survivors:
+        assert (np.diff(result.times_ns) >= 0).all()
+        assert result.times_ns.min() > 0
+        assert result.times_ns.max() <= result.duration_ns + 1e-6
+        assert set(result.address_ids.tolist()) <= set(range(6))
+
+
+@settings(max_examples=60, deadline=None)
+@given(config=config_strategy, platform=st.sampled_from(sorted(PLATFORMS)))
+def test_disorder_profile_invariants(config, platform):
+    """Windows and drop caps stay in their physical ranges."""
+    model = DisorderModel(platform_by_name(platform))
+    profile = model.profile(config)
+    assert profile.window >= 0.0
+    assert 0.0 < profile.drop_cap < 1.0
+    d = np.array([1, 5, 50, 500, 10**9])
+    p = model.drop_probabilities(d, profile)
+    assert (p >= 0).all() and (p <= profile.drop_cap).all()
+    assert (np.diff(p) <= 1e-12).all()  # monotone non-increasing
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nops_lo=st.integers(min_value=0, max_value=400),
+    extra=st.integers(min_value=1, max_value=600),
+    platform=st.sampled_from(sorted(PLATFORMS)),
+)
+def test_more_nops_never_widen_the_window(nops_lo, extra, platform):
+    model = DisorderModel(platform_by_name(platform))
+    low = model.profile(HammerKernelConfig(nop_count=nops_lo))
+    high = model.profile(HammerKernelConfig(nop_count=nops_lo + extra))
+    assert high.window <= low.window + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=config_strategy,
+    platform=st.sampled_from(sorted(PLATFORMS)),
+    miss=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_throughput_cost_is_positive_and_monotone_in_miss(config, platform, miss):
+    from repro.cpu.timing import ThroughputModel
+
+    model = ThroughputModel(platform_by_name(platform))
+    cost = model.iteration_cost(config, miss_rate=miss)
+    assert cost.total_ns > 0
+    fuller = model.iteration_cost(config, miss_rate=min(1.0, miss + 0.1))
+    assert fuller.total_ns >= cost.total_ns - 1e-9

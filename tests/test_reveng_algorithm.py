@@ -1,0 +1,71 @@
+"""Algorithm 1: full mapping recovery on every architecture."""
+
+import pytest
+
+from repro import build_machine
+from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
+
+
+@pytest.mark.parametrize(
+    "platform,dimm",
+    [
+        ("comet_lake", "S3"),
+        ("rocket_lake", "S2"),
+        ("alder_lake", "S3"),
+        ("raptor_lake", "M1"),
+    ],
+)
+def test_recovers_ground_truth(platform, dimm):
+    machine = build_machine(platform, dimm, seed=555)
+    oracle = TimingOracle.allocate(machine, fraction=0.4)
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    score = compare_mappings(result.mapping, machine.mapping)
+    assert score.fully_correct, (
+        f"recovered {result.mapping.describe()} "
+        f"vs truth {machine.mapping.describe()}"
+    )
+
+
+def test_pure_row_bits_found_on_traditional_mapping(comet_machine):
+    oracle = TimingOracle.allocate(comet_machine, fraction=0.4,
+                                   seed_name="alg-pure")
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    assert set(result.pure_row_bits) == set(comet_machine.mapping.pure_row_bits)
+
+
+def test_no_pure_row_bits_on_new_mapping(raptor_machine):
+    oracle = TimingOracle.allocate(raptor_machine, fraction=0.4,
+                                   seed_name="alg-none")
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    assert result.pure_row_bits == ()
+
+
+def test_quartet_finds_low_order_function(raptor_machine):
+    oracle = TimingOracle.allocate(raptor_machine, fraction=0.4,
+                                   seed_name="alg-quartet")
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    assert (9, 11, 13) in result.mapping.canonical_functions()
+    merged = {frozenset(p) for p in result.quartet_pairs}
+    assert merged == {
+        frozenset((9, 11)), frozenset((9, 13)), frozenset((11, 13))
+    }
+
+
+def test_runtime_is_seconds_scale(raptor_machine):
+    """Table 5: rhoHammer completes within ~10 attacker-seconds."""
+    oracle = TimingOracle.allocate(raptor_machine, fraction=0.4,
+                                   seed_name="alg-time")
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    assert result.runtime_seconds < 12.0
+    assert result.measurements > 0
+
+
+def test_heatmap_collection(comet_machine):
+    oracle = TimingOracle.allocate(comet_machine, fraction=0.4,
+                                   seed_name="alg-heat")
+    result = RhoHammerRevEng(oracle, collect_heatmap=True).run()
+    assert len(result.heatmap) > 100
+    # Duet pairs must show slow timings in the collected heatmap.
+    thres = result.threshold.threshold_ns
+    for pair in result.duet_pairs:
+        assert result.heatmap[pair] > thres

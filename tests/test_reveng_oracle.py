@@ -1,0 +1,68 @@
+"""The attacker's timing oracle: pair construction and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RevEngFailure
+from repro.reveng.oracle import PAIRS_PER_PRIMITIVE, REPS_PER_PAIR, TimingOracle
+
+
+def test_candidate_bits_span_cache_line_to_top(comet_oracle):
+    bits = comet_oracle.candidate_bits()
+    assert bits[0] == 6
+    assert bits[-1] == comet_oracle.phys_bits - 1
+    assert bits == sorted(bits)
+
+
+def test_sample_pairs_differ_exactly_in_requested_bits(comet_oracle):
+    diff = (14, 18)
+    pairs = comet_oracle.sample_pairs(diff, count=8)
+    mask = (1 << 14) | (1 << 18)
+    xor = pairs[:, 0] ^ pairs[:, 1]
+    assert (xor == mask).all()
+
+
+def test_sample_pairs_stay_inside_the_pool(comet_oracle):
+    frames = set(int(f) for f in comet_oracle.space.frames)
+    pairs = comet_oracle.sample_pairs((20, 25), count=8)
+    for addr in pairs.reshape(-1):
+        assert int(addr) >> 12 in frames
+
+
+def test_sub_page_bits_need_no_partner_lookup(comet_oracle):
+    # Bits below the page shift are free offsets inside any page.
+    pairs = comet_oracle.sample_pairs((6,), count=8)
+    assert ((pairs[:, 0] ^ pairs[:, 1]) == (1 << 6)).all()
+
+
+def test_t_sbdr_distinguishes_classes(comet_oracle):
+    mapping = comet_oracle.machine.mapping
+    slow = comet_oracle.t_sbdr((25,))  # pure row bit -> SBDR
+    fast = comet_oracle.t_sbdr((7,))  # pure column bit -> row hit
+    assert slow > fast + 50.0
+
+
+def test_measurement_accounting_feeds_runtime(comet_oracle):
+    before = comet_oracle.timer.measurements_taken
+    comet_oracle.t_sbdr((20,))
+    taken = comet_oracle.timer.measurements_taken - before
+    assert taken == PAIRS_PER_PRIMITIVE * REPS_PER_PAIR
+    runtime = comet_oracle.runtime_seconds()
+    assert runtime > comet_oracle.machine.platform.reveng_alloc_overhead_s
+
+
+def test_runtime_overhead_override(comet_oracle):
+    base = comet_oracle.runtime_seconds(extra_overhead_s=0.0)
+    padded = comet_oracle.runtime_seconds(extra_overhead_s=30.0)
+    assert padded == pytest.approx(base + 30.0)
+
+
+def test_unfindable_pair_raises():
+    """Asking for a partner outside physical memory must fail loudly."""
+    from repro import build_machine
+
+    machine = build_machine("comet_lake", "S2", seed=404)  # 8 GiB, 33 bits
+    oracle = TimingOracle.allocate(machine, fraction=0.1)
+    with pytest.raises(RevEngFailure):
+        # Bit 35 is beyond the 33-bit space: no partner frame exists.
+        oracle.sample_pairs((35,), count=4)

@@ -1,0 +1,50 @@
+"""Recovered-vs-truth mapping comparison."""
+
+from repro.mapping.functions import AddressMapping, BankFunction
+from repro.reveng.report import compare_mappings
+
+
+def mapping(funcs, rows=(18, 33)):
+    return AddressMapping(
+        bank_functions=tuple(BankFunction(f) for f in funcs),
+        row_bits=rows,
+        phys_bits=34,
+    )
+
+
+def test_identical_mappings_match():
+    a = mapping([(6, 13), (14, 18)])
+    score = compare_mappings(a, a)
+    assert score.fully_correct
+    assert score.missing_functions == ()
+    assert score.spurious_functions == ()
+
+
+def test_function_order_is_irrelevant():
+    a = mapping([(6, 13), (14, 18)])
+    b = mapping([(14, 18), (6, 13)])
+    assert compare_mappings(a, b).fully_correct
+
+
+def test_missing_function_detected():
+    truth = mapping([(6, 13), (14, 18), (15, 19)])
+    recovered = mapping([(6, 13), (14, 18)])
+    score = compare_mappings(recovered, truth)
+    assert not score.functions_correct
+    assert score.missing_functions == ((15, 19),)
+
+
+def test_spurious_function_detected():
+    truth = mapping([(6, 13)])
+    recovered = mapping([(6, 13), (7, 12)])
+    score = compare_mappings(recovered, truth)
+    assert score.spurious_functions == ((7, 12),)
+
+
+def test_wrong_row_range_detected():
+    truth = mapping([(6, 13)], rows=(18, 33))
+    recovered = mapping([(6, 13)], rows=(17, 33))
+    score = compare_mappings(recovered, truth)
+    assert score.functions_correct
+    assert not score.row_range_correct
+    assert not score.fully_correct

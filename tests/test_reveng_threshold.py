@@ -1,0 +1,36 @@
+"""Step 0: SBDR threshold discovery (Figure 3)."""
+
+import pytest
+
+from repro.dram.timing import AccessLatency
+from repro.reveng.threshold import find_sbdr_threshold
+
+
+def test_threshold_separates_the_modes(comet_oracle):
+    result = find_sbdr_threshold(comet_oracle, num_pairs=1500)
+    latency = AccessLatency()
+    assert latency.diff_bank < result.threshold_ns < latency.row_conflict
+    assert result.fast_center_ns < result.slow_center_ns
+
+
+def test_slow_fraction_tracks_bank_collision_probability(comet_oracle):
+    result = find_sbdr_threshold(comet_oracle, num_pairs=4000)
+    banks = comet_oracle.machine.mapping.num_banks
+    expected = 1.0 / banks
+    assert expected / 2.2 < result.slow_fraction < expected * 2.2
+
+
+def test_histogram_is_bimodal(comet_oracle):
+    result = find_sbdr_threshold(comet_oracle, num_pairs=3000)
+    counts, edges = result.histogram(bins=40)
+    centers = (edges[:-1] + edges[1:]) / 2
+    below = counts[centers < result.threshold_ns].sum()
+    above = counts[centers >= result.threshold_ns].sum()
+    assert below > 0 and above > 0
+    assert below > above  # non-SBDR pairs dominate
+
+
+def test_threshold_works_on_new_mappings(raptor_oracle):
+    result = find_sbdr_threshold(raptor_oracle, num_pairs=1500)
+    assert result.slow_fraction > 0.0
+    assert result.samples.size == 1500

@@ -1,0 +1,65 @@
+"""Unprivileged (superpage-only) reverse engineering."""
+
+import pytest
+
+from repro import build_machine
+from repro.osmodel.hugepages import HUGE_PAGE_SHIFT
+from repro.reveng.unprivileged import UnprivilegedRevEng
+
+
+@pytest.fixture(scope="module")
+def raptor_result():
+    machine = build_machine("raptor_lake", "S3", seed=909)
+    return UnprivilegedRevEng(machine, pages=4).run()
+
+
+@pytest.fixture(scope="module")
+def comet_result():
+    machine = build_machine("comet_lake", "S3", seed=909)
+    return UnprivilegedRevEng(machine, pages=4).run()
+
+
+def test_observable_range_is_the_superpage_offset(raptor_result):
+    assert raptor_result.observable_bits == (6, HUGE_PAGE_SHIFT - 1)
+
+
+def test_low_order_function_projection_on_new_mappings(raptor_result):
+    """(9, 11, 13) sits entirely below the superpage offset, so even an
+    unprivileged attacker sees the whole group."""
+    assert (9, 11, 13) in raptor_result.function_projections
+
+
+def test_page_level_functions_appear_as_slices(raptor_result):
+    """Raptor Lake's wide functions project to their sub-offset members:
+    (14, 18, 26, 29, 32) -> (14, 18), (16, 20, 23, ...) -> (16, 20)."""
+    assert (14, 18) in raptor_result.function_projections
+    assert (16, 20) in raptor_result.function_projections
+    for projection in raptor_result.function_projections:
+        assert max(projection) < HUGE_PAGE_SHIFT
+
+
+def test_lone_members_stay_unpaired(raptor_result):
+    """Bit 17's partners (21, 22, 25, 28, 31) all sit above the superpage
+    offset, so it is detected as bank-relevant but cannot be grouped."""
+    assert 17 in raptor_result.unpaired_bank_bits
+
+
+def test_pure_columns_identified(raptor_result, comet_result):
+    assert set(raptor_result.pure_column_bits) == {6, 7, 8, 10, 12}
+    assert 7 in comet_result.pure_column_bits
+    assert 6 not in comet_result.pure_column_bits  # member of (6, 13)
+
+
+def test_comet_recovers_its_low_function(comet_result):
+    assert (6, 13) in comet_result.function_projections
+    assert comet_result.recovered_anything
+
+
+def test_row_range_is_unreachable(raptor_result):
+    """The result type has no row field at all: row bits live above the
+    superpage offset, which is why the paper's offline phase needs root."""
+    assert not hasattr(raptor_result, "row_bits")
+
+
+def test_measurement_accounting(raptor_result):
+    assert raptor_result.measurements > 0

@@ -1,0 +1,97 @@
+"""Cross-validation of recovered mappings."""
+
+import pytest
+
+from repro.mapping.functions import AddressMapping, BankFunction
+from repro.mapping.presets import mapping_for
+from repro.reveng import RhoHammerRevEng, TimingOracle
+from repro.reveng.validation import cross_validate, predict_sbdr
+
+
+# ----------------------------------------------------------------------
+# The prediction oracle
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def comet16():
+    return mapping_for("comet_lake", 16)
+
+
+def test_predict_single_pure_row_bit_is_slow(comet16):
+    assert predict_sbdr(comet16, (25,))
+
+
+def test_predict_bank_bit_flip_is_fast(comet16):
+    assert not predict_sbdr(comet16, (14,))  # one function bit -> bank moves
+
+
+def test_predict_function_pair_is_slow(comet16):
+    assert predict_sbdr(comet16, (14, 18))  # same function, row bit included
+
+
+def test_predict_low_function_pair_is_fast(comet16):
+    assert not predict_sbdr(comet16, (6, 13))  # bank same, row same
+
+
+def test_predict_cross_function_pair_is_fast(comet16):
+    assert not predict_sbdr(comet16, (14, 19))  # two functions change
+
+
+def test_predict_pure_column_is_fast(comet16):
+    assert not predict_sbdr(comet16, (7,))
+
+
+# ----------------------------------------------------------------------
+# End-to-end validation
+# ----------------------------------------------------------------------
+def test_correct_mapping_validates(raptor_machine):
+    oracle = TimingOracle.allocate(raptor_machine, fraction=0.4,
+                                   seed_name="val-good")
+    report = cross_validate(raptor_machine.mapping, oracle, probes=48)
+    assert report.validated
+    assert report.accuracy == 1.0
+
+
+def test_recovered_mapping_validates(comet_machine):
+    oracle = TimingOracle.allocate(comet_machine, fraction=0.4,
+                                   seed_name="val-rec")
+    recovered = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    report = cross_validate(recovered.mapping, oracle, probes=48,
+                            seed_name="val-rec2")
+    assert report.validated
+
+
+def test_wrong_mapping_fails_validation(comet_machine):
+    truth = comet_machine.mapping
+    # Corrupt one function: (6, 13) -> (7, 13).
+    functions = [
+        BankFunction((7, 13)) if f.bits == (6, 13) else f
+        for f in truth.bank_functions
+    ]
+    wrong = AddressMapping(
+        bank_functions=tuple(functions),
+        row_bits=truth.row_bits,
+        phys_bits=truth.phys_bits,
+    )
+    oracle = TimingOracle.allocate(comet_machine, fraction=0.4,
+                                   seed_name="val-bad")
+    report = cross_validate(wrong, oracle, probes=64)
+    assert not report.validated
+    assert len(report.disagreements) > 0
+
+
+def test_wrong_row_range_fails_validation(raptor_machine):
+    """A mapping that *misses* row bits mispredicts same-function probes
+    whose only row bit falls in the missed range.  (Extending the range
+    over function-covered column bits is observationally equivalent and
+    rightly passes — no B_diff can expose it through SBDR timing.)"""
+    truth = raptor_machine.mapping
+    low, high = truth.row_bits
+    wrong = AddressMapping(
+        bank_functions=truth.bank_functions,
+        row_bits=(low + 3, high),  # claims rows start three bits higher
+        phys_bits=truth.phys_bits,
+    )
+    oracle = TimingOracle.allocate(raptor_machine, fraction=0.4,
+                                   seed_name="val-row")
+    report = cross_validate(wrong, oracle, probes=96)
+    assert not report.validated

@@ -1,0 +1,116 @@
+"""System assembly: presets, machine builder, simulation scale."""
+
+import pytest
+
+from repro.common.errors import CalibrationError, SimulationError
+from repro.system.calibration import (
+    BENCH_SCALE,
+    FINE_SCALE,
+    QUICK_SCALE,
+    SimulationScale,
+)
+from repro.system.machine import build_machine
+from repro.system.presets import DIMM_SPECS, dimm_by_id, dimm_ids, machine_names
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Table 2 inventories
+# ----------------------------------------------------------------------
+def test_table2_inventory():
+    assert dimm_ids() == ["S1", "S2", "S3", "S4", "S5", "H1", "M1"]
+    assert len(DIMM_SPECS) == 7
+
+
+def test_table2_geometries():
+    assert dimm_by_id("S2").geometry.ranks == 1
+    assert dimm_by_id("S2").size_gib == 8
+    assert dimm_by_id("M1").geometry.rows == 1 << 17
+    assert dimm_by_id("M1").size_gib == 32
+    for dimm_id in ("S1", "S3", "S4", "S5", "H1"):
+        spec = dimm_by_id(dimm_id)
+        assert spec.geometry.ranks == 2 and spec.size_gib == 16
+
+
+def test_m1_is_invulnerable():
+    assert not dimm_by_id("M1").flippable
+    assert dimm_by_id("S3").flippable
+
+
+def test_vulnerability_ordering_tracks_table6():
+    """S4 and S3 are the most flip-prone DIMMs; S5/H1 the weakest."""
+    def threshold(dimm_id):
+        return dimm_by_id(dimm_id).median_flip_threshold
+    assert threshold("S4") <= threshold("S3") < threshold("S1")
+    assert threshold("S5") > threshold("S1")
+    assert threshold("H1") > threshold("S1")
+
+
+def test_unknown_dimm_raises():
+    with pytest.raises(SimulationError):
+        dimm_by_id("X9")
+
+
+def test_machine_names_table1_order():
+    assert machine_names() == [
+        "comet_lake", "rocket_lake", "alder_lake", "raptor_lake"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Machine builder
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("platform", machine_names())
+@pytest.mark.parametrize("dimm", ["S2", "S3", "M1"])
+def test_build_every_combination(platform, dimm):
+    machine = build_machine(platform, dimm)
+    spec = machine.dimm.spec
+    assert machine.mapping.num_banks == spec.geometry.total_banks
+    assert machine.memory.size_gib == spec.size_gib
+    assert machine.pagemap.memory is machine.memory
+
+
+def test_machine_scale_sets_refresh_window():
+    machine = build_machine("comet_lake", "S3", scale=QUICK_SCALE)
+    assert machine.dimm.timing.refresh_window == pytest.approx(
+        QUICK_SCALE.refresh_window_ns
+    )
+
+
+def test_machine_describe():
+    machine = build_machine("raptor_lake", "S2")
+    assert "i7-14700K" in machine.describe()
+    assert "S2" in machine.describe()
+
+
+def test_ptrr_flag_propagates():
+    machine = build_machine("alder_lake", "S3", ptrr_enabled=True)
+    assert machine.dimm.ptrr.enabled
+
+
+def test_executor_is_cached():
+    machine = build_machine("comet_lake", "S3")
+    assert machine.executor is machine.executor
+
+
+# ----------------------------------------------------------------------
+# Simulation scale
+# ----------------------------------------------------------------------
+def test_scale_invariant_product():
+    """Disturbance gain x refresh window is scale-invariant: peaks stay in
+    physical HC_first units regardless of compression."""
+    for scale in (QUICK_SCALE, BENCH_SCALE, FINE_SCALE):
+        product = scale.disturbance_gain * scale.refresh_window_ns
+        assert product == pytest.approx(64.0e6)
+
+
+def test_scale_validation():
+    with pytest.raises(CalibrationError):
+        SimulationScale(time_compression=0.5)
+    with pytest.raises(CalibrationError):
+        SimulationScale(acts_per_pattern=0)
+
+
+def test_patterns_for_hours():
+    scale = SimulationScale(patterns_per_hour=430)
+    assert scale.patterns_for_hours(2.0) == 860
+    assert scale.patterns_for_hours(2.0, cap=100) == 100
