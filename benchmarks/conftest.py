@@ -40,11 +40,11 @@ def bench_machines():
     }
 
 
-#: Optimal kernel settings per architecture, found via the tuning phase
-#: (NOP count) and bank-sweep fuzzing (bank count) — Section 4.4/4.3.
+#: Optimal kernel settings per architecture — Section 4.4/4.3.  Read from
+#: the shared calibration table so the benchmarks and the CLI can't drift.
+from repro.system.calibration import TUNED_KERNELS
+
 TUNED = {
-    "comet_lake": dict(nops=60, banks=3),
-    "rocket_lake": dict(nops=80, banks=3),
-    "alder_lake": dict(nops=220, banks=3),
-    "raptor_lake": dict(nops=220, banks=3),
+    name: dict(nops=settings.nop_count, banks=settings.num_banks)
+    for name, settings in TUNED_KERNELS.items()
 }

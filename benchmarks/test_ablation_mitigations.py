@@ -9,6 +9,7 @@ row-swap).
 from repro import BENCH_SCALE, build_machine, rhohammer_config
 from repro.analysis.reporting import Table
 from repro.dram.mitigations import RandomizedRowSwap, ScrambledMapping
+from repro.engine import RunBudget
 from repro.patterns.fuzzer import FuzzingCampaign
 
 PATTERNS = 12
@@ -22,7 +23,7 @@ def _campaign(machine) -> int:
         trials_per_pattern=1,
         seed_name="ablation",
     )
-    return campaign.run(max_patterns=PATTERNS).total_flips
+    return campaign.execute(RunBudget.trials(PATTERNS)).total_flips
 
 
 def _machines():

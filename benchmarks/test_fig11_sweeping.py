@@ -8,7 +8,13 @@ series and per-minute flip rates.  Paper headline: 187K/min (Comet),
 newer ones.
 """
 
-from repro import BENCH_SCALE, baseline_load_config, rhohammer_config, sweep_pattern
+from repro import (
+    BENCH_SCALE,
+    RunBudget,
+    baseline_load_config,
+    rhohammer_config,
+    sweep_pattern,
+)
 from repro.analysis.reporting import Table
 from repro.exploit.endtoend import canonical_compact_pattern
 from conftest import TUNED
@@ -27,13 +33,15 @@ def test_fig11_sweeping(benchmark, bench_machines, report_writer):
             baseline = baseline_load_config(num_banks=1)
             pattern = canonical_compact_pattern()
             reports[(arch, "rho")] = sweep_pattern(
-                machine, rho, pattern, LOCATIONS, BENCH_SCALE,
+                machine, rho, pattern, RunBudget.trials(LOCATIONS),
+                BENCH_SCALE,
                 seed_name="fig11-rho",
             )
             # Paper fallback: the baseline sweeps rhoHammer's best pattern
             # on the platforms where its own fuzzing found none.
             reports[(arch, "baseline")] = sweep_pattern(
-                machine, baseline, pattern, LOCATIONS, BENCH_SCALE,
+                machine, baseline, pattern, RunBudget.trials(LOCATIONS),
+                BENCH_SCALE,
                 seed_name="fig11-bl",
             )
 

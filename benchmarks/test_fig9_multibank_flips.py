@@ -21,6 +21,7 @@ from repro.cpu.isa import (
     baseline_load_config,
     rhohammer_config,
 )
+from repro.engine import RunBudget
 from repro.patterns.fuzzer import FuzzingCampaign
 from conftest import TUNED
 
@@ -36,7 +37,7 @@ def _cell(machine, config, tag) -> int:
         trials_per_pattern=1,
         seed_name=f"fig9-{tag}",
     )
-    return campaign.run(max_patterns=PATTERNS_PER_CELL).total_flips
+    return campaign.execute(RunBudget.trials(PATTERNS_PER_CELL)).total_flips
 
 
 def test_fig9_multibank_effectiveness(benchmark, bench_machines, report_writer):

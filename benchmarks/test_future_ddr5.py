@@ -9,6 +9,7 @@ sub-channel-extended mapping.
 
 from repro import BENCH_SCALE, rhohammer_config
 from repro.analysis.reporting import Table
+from repro.engine import RunBudget
 from repro.patterns.fuzzer import FuzzingCampaign
 from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
 from repro.system.machine import build_ddr5_machine
@@ -24,7 +25,7 @@ def _campaign(machine) -> int:
         trials_per_pattern=1,
         seed_name="ddr5",
     )
-    return campaign.run(max_patterns=PATTERNS).total_flips
+    return campaign.execute(RunBudget.trials(PATTERNS)).total_flips
 
 
 def test_ddr5_negative_result(benchmark, report_writer):

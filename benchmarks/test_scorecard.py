@@ -17,6 +17,7 @@ from repro import (
     sweep_pattern,
 )
 from repro.analysis.paper import evaluate_claims, render_scorecard
+from repro.engine import RunBudget
 from repro.exploit.endtoend import canonical_compact_pattern
 from repro.reveng.baselines import DramDigRevEng
 from conftest import TUNED
@@ -27,7 +28,7 @@ def _fuzz(machine, config, patterns=10) -> int:
         machine=machine, config=config, scale=BENCH_SCALE,
         trials_per_pattern=1, seed_name="scorecard",
     )
-    return campaign.run(max_patterns=patterns).total_flips
+    return campaign.execute(RunBudget.trials(patterns)).total_flips
 
 
 def test_paper_claim_scorecard(benchmark, bench_machines, report_writer):
@@ -44,7 +45,8 @@ def test_paper_claim_scorecard(benchmark, bench_machines, report_writer):
                 machine, baseline_load_config(num_banks=1)
             )
             sweep = sweep_pattern(
-                machine, rho, canonical_compact_pattern(), 12, BENCH_SCALE,
+                machine, rho, canonical_compact_pattern(),
+                RunBudget.trials(12), BENCH_SCALE,
                 seed_name="scorecard-sweep",
             )
             measured[f"rate/{arch}/rho"] = sweep.flips_per_minute

@@ -7,18 +7,26 @@ then fails; rhoHammer 8.5 / 6.1 / 4.6 / 4.1.
 
 from repro import build_machine
 from repro.analysis.reporting import Table
-from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
+from repro.engine import RunBudget, default_workers
+from repro.reveng import TimingOracle, compare_mappings, repeated_reveng
 from repro.reveng.baselines import DareRevEng, DramaRevEng, DramDigRevEng
 
 PLATFORMS = ["comet_lake", "rocket_lake", "alder_lake", "raptor_lake"]
 
+#: Scaled-down stand-in for the paper's 50-run protocol (mean runtime over
+#: independent seeds); runs fan out over the engine's worker pool.
+RUNS_PER_PLATFORM = 3
+
 
 def _ours(platform):
-    machine = build_machine(platform, "S3", seed=505)
-    oracle = TimingOracle.allocate(machine, fraction=0.5, seed_name="t5-ours")
-    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
-    correct = compare_mappings(result.mapping, machine.mapping).fully_correct
-    return result.runtime_seconds, correct
+    stats = repeated_reveng(
+        platform,
+        "S3",
+        budget=RunBudget.trials(RUNS_PER_PLATFORM, workers=default_workers()),
+        base_seed=505,
+        seed_name="t5-ours",
+    )
+    return stats.mean_runtime_seconds, stats.all_correct
 
 
 def _baseline(tool_cls, platform, num_addresses=None):

@@ -17,6 +17,7 @@ from repro import (
     rhohammer_config,
 )
 from repro.analysis.reporting import Table
+from repro.engine import RunBudget
 from repro.patterns.fuzzer import FuzzingCampaign
 from conftest import TUNED
 
@@ -46,7 +47,7 @@ def _cell(arch, dimm, config):
         trials_per_pattern=1,
         seed_name="table6",
     )
-    report = campaign.run(max_patterns=PATTERNS_PER_CELL)
+    report = campaign.execute(RunBudget.trials(PATTERNS_PER_CELL))
     return report.total_flips, report.best_pattern_flips
 
 

@@ -13,7 +13,7 @@ Three measurements on a simulated Raptor Lake machine with a DDR5 DIMM:
 Run:  python examples/ddr5_outlook.py
 """
 
-from repro import QUICK_SCALE, rhohammer_config
+from repro import QUICK_SCALE, RunBudget, rhohammer_config
 from repro.analysis.reporting import Table
 from repro.patterns.fuzzer import FuzzingCampaign
 from repro.reveng import RhoHammerRevEng, TimingOracle, compare_mappings
@@ -26,7 +26,7 @@ def campaign_flips(machine) -> int:
         config=rhohammer_config(nop_count=220, num_banks=3),
         scale=QUICK_SCALE,
     )
-    return campaign.run(max_patterns=15).total_flips
+    return campaign.execute(RunBudget.trials(15)).total_flips
 
 
 def main() -> None:

@@ -13,7 +13,13 @@ research defences break the templated adjacency the patterns rely on.
 Run:  python examples/mitigation_study.py
 """
 
-from repro import FuzzingCampaign, QUICK_SCALE, build_machine, rhohammer_config
+from repro import (
+    FuzzingCampaign,
+    QUICK_SCALE,
+    RunBudget,
+    build_machine,
+    rhohammer_config,
+)
 from repro.analysis.reporting import Table
 from repro.dram.mitigations import RandomizedRowSwap, ScrambledMapping
 
@@ -21,7 +27,7 @@ from repro.dram.mitigations import RandomizedRowSwap, ScrambledMapping
 def campaign_flips(machine) -> tuple[int, int]:
     config = rhohammer_config(nop_count=220, num_banks=3)
     campaign = FuzzingCampaign(machine=machine, config=config, scale=QUICK_SCALE)
-    report = campaign.run(hours=2.0, max_patterns=25)
+    report = campaign.execute(RunBudget(hours=2.0, max_trials=25))
     return report.total_flips, report.effective_patterns
 
 

@@ -14,6 +14,7 @@ from repro import (
     FuzzingCampaign,
     QUICK_SCALE,
     RhoHammerRevEng,
+    RunBudget,
     TimingOracle,
     build_machine,
     rhohammer_config,
@@ -45,7 +46,7 @@ def main() -> None:
     campaign = FuzzingCampaign(
         machine=machine, config=config, scale=QUICK_SCALE
     )
-    report = campaign.run(hours=2.0, max_patterns=40)
+    report = campaign.execute(RunBudget(hours=2.0, max_trials=40))
     print(f"  patterns tried     : {report.patterns_tried}")
     print(f"  effective patterns : {report.effective_patterns}")
     print(f"  total bit flips    : {report.total_flips}")

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro import (
     QUICK_SCALE,
     FuzzingCampaign,
+    RunBudget,
     RhoHammerRevEng,
     TimingOracle,
     baseline_load_config,
@@ -29,7 +30,7 @@ def fuzz_total(machine, config, patterns=12) -> int:
         machine=machine, config=config, scale=QUICK_SCALE,
         trials_per_pattern=1, seed_name="compare",
     )
-    return campaign.run(max_patterns=patterns).total_flips
+    return campaign.execute(RunBudget.trials(patterns)).total_flips
 
 
 def main() -> int:
@@ -43,7 +44,8 @@ def main() -> int:
             machine, baseline_load_config(num_banks=1)
         )
         sweep = sweep_pattern(
-            machine, rho, canonical_compact_pattern(), 10, QUICK_SCALE
+            machine, rho, canonical_compact_pattern(),
+            RunBudget.trials(10), QUICK_SCALE,
         )
         measured[f"rate/{arch}/rho"] = sweep.flips_per_minute
 

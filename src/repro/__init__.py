@@ -13,7 +13,9 @@ platform substrate (DRAM + TRR, memory controller, out-of-order CPU, OS):
 
 Quickstart::
 
-    from repro import build_machine, rhohammer_config, FuzzingCampaign
+    from repro import (
+        FuzzingCampaign, RunBudget, build_machine, rhohammer_config,
+    )
     from repro.system.calibration import QUICK_SCALE
 
     machine = build_machine("raptor_lake", "S2", scale=QUICK_SCALE)
@@ -22,11 +24,12 @@ Quickstart::
         config=rhohammer_config(nop_count=220, num_banks=3),
         scale=QUICK_SCALE,
     )
-    report = campaign.run(hours=0.1)
+    report = campaign.execute(RunBudget(hours=0.1, workers=4))
     print(report.total_flips, "bit flips")
 """
 
 from repro.campaign import CampaignReport, RhoHammerCampaign
+from repro.engine import ExperimentSpec, RunBudget, TaskPool
 from repro.cpu.isa import (
     AddressingMode,
     Barrier,
@@ -62,6 +65,7 @@ __all__ = [
     "BENCH_SCALE",
     "BankFunction",
     "Barrier",
+    "ExperimentSpec",
     "FINE_SCALE",
     "FuzzingCampaign",
     "FuzzingReport",
@@ -75,8 +79,10 @@ __all__ = [
     "QUICK_SCALE",
     "RevEngResult",
     "RhoHammerRevEng",
+    "RunBudget",
     "SimulationScale",
     "SweepReport",
+    "TaskPool",
     "TimingOracle",
     "baseline_load_config",
     "build_machine",

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cpu.isa import HammerKernelConfig, rhohammer_config
+from repro.engine import RunBudget
 from repro.exploit.endtoend import (
     EndToEndAttack,
     ExploitOutcome,
@@ -55,8 +56,14 @@ class CampaignReport:
 
     @property
     def succeeded(self) -> bool:
-        """Did the campaign reach reproducible bit flips?"""
-        return self.sweep is not None and self.sweep.total_flips > 0
+        """Did the campaign reach reproducible bit flips?
+
+        A skipped sweep phase must not hide a successful exploit: either a
+        flip-producing sweep or a completed end-to-end exploit counts.
+        """
+        if self.sweep is not None and self.sweep.total_flips > 0:
+            return True
+        return self.exploit is not None and self.exploit.succeeded
 
     def summary(self) -> str:
         lines = []
@@ -111,6 +118,9 @@ class RhoHammerCampaign:
     refine_rounds: int = 2
     nop_grid: tuple[int, ...] = (0, 50, 100, 220, 400, 1000)
     run_exploit: bool = False
+    #: Worker-pool width for the fuzzing and sweeping phases; results are
+    #: bit-identical for any value (see :mod:`repro.engine`).
+    workers: int = 1
 
     def run(self) -> CampaignReport:
         report = CampaignReport()
@@ -162,9 +172,12 @@ class RhoHammerCampaign:
             scale=self.scale,
             trials_per_pattern=2,
             seed_name="campaign-fuzz",
-        ).run(max_patterns=self.fuzz_patterns)
+        ).execute(
+            RunBudget(max_trials=self.fuzz_patterns, workers=self.workers)
+        )
         report.fuzzing = fuzzing
         report.best_pattern = fuzzing.best_pattern
+        report.notes.extend(fuzzing.notes)
 
     def _phase_refine(self, report: CampaignReport) -> None:
         if report.best_pattern is None or report.kernel is None:
@@ -188,10 +201,11 @@ class RhoHammerCampaign:
             self.machine,
             report.kernel,
             report.best_pattern,
-            num_locations=self.sweep_locations,
+            RunBudget(max_trials=self.sweep_locations, workers=self.workers),
             scale=self.scale,
             seed_name="campaign-sweep",
         )
+        report.notes.extend(report.sweep.notes)
 
     def _phase_exploit(self, report: CampaignReport) -> None:
         if report.kernel is None:

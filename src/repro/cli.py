@@ -4,15 +4,17 @@ Installed as the ``rhohammer`` console script::
 
     rhohammer reveng   --platform raptor_lake --dimm S3
     rhohammer fuzz     --platform comet_lake --dimm S4 --patterns 20
-    rhohammer sweep    --platform raptor_lake --locations 20
+    rhohammer sweep    --platform raptor_lake --locations 20 --workers 4
     rhohammer exploit  --platform alder_lake
     rhohammer tune     --platform raptor_lake
     rhohammer emit     --platform raptor_lake --format asm
-    rhohammer campaign --platform raptor_lake
+    rhohammer campaign --platform raptor_lake --workers 4
 
 Every subcommand builds the simulated machine, runs the corresponding
 pipeline at the quick simulation scale (override with ``--scale``), and
-prints a human-readable report.
+prints a human-readable report.  ``fuzz``, ``sweep`` and ``campaign``
+accept ``--workers N`` to fan independent trials out over the
+:mod:`repro.engine` pool; reported numbers are bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro import (
     QUICK_SCALE,
     FuzzingCampaign,
     RhoHammerRevEng,
+    RunBudget,
     SimulationScale,
     TimingOracle,
     baseline_load_config,
@@ -34,9 +37,10 @@ from repro import (
     rhohammer_config,
     sweep_pattern,
 )
+from repro.common.errors import ReproError
 from repro.exploit import EndToEndAttack
 from repro.exploit.endtoend import canonical_compact_pattern
-from repro.hammer.nops import tune_nop_count
+from repro.hammer.nops import tune_nop_count, tuned_config_for
 from repro.reveng import compare_mappings
 from repro.system.presets import dimm_ids, machine_names
 
@@ -55,6 +59,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for independent trials (results are "
+             "bit-identical to --workers 1)",
+    )
+
+
 def _machine(args) -> tuple:
     scale: SimulationScale = _SCALES[args.scale]
     machine = build_machine(
@@ -64,8 +76,8 @@ def _machine(args) -> tuple:
 
 
 def _tuned_config(args, scale):
-    nops = 60 if args.platform in ("comet_lake", "rocket_lake") else 220
-    return rhohammer_config(nop_count=nops, num_banks=3)
+    """The platform's tuned kernel, from the shared calibration table."""
+    return tuned_config_for(args.platform)
 
 
 # ----------------------------------------------------------------------
@@ -94,7 +106,9 @@ def cmd_fuzz(args) -> int:
     print(f"target : {machine.describe()}")
     print(f"kernel : {config.describe()}")
     campaign = FuzzingCampaign(machine=machine, config=config, scale=scale)
-    report = campaign.run(max_patterns=args.patterns)
+    report = campaign.execute(
+        RunBudget(max_trials=args.patterns, workers=args.workers)
+    )
     print(f"patterns tried     : {report.patterns_tried}")
     print(f"effective patterns : {report.effective_patterns}")
     print(f"total flips        : {report.total_flips}")
@@ -108,7 +122,8 @@ def cmd_sweep(args) -> int:
     machine, scale = _machine(args)
     config = _tuned_config(args, scale)
     report = sweep_pattern(
-        machine, config, canonical_compact_pattern(), args.locations, scale
+        machine, config, canonical_compact_pattern(),
+        RunBudget(max_trials=args.locations, workers=args.workers), scale,
     )
     print(f"target           : {machine.describe()}")
     print(f"locations swept  : {args.locations}")
@@ -152,6 +167,7 @@ def cmd_campaign(args) -> int:
         fuzz_patterns=args.patterns,
         sweep_locations=args.locations,
         run_exploit=not args.no_exploit,
+        workers=args.workers,
     )
     report = campaign.run()
     print(report.summary())
@@ -208,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fuzz", help="fuzz non-uniform hammer patterns")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--patterns", type=int, default=20)
     p.add_argument("--baseline", action="store_true",
                    help="use the load-based baseline kernel")
@@ -215,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="sweep the tuned pattern over locations")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--locations", type=int, default=16)
     p.set_defaults(func=cmd_sweep)
 
@@ -239,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="the full Figure 5 workflow, end to end"
     )
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--patterns", type=int, default=15)
     p.add_argument("--locations", type=int, default=10)
     p.add_argument("--no-exploit", action="store_true")
@@ -248,7 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -43,6 +43,16 @@ class RngStream:
         child_name = f"{self.name}/" + "/".join(str(n) for n in names)
         return RngStream(child_seed, child_name)
 
+    def spawn(self, name: str, count: int) -> tuple["RngStream", ...]:
+        """``count`` independent per-task streams ``child(name, i)``.
+
+        This is the engine's per-task derivation: task *i* always gets the
+        same stream no matter which worker runs it or how many workers
+        exist, which is what makes parallel execution bit-identical to
+        serial.
+        """
+        return tuple(self.child(name, i) for i in range(count))
+
     @property
     def generator(self) -> np.random.Generator:
         """The underlying numpy generator, for vectorised draws."""

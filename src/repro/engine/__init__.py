@@ -1,0 +1,31 @@
+"""Deterministic parallel experiment engine.
+
+The engine is the shared substrate under every expensive workload in the
+reproduction (Table 6 fuzzing, Figure 11 sweeping, Table 5 repeated
+reverse engineering, the Figure 5 campaign):
+
+* :class:`ExperimentSpec` / :class:`RunBudget` — the unified "what to
+  run" / "how much to run" API every entry point now accepts,
+* :class:`TaskPool` — fork-based fan-out of independent trials with
+  order-stable aggregation, per-task failure capture and graceful serial
+  degradation, such that ``workers=N`` is bit-identical to ``workers=1``.
+"""
+
+from repro.engine.budget import ExperimentSpec, RunBudget
+from repro.engine.pool import (
+    PoolReport,
+    TaskError,
+    TaskPool,
+    default_workers,
+    fork_available,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "PoolReport",
+    "RunBudget",
+    "TaskError",
+    "TaskPool",
+    "default_workers",
+    "fork_available",
+]

@@ -1,0 +1,116 @@
+"""The unified "how much work" API: :class:`RunBudget` + :class:`ExperimentSpec`.
+
+Every expensive workload in the reproduction — Table 6 fuzzing, Figure 11
+sweeping, Table 5 repeated reverse engineering, the Figure 5 campaign —
+used to invent its own calling convention for the same two questions:
+*what* to run (machine, kernel, scale) and *how much* of it (hours,
+pattern counts, locations, seeds, workers).  This module factors those
+questions into two small dataclasses shared by all of them:
+
+* :class:`ExperimentSpec` names the workload: one machine, one kernel
+  configuration, one simulation scale, and the seed name that roots the
+  experiment's RNG tree.
+* :class:`RunBudget` bounds the workload: virtual campaign hours and/or a
+  hard trial cap, plus the worker count handed to
+  :class:`repro.engine.TaskPool`.
+
+The pair replaces ``FuzzingCampaign.run(hours, max_patterns)``,
+``sweep_pattern(..., num_locations, ...)`` and friends; the old spellings
+survive as deprecated shims for one release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CalibrationError
+from repro.common.rng import RngStream
+from repro.cpu.isa import HammerKernelConfig
+from repro.system.calibration import SimulationScale
+from repro.system.machine import Machine
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """How much work an experiment may spend, and on how many workers.
+
+    ``hours`` is virtual campaign time (converted to trial counts by the
+    :class:`SimulationScale`, like the paper's 2-hour fuzzing budget);
+    ``max_trials`` is a hard cap on trials (patterns, locations or seeds,
+    depending on the experiment).  Either may be ``None``; when both are
+    given the cap wins.  ``workers`` > 1 fans trials out over a
+    :class:`repro.engine.TaskPool` — results are bit-identical to serial
+    execution by construction.
+    """
+
+    hours: float | None = None
+    max_trials: int | None = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hours is not None and self.hours <= 0:
+            raise CalibrationError("RunBudget.hours must be positive")
+        if self.max_trials is not None and self.max_trials <= 0:
+            raise CalibrationError("RunBudget.max_trials must be positive")
+        if self.workers < 1:
+            raise CalibrationError("RunBudget.workers must be >= 1")
+
+    @classmethod
+    def trials(cls, count: int, workers: int = 1) -> "RunBudget":
+        """A budget of exactly ``count`` trials (the common spelling)."""
+        return cls(max_trials=count, workers=workers)
+
+    def resolve_trials(
+        self,
+        scale: SimulationScale,
+        default_hours: float | None = None,
+    ) -> int:
+        """The number of trials this budget affords at ``scale``.
+
+        ``default_hours`` backs the paper's conventional campaign length
+        for experiments (like fuzzing) that historically defaulted to a
+        wall-clock budget.
+        """
+        if self.hours is not None:
+            return scale.patterns_for_hours(self.hours, cap=self.max_trials)
+        if self.max_trials is not None:
+            return self.max_trials
+        if default_hours is not None:
+            return scale.patterns_for_hours(default_hours)
+        raise CalibrationError(
+            "RunBudget needs hours or max_trials for this experiment"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """What one experiment runs: machine + kernel + scale + seed root.
+
+    The spec is the stable half of every trial: fuzzing varies the
+    pattern, sweeping the location, repeated reverse engineering the seed,
+    but all of them execute against one (machine, config, scale) triple.
+    ``seed_name`` roots the experiment's deterministic RNG tree; derive
+    per-task streams with :meth:`rng` so trial *i* draws the same numbers
+    no matter which worker (or how many workers) executes it.
+    """
+
+    machine: Machine
+    config: HammerKernelConfig
+    scale: SimulationScale
+    seed_name: str = "experiment"
+
+    def rng(self, *names: object) -> RngStream:
+        """A named child stream under this experiment's RNG root."""
+        return self.machine.rng.child(
+            self.seed_name, self.config.describe(), *names
+        )
+
+    def session(self):
+        """A :class:`~repro.hammer.session.HammerSession` for this spec."""
+        from repro.hammer.session import HammerSession
+
+        return HammerSession(
+            machine=self.machine,
+            config=self.config,
+            disturbance_gain=self.scale.disturbance_gain,
+        )

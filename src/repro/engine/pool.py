@@ -1,0 +1,216 @@
+"""Deterministic multiprocess fan-out for embarrassingly parallel trials.
+
+The simulator's trial primitives are pure functions of their inputs: a
+:meth:`~repro.hammer.session.HammerSession.run_pattern` call derives every
+random stream it needs from stable names (never from shared stateful
+draws), so trial outcomes do not depend on execution order.  That property
+makes parallelism free of modelling risk — :class:`TaskPool` exploits it
+by fanning an indexed task list out over ``fork``-ed workers and
+reassembling results **in task order**, so ``workers=N`` is bit-identical
+to ``workers=1``.
+
+Failure semantics: an exception inside one task is captured (with its
+traceback) and recorded as a :class:`TaskError` while the other tasks'
+results are preserved; a failure of the pool machinery itself (broken
+worker, unpicklable payload) degrades the remaining tasks to in-process
+serial execution rather than losing the batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+#: Parent-side state inherited by forked workers.  Set immediately before
+#: the pool forks and cleared afterwards; fork inheritance lets task
+#: functions close over live objects (machines, sessions) that never have
+#: to cross a pipe.
+_FORK_STATE: dict[str, Any] = {}
+
+
+def _fork_entry(indexed_task: tuple[int, Any]) -> tuple[int, bool, Any]:
+    """Worker-side trampoline: run one task against the inherited closure."""
+    index, task = indexed_task
+    state = _FORK_STATE
+    try:
+        if state.get("init") is not None and "ctx" not in state:
+            state["ctx"] = state["init"]()
+        result = state["fn"](state.get("ctx"), task)
+        return index, True, result
+    except Exception:  # noqa: BLE001 - captured and surfaced to the caller
+        return index, False, traceback.format_exc(limit=8)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """One task that raised; ``detail`` carries the formatted traceback."""
+
+    index: int
+    detail: str
+
+    @property
+    def summary(self) -> str:
+        last = self.detail.strip().rsplit("\n", 1)[-1]
+        return f"task {self.index}: {last}"
+
+
+@dataclass
+class PoolReport:
+    """Ordered results of one :meth:`TaskPool.map` call.
+
+    ``results[i]`` is task *i*'s return value, or ``None`` if it failed
+    (its error is in ``errors``).  ``degraded`` marks batches where the
+    pool machinery failed and remaining tasks fell back to serial
+    in-process execution.
+    """
+
+    results: list[Any]
+    errors: list[TaskError] = field(default_factory=list)
+    workers: int = 1
+    degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r is not None)
+
+    def notes(self, label: str = "task") -> tuple[str, ...]:
+        """Human-readable failure notes for embedding in reports."""
+        notes = [
+            f"{label} {err.index} failed: "
+            + err.detail.strip().rsplit("\n", 1)[-1]
+            for err in self.errors
+        ]
+        if self.degraded:
+            notes.append(
+                "worker pool degraded to serial execution mid-batch"
+            )
+        return tuple(notes)
+
+
+def fork_available() -> bool:
+    """Can this platform fan out via ``fork``? (Linux/macOS: yes.)"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host (respects CPU affinity)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class TaskPool:
+    """Fans an indexed task list out over a worker pool, deterministically.
+
+    ``fn(ctx, task)`` is invoked once per task; ``init()`` (optional)
+    builds a per-process context lazily on each worker's first task — use
+    it for expensive per-process setup like a
+    :class:`~repro.hammer.session.HammerSession`.  Results come back in
+    task order regardless of completion order, so aggregation downstream
+    is order-stable.
+
+    ``workers <= 1``, a single-task batch, or a platform without ``fork``
+    all degrade to plain in-process serial execution with identical
+    results and error handling.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("TaskPool needs at least one worker")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        init: Callable[[], Any] | None = None,
+    ) -> PoolReport:
+        """Run ``fn`` over every task and gather ordered results."""
+        tasks = list(tasks)
+        workers = min(self.workers, max(1, len(tasks)))
+        if workers <= 1 or not fork_available():
+            return self._run_serial(fn, tasks, init)
+        return self._run_parallel(fn, tasks, init, workers)
+
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        init: Callable[[], Any] | None,
+        into: PoolReport | None = None,
+    ) -> PoolReport:
+        """In-process execution; also the degradation path (``into``)."""
+        report = into or PoolReport(results=[None] * len(tasks), workers=1)
+        ctx = init() if init is not None else None
+        settled = {err.index for err in report.errors}
+        settled.update(
+            i for i, res in enumerate(report.results) if res is not None
+        )
+        done = len(settled)
+        for index, task in enumerate(tasks):
+            if index in settled:
+                continue  # preserved from before the pool broke
+            try:
+                report.results[index] = fn(ctx, task)
+            except Exception:  # noqa: BLE001 - surfaced via TaskError
+                report.errors.append(
+                    TaskError(index, traceback.format_exc(limit=8))
+                )
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(tasks))
+        report.errors.sort(key=lambda err: err.index)
+        return report
+
+    def _run_parallel(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        init: Callable[[], Any] | None,
+        workers: int,
+    ) -> PoolReport:
+        report = PoolReport(results=[None] * len(tasks), workers=workers)
+        chunk = self.chunk_size or max(1, len(tasks) // (workers * 4))
+        _FORK_STATE.clear()
+        _FORK_STATE.update(fn=fn, init=init)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                done = 0
+                for index, ok, payload in pool.imap_unordered(
+                    _fork_entry, list(enumerate(tasks)), chunksize=chunk
+                ):
+                    if ok:
+                        report.results[index] = payload
+                    else:
+                        report.errors.append(TaskError(index, payload))
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(tasks))
+        except Exception:  # noqa: BLE001 - pool machinery failure
+            # Per-task errors and finished results gathered so far are
+            # kept; only the unsettled remainder re-runs in-process.
+            report.degraded = True
+            _FORK_STATE.clear()
+            return self._run_serial(fn, tasks, init, into=report)
+        finally:
+            _FORK_STATE.clear()
+        report.errors.sort(key=lambda err: err.index)
+        return report

@@ -21,6 +21,24 @@ from repro.system.machine import Machine
 DEFAULT_NOP_GRID = (0, 25, 50, 100, 150, 200, 250, 300, 400, 500, 700, 1000)
 
 
+def tuned_config_for(platform_name: str, num_banks: int | None = None):
+    """The tuned rhoHammer kernel for one platform.
+
+    Reads the per-platform optima recorded in
+    :data:`repro.system.calibration.TUNED_KERNELS` (the output of this
+    module's tuning phase), so every consumer — CLI, benchmarks,
+    campaigns — agrees on what "tuned" means.
+    """
+    from repro.cpu.isa import rhohammer_config
+    from repro.system.calibration import tuned_settings
+
+    settings = tuned_settings(platform_name)
+    return rhohammer_config(
+        nop_count=settings.nop_count,
+        num_banks=num_banks if num_banks is not None else settings.num_banks,
+    )
+
+
 @dataclass(frozen=True)
 class NopTuningResult:
     """Outcome of the NOP tuning phase."""

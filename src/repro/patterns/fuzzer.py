@@ -5,15 +5,21 @@ each at a few physical locations; a pattern is *effective* if any trial
 flips a bit, and the *best pattern* is the one with the most flips.  The
 campaign totals reproduce Table 6 / Figure 9, with the simulation scale
 translating the paper's 2-hour wall-clock budget into a pattern count.
+
+Campaigns execute on :class:`repro.engine.TaskPool`: pattern generation
+stays serial (it is cheap and preserves the fuzzer's RNG draw order), the
+expensive trials fan out over workers, and aggregation walks results in
+pattern order — so a parallel campaign is bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.common.rng import RngStream
 from repro.cpu.isa import HammerKernelConfig
-from repro.hammer.session import HammerSession
+from repro.engine import ExperimentSpec, RunBudget, TaskPool
 from repro.patterns.frequency import AggressorPair, NonUniformPattern, lay_out_pattern
 from repro.system.calibration import SimulationScale
 from repro.system.machine import Machine
@@ -22,6 +28,9 @@ from repro.system.machine import Machine
 _FREQUENCIES = (1, 2, 4, 8, 16)
 _AMPLITUDES = (1, 1, 2, 2, 3, 4)
 _BASE_PERIODS = (64, 128, 256)
+
+#: The paper's conventional fuzzing budget (2 wall-clock hours).
+DEFAULT_CAMPAIGN_HOURS = 2.0
 
 
 @dataclass(frozen=True)
@@ -34,6 +43,7 @@ class FuzzingReport:
     effective_patterns: int
     patterns_tried: int
     mean_miss_rate: float
+    notes: tuple[str, ...] = ()
 
     def as_table6_cell(self) -> str:
         return f"{self.total_flips}, {self.best_pattern_flips}"
@@ -82,6 +92,24 @@ class PatternFuzzer:
         return offsets
 
 
+@dataclass(frozen=True)
+class _PatternTrial:
+    """One unit of pool work: a pattern and its trial locations."""
+
+    index: int
+    pattern: NonUniformPattern
+    base_rows: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _TrialResult:
+    """What one pattern trial sends back through the pool."""
+
+    flips: int
+    miss_sum: float
+    trials: int
+
+
 @dataclass
 class FuzzingCampaign:
     """Runs a fuzzing campaign for one (machine, kernel) combination."""
@@ -94,9 +122,18 @@ class FuzzingCampaign:
     _fuzzer: PatternFuzzer = field(init=False)
 
     def __post_init__(self) -> None:
-        rng = self.machine.rng.child(self.seed_name, self.config.describe())
+        rng = self.spec.rng()
         self._fuzzer = PatternFuzzer(rng=rng.child("patterns"))
         self._rng = rng
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            machine=self.machine,
+            config=self.config,
+            scale=self.scale,
+            seed_name=self.seed_name,
+        )
 
     def _trial_rows(self) -> list[int]:
         rows = self.machine.dimm.spec.geometry.rows
@@ -108,38 +145,60 @@ class FuzzingCampaign:
             )
         ]
 
-    def run(self, hours: float = 2.0, max_patterns: int | None = None) -> FuzzingReport:
-        """Fuzz for a virtual campaign of ``hours`` (scale-bounded)."""
-        n_patterns = self.scale.patterns_for_hours(hours, cap=max_patterns)
-        session = HammerSession(
-            machine=self.machine,
-            config=self.config,
-            disturbance_gain=self.scale.disturbance_gain,
+    # ------------------------------------------------------------------
+    def execute(self, budget: RunBudget | None = None) -> FuzzingReport:
+        """Fuzz within ``budget`` (the canonical entry point).
+
+        Patterns and trial locations are drawn serially up front (cheap,
+        and it pins the fuzzer's draw order); the hammer trials — the
+        expensive part — fan out over ``budget.workers``.
+        """
+        budget = budget or RunBudget()
+        n_patterns = budget.resolve_trials(
+            self.scale, default_hours=DEFAULT_CAMPAIGN_HOURS
         )
+        tasks = [
+            _PatternTrial(
+                index=i,
+                pattern=self._fuzzer.generate(),
+                base_rows=tuple(self._trial_rows()),
+            )
+            for i in range(n_patterns)
+        ]
+        spec = self.spec
+        acts = self.scale.acts_per_pattern
+
+        def run_trial(session, task: _PatternTrial) -> _TrialResult:
+            flips = 0
+            miss_sum = 0.0
+            for base_row in task.base_rows:
+                outcome = session.run_pattern(
+                    task.pattern, base_row, activations=acts
+                )
+                flips += outcome.flip_count
+                miss_sum += outcome.cache_miss_rate
+            return _TrialResult(flips, miss_sum, len(task.base_rows))
+
+        pool = TaskPool(workers=budget.workers)
+        batch = pool.map(run_trial, tasks, init=spec.session)
+
         total = 0
         best_flips = 0
         best_pattern: NonUniformPattern | None = None
         effective = 0
         miss_sum = 0.0
         trials = 0
-        for _ in range(n_patterns):
-            pattern = self._fuzzer.generate()
-            pattern_flips = 0
-            for base_row in self._trial_rows():
-                outcome = session.run_pattern(
-                    pattern,
-                    base_row,
-                    activations=self.scale.acts_per_pattern,
-                )
-                pattern_flips += outcome.flip_count
-                miss_sum += outcome.cache_miss_rate
-                trials += 1
-            total += pattern_flips
-            if pattern_flips > 0:
+        for task, result in zip(tasks, batch.results):
+            if result is None:
+                continue
+            total += result.flips
+            miss_sum += result.miss_sum
+            trials += result.trials
+            if result.flips > 0:
                 effective += 1
-            if pattern_flips > best_flips:
-                best_flips = pattern_flips
-                best_pattern = pattern
+            if result.flips > best_flips:
+                best_flips = result.flips
+                best_pattern = task.pattern
         return FuzzingReport(
             total_flips=total,
             best_pattern_flips=best_flips,
@@ -147,4 +206,26 @@ class FuzzingCampaign:
             effective_patterns=effective,
             patterns_tried=n_patterns,
             mean_miss_rate=miss_sum / max(1, trials),
+            notes=batch.notes(label="pattern"),
         )
+
+    def run(
+        self,
+        hours: float | RunBudget = DEFAULT_CAMPAIGN_HOURS,
+        max_patterns: int | None = None,
+    ) -> FuzzingReport:
+        """Deprecated shim: forward the legacy knobs to :meth:`execute`.
+
+        A :class:`RunBudget` may be passed directly in ``hours``' place;
+        plain numbers keep working for one release.
+        """
+        if isinstance(hours, RunBudget):
+            return self.execute(hours)
+        warnings.warn(
+            "FuzzingCampaign.run(hours=..., max_patterns=...) is "
+            "deprecated; use FuzzingCampaign.execute(RunBudget(hours=..., "
+            "max_trials=..., workers=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(RunBudget(hours=hours, max_trials=max_patterns))

@@ -5,16 +5,22 @@ pattern is applied at many distinct base rows, and flips accumulate over
 (virtual) time.  ``SweepReport`` captures the cumulative timeline behind
 Figure 11 and the per-minute flip rates the paper headlines (187K / 47K /
 995 / 2,291 per minute).
+
+Locations are independent trials, so they fan out over
+:class:`repro.engine.TaskPool`; the Figure 11 time axis is rebuilt from
+per-location durations in location order, keeping parallel sweeps
+bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cpu.isa import HammerKernelConfig
-from repro.hammer.session import HammerSession
+from repro.engine import ExperimentSpec, RunBudget, TaskPool
 from repro.patterns.frequency import NonUniformPattern
 from repro.system.calibration import SimulationScale
 from repro.system.machine import Machine
@@ -27,6 +33,7 @@ class SweepReport:
     base_rows: tuple[int, ...]
     flips_per_location: np.ndarray
     virtual_minutes: np.ndarray  # elapsed virtual time after each location
+    notes: tuple[str, ...] = ()
 
     @property
     def total_flips(self) -> int:
@@ -48,15 +55,48 @@ class SweepReport:
         return int(np.count_nonzero(self.flips_per_location))
 
 
+@dataclass(frozen=True)
+class _LocationResult:
+    """Per-location payload sent back through the pool."""
+
+    flips: int
+    duration_ns: float
+
+
 def sweep_pattern(
     machine: Machine,
     config: HammerKernelConfig,
     pattern: NonUniformPattern,
-    num_locations: int,
-    scale: SimulationScale,
+    budget: RunBudget | int | None = None,
+    scale: SimulationScale = None,
     seed_name: str = "sweep",
+    *,
+    num_locations: int | None = None,
 ) -> SweepReport:
-    """Apply one pattern at ``num_locations`` non-repeating base rows."""
+    """Apply one pattern at budgeted non-repeating base rows.
+
+    ``budget`` is a :class:`RunBudget` whose trials are sweep locations; a
+    bare ``int`` in its place (the legacy positional ``num_locations``
+    knob) and the legacy ``num_locations=`` keyword still work as
+    deprecated shims.
+    """
+    if budget is None and num_locations is not None:
+        budget = num_locations
+    if not isinstance(budget, RunBudget):
+        if budget is None:
+            raise TypeError("sweep_pattern needs a RunBudget")
+        warnings.warn(
+            "sweep_pattern's num_locations knob is deprecated; pass "
+            "RunBudget(max_trials=num_locations, workers=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        budget = RunBudget(max_trials=int(budget))
+    num_locations = budget.resolve_trials(scale)
+
+    spec = ExperimentSpec(
+        machine=machine, config=config, scale=scale, seed_name=seed_name
+    )
     rng = machine.rng.child(seed_name, config.describe())
     rows_total = machine.dimm.spec.geometry.rows
     margin = 256
@@ -65,25 +105,32 @@ def sweep_pattern(
     base_rows = (margin + np.arange(num_locations) * stride + jitter).astype(int)
     base_rows = np.clip(base_rows, margin, rows_total - margin)
 
-    session = HammerSession(
-        machine=machine,
-        config=config,
-        disturbance_gain=scale.disturbance_gain,
+    acts = scale.acts_per_pattern
+
+    def run_location(session, base_row: int) -> _LocationResult:
+        outcome = session.run_pattern(pattern, base_row, activations=acts)
+        return _LocationResult(outcome.flip_count, outcome.duration_ns)
+
+    pool = TaskPool(workers=budget.workers)
+    batch = pool.map(
+        run_location,
+        [int(r) for r in base_rows.tolist()],
+        init=spec.session,
     )
+
     flips = np.zeros(num_locations, dtype=np.int64)
     minutes = np.zeros(num_locations, dtype=np.float64)
     elapsed_ns = 0.0
-    for i, base_row in enumerate(base_rows.tolist()):
-        outcome = session.run_pattern(
-            pattern, int(base_row), activations=scale.acts_per_pattern
-        )
-        flips[i] = outcome.flip_count
-        # Scale simulated per-location time back up to the paper's
-        # per-location activation budget for the Figure 11 time axis.
-        elapsed_ns += outcome.duration_ns * scale.time_compression
+    for i, result in enumerate(batch.results):
+        if result is not None:
+            flips[i] = result.flips
+            # Scale simulated per-location time back up to the paper's
+            # per-location activation budget for the Figure 11 time axis.
+            elapsed_ns += result.duration_ns * scale.time_compression
         minutes[i] = elapsed_ns / 60e9
     return SweepReport(
         base_rows=tuple(int(r) for r in base_rows.tolist()),
         flips_per_location=flips,
         virtual_minutes=minutes,
+        notes=batch.notes(label="location"),
     )

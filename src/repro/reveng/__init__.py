@@ -8,6 +8,11 @@ against in Table 5, complete with their documented failure modes.
 
 from repro.reveng.algorithm import RevEngResult, RhoHammerRevEng
 from repro.reveng.oracle import TimingOracle
+from repro.reveng.repeated import (
+    RepeatedRevEngStats,
+    RevEngRunOutcome,
+    repeated_reveng,
+)
 from repro.reveng.report import compare_mappings, RecoveryScore
 from repro.reveng.threshold import ThresholdResult, find_sbdr_threshold
 from repro.reveng.unprivileged import UnprivilegedResult, UnprivilegedRevEng
@@ -15,8 +20,11 @@ from repro.reveng.validation import ValidationReport, cross_validate
 
 __all__ = [
     "RecoveryScore",
+    "RepeatedRevEngStats",
     "RevEngResult",
+    "RevEngRunOutcome",
     "RhoHammerRevEng",
+    "repeated_reveng",
     "ThresholdResult",
     "TimingOracle",
     "UnprivilegedResult",

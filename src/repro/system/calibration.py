@@ -72,3 +72,38 @@ class SimulationScale:
 QUICK_SCALE = SimulationScale(time_compression=48.0, acts_per_pattern=80_000)
 BENCH_SCALE = SimulationScale(time_compression=24.0, acts_per_pattern=150_000)
 FINE_SCALE = SimulationScale(time_compression=8.0, acts_per_pattern=450_000)
+
+
+@dataclass(frozen=True)
+class TunedKernelSettings:
+    """Per-platform optimum of the tuning phase (Section 4.3/4.4).
+
+    ``nop_count`` is the Figure 10 pseudo-barrier optimum, ``num_banks``
+    the bank-sweep optimum.  This table is the single source of truth the
+    CLI's ``--tuned`` kernels and the benchmark harness both read, so the
+    two can't drift apart; :func:`repro.hammer.nops.tune_nop_count` is how
+    the values were (and can be re-)derived.
+    """
+
+    nop_count: int
+    num_banks: int
+
+
+#: Tuning-phase optima per Table 1 platform.
+TUNED_KERNELS: dict[str, TunedKernelSettings] = {
+    "comet_lake": TunedKernelSettings(nop_count=60, num_banks=3),
+    "rocket_lake": TunedKernelSettings(nop_count=80, num_banks=3),
+    "alder_lake": TunedKernelSettings(nop_count=220, num_banks=3),
+    "raptor_lake": TunedKernelSettings(nop_count=220, num_banks=3),
+}
+
+
+def tuned_settings(platform_name: str) -> TunedKernelSettings:
+    """The tuned kernel settings for one platform, or a loud failure."""
+    try:
+        return TUNED_KERNELS[platform_name]
+    except KeyError:
+        raise CalibrationError(
+            f"no tuned kernel settings for platform {platform_name!r}; "
+            f"known: {sorted(TUNED_KERNELS)}"
+        ) from None

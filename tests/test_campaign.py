@@ -65,3 +65,13 @@ def test_summary_covers_every_phase(raptor_report):
 def test_empty_report_summary():
     assert CampaignReport().summary() == "(empty campaign)"
     assert not CampaignReport().succeeded
+
+
+def test_succeeded_counts_exploit_when_sweep_skipped(raptor_report):
+    """Regression: a skipped (or flip-free) sweep phase must not hide a
+    successful end-to-end exploit."""
+    exploit_only = CampaignReport(exploit=raptor_report.exploit)
+    assert raptor_report.exploit.succeeded
+    assert exploit_only.succeeded
+    failed_everything = CampaignReport(sweep=None, exploit=None)
+    assert not failed_everything.succeeded

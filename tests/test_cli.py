@@ -88,3 +88,24 @@ def test_campaign_command(capsys):
 def test_invalid_platform_rejected():
     with pytest.raises(SystemExit):
         main(["fuzz", "--platform", "meteor_lake"])
+
+
+def test_workers_flag_accepted(capsys):
+    code = main(["fuzz", "--platform", "comet_lake", "--dimm", "S3",
+                 "--patterns", "4", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "total flips" in out
+
+
+def test_tuned_config_comes_from_calibration_table():
+    """Regression: the CLI's per-platform kernels must match the shared
+    calibration table (rocket_lake used to be hardcoded to 60 NOPs)."""
+    from repro.cli import _tuned_config
+    from repro.system.calibration import tuned_settings
+
+    class _Args:
+        platform = "rocket_lake"
+
+    config = _tuned_config(_Args(), None)
+    assert config.nop_count == tuned_settings("rocket_lake").nop_count == 80

@@ -1,0 +1,200 @@
+"""The deterministic parallel experiment engine (repro.engine).
+
+The engine's contract is strong: for a fixed seed, ``workers=N`` must be
+*bit-identical* to ``workers=1`` for every consumer (fuzzing, sweeping,
+repeated reverse engineering), failures of individual tasks must not take
+down the batch, and a broken pool must degrade to serial execution rather
+than lose results.
+"""
+
+import pytest
+
+from repro import QUICK_SCALE, RunBudget, rhohammer_config
+from repro.common.errors import CalibrationError
+from repro.common.rng import RngStream
+from repro.engine import ExperimentSpec, TaskPool
+from repro.engine import pool as pool_module
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.session import HammerSession
+from repro.patterns.fuzzer import FuzzingCampaign
+from repro.patterns.sweep import sweep_pattern
+from repro.reveng import repeated_reveng
+
+CONFIG = rhohammer_config(nop_count=60, num_banks=3)
+
+
+# ----------------------------------------------------------------------
+# RunBudget / ExperimentSpec
+# ----------------------------------------------------------------------
+def test_budget_resolves_hours_capped_and_trials():
+    assert RunBudget(hours=1.0).resolve_trials(QUICK_SCALE) == \
+        QUICK_SCALE.patterns_for_hours(1.0)
+    assert RunBudget(hours=1.0, max_trials=5).resolve_trials(QUICK_SCALE) == 5
+    assert RunBudget.trials(7).resolve_trials(QUICK_SCALE) == 7
+    assert RunBudget().resolve_trials(QUICK_SCALE, default_hours=2.0) == \
+        QUICK_SCALE.patterns_for_hours(2.0)
+
+
+def test_budget_validates_inputs():
+    with pytest.raises(CalibrationError):
+        RunBudget(hours=0)
+    with pytest.raises(CalibrationError):
+        RunBudget(max_trials=0)
+    with pytest.raises(CalibrationError):
+        RunBudget(workers=0)
+    with pytest.raises(CalibrationError):
+        RunBudget().resolve_trials(QUICK_SCALE)
+
+
+def test_spec_derives_stable_task_streams(comet_machine):
+    spec = ExperimentSpec(comet_machine, CONFIG, QUICK_SCALE, "unit")
+    a = spec.rng("rows").spawn("task", 3)
+    b = spec.rng("rows").spawn("task", 3)
+    assert [s.seed for s in a] == [s.seed for s in b]
+    assert len({s.seed for s in a}) == 3
+
+
+# ----------------------------------------------------------------------
+# TaskPool mechanics
+# ----------------------------------------------------------------------
+def _square(ctx, task):
+    return task * task
+
+
+def test_pool_results_are_ordered_and_worker_count_independent():
+    tasks = list(range(20))
+    serial = TaskPool(workers=1).map(_square, tasks)
+    parallel = TaskPool(workers=4).map(_square, tasks)
+    assert serial.results == parallel.results == [t * t for t in tasks]
+    assert serial.ok and parallel.ok
+
+
+def _explode_on_two(ctx, task):
+    if task == 2:
+        raise RuntimeError("injected failure")
+    return task
+
+
+def test_pool_captures_task_errors_and_preserves_partial_results():
+    for workers in (1, 3):
+        report = TaskPool(workers=workers).map(_explode_on_two, range(5))
+        assert report.results == [0, 1, None, 3, 4]
+        assert [err.index for err in report.errors] == [2]
+        assert "RuntimeError" in report.errors[0].detail
+        assert any("injected failure" in note for note in report.notes())
+
+
+def test_pool_degrades_to_serial_when_fork_machinery_breaks(monkeypatch):
+    def broken_context(method):
+        raise OSError("no fork for you")
+
+    monkeypatch.setattr(
+        pool_module.multiprocessing, "get_context", broken_context
+    )
+    report = TaskPool(workers=4).map(_square, range(6))
+    assert report.degraded
+    assert report.results == [t * t for t in range(6)]
+    assert any("degraded" in note for note in report.notes())
+
+
+def test_pool_init_builds_context_once_per_process():
+    calls = []
+
+    def init():
+        calls.append(1)
+        return "ctx"
+
+    def use(ctx, task):
+        assert ctx == "ctx"
+        return task
+
+    report = TaskPool(workers=1).map(use, range(4), init=init)
+    assert report.ok and len(calls) == 1
+
+
+# ----------------------------------------------------------------------
+# Parallel determinism: the acceptance criterion
+# ----------------------------------------------------------------------
+def _fuzz_report(machine, workers):
+    campaign = FuzzingCampaign(
+        machine=machine,
+        config=CONFIG,
+        scale=QUICK_SCALE,
+        trials_per_pattern=1,
+        seed_name="det",
+    )
+    return campaign.execute(RunBudget(max_trials=6, workers=workers))
+
+
+def test_fuzzing_is_bit_identical_across_worker_counts(comet_machine):
+    serial = _fuzz_report(comet_machine, workers=1)
+    parallel = _fuzz_report(comet_machine, workers=4)
+    assert serial.total_flips == parallel.total_flips
+    assert serial.best_pattern_flips == parallel.best_pattern_flips
+    assert serial.effective_patterns == parallel.effective_patterns
+    assert serial.patterns_tried == parallel.patterns_tried
+    assert serial.mean_miss_rate == parallel.mean_miss_rate
+    assert serial.notes == parallel.notes == ()
+    assert (serial.best_pattern is None) == (parallel.best_pattern is None)
+    if serial.best_pattern is not None:
+        assert serial.best_pattern.describe() == \
+            parallel.best_pattern.describe()
+        assert (serial.best_pattern.slots == parallel.best_pattern.slots).all()
+
+
+def _sweep_report(machine, workers):
+    return sweep_pattern(
+        machine,
+        CONFIG,
+        canonical_compact_pattern(),
+        RunBudget(max_trials=8, workers=workers),
+        QUICK_SCALE,
+        seed_name="det-sweep",
+    )
+
+
+def test_sweep_is_bit_identical_across_worker_counts(comet_machine):
+    serial = _sweep_report(comet_machine, workers=1)
+    parallel = _sweep_report(comet_machine, workers=4)
+    assert serial.base_rows == parallel.base_rows
+    assert (serial.flips_per_location == parallel.flips_per_location).all()
+    assert (serial.virtual_minutes == parallel.virtual_minutes).all()
+    assert serial.notes == parallel.notes == ()
+
+
+def test_repeated_reveng_is_bit_identical_across_worker_counts():
+    serial = repeated_reveng(
+        "comet_lake", budget=RunBudget.trials(2, workers=1), base_seed=42
+    )
+    parallel = repeated_reveng(
+        "comet_lake", budget=RunBudget.trials(2, workers=2), base_seed=42
+    )
+    assert serial.outcomes == parallel.outcomes
+    assert serial.all_correct
+    assert serial.mean_runtime_seconds == parallel.mean_runtime_seconds
+
+
+# ----------------------------------------------------------------------
+# Failure injection through a real consumer
+# ----------------------------------------------------------------------
+def test_sweep_worker_failure_keeps_partial_results(
+    fresh_comet, monkeypatch
+):
+    clean = _sweep_report(fresh_comet, workers=1)
+    poisoned_row = clean.base_rows[2]
+    original = HammerSession.run_pattern
+
+    def poisoned(self, pattern, base_row, *args, **kwargs):
+        if base_row == poisoned_row:
+            raise RuntimeError("injected mid-batch failure")
+        return original(self, pattern, base_row, *args, **kwargs)
+
+    monkeypatch.setattr(HammerSession, "run_pattern", poisoned)
+    report = _sweep_report(fresh_comet, workers=3)
+    assert report.base_rows == clean.base_rows
+    assert report.flips_per_location[2] == 0
+    for i in (0, 1, 3, 4, 5, 6, 7):
+        assert report.flips_per_location[i] == clean.flips_per_location[i]
+    assert any(
+        "location 2" in note and "injected" in note for note in report.notes
+    )

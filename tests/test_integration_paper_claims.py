@@ -9,6 +9,7 @@ import pytest
 from repro import (
     FuzzingCampaign,
     QUICK_SCALE,
+    RunBudget,
     RhoHammerRevEng,
     TimingOracle,
     baseline_load_config,
@@ -24,7 +25,7 @@ def run_campaign(machine, config, patterns=12):
     campaign = FuzzingCampaign(
         machine=machine, config=config, scale=QUICK_SCALE, trials_per_pattern=2
     )
-    return campaign.run(max_patterns=patterns)
+    return campaign.execute(RunBudget.trials(patterns))
 
 
 def test_claim_prefetch_beats_loads_on_comet(comet_machine):
@@ -81,7 +82,7 @@ def test_claim_flip_rate_hierarchy():
             machine,
             rhohammer_config(nop_count=nops, num_banks=3),
             canonical_compact_pattern(),
-            num_locations=10,
+            RunBudget.trials(10),
             scale=QUICK_SCALE,
         )
         rates[platform] = report.flips_per_minute

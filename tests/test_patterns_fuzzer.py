@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import QUICK_SCALE, baseline_load_config, rhohammer_config
+from repro import QUICK_SCALE, RunBudget, baseline_load_config, rhohammer_config
 from repro.common.rng import RngStream
 from repro.patterns.fuzzer import FuzzingCampaign, PatternFuzzer
 
@@ -42,7 +42,7 @@ def test_campaign_on_comet_finds_flips(comet_machine):
         scale=QUICK_SCALE,
         trials_per_pattern=2,
     )
-    report = campaign.run(max_patterns=10)
+    report = campaign.execute(RunBudget.trials(10))
     assert report.patterns_tried == 10
     assert report.total_flips > 0
     assert report.effective_patterns > 0
@@ -58,13 +58,13 @@ def test_campaign_baseline_collapses_on_raptor(raptor_machine):
         config=baseline_load_config(num_banks=1),
         scale=QUICK_SCALE,
         trials_per_pattern=2,
-    ).run(max_patterns=10)
+    ).execute(RunBudget.trials(10))
     rho = FuzzingCampaign(
         machine=raptor_machine,
         config=rhohammer_config(nop_count=220, num_banks=3),
         scale=QUICK_SCALE,
         trials_per_pattern=2,
-    ).run(max_patterns=10)
+    ).execute(RunBudget.trials(10))
     assert baseline.total_flips <= 10  # occasional stray flips at most
     assert rho.total_flips > 5 * max(1, baseline.total_flips)
 
@@ -76,8 +76,21 @@ def test_report_table6_cell_format(comet_machine):
         scale=QUICK_SCALE,
         trials_per_pattern=1,
     )
-    report = campaign.run(max_patterns=4)
+    report = campaign.execute(RunBudget.trials(4))
     cell = report.as_table6_cell()
     total, best = cell.split(", ")
     assert int(total) == report.total_flips
     assert int(best) == report.best_pattern_flips
+
+
+def test_run_shim_accepts_budget_and_warns_on_legacy_knobs(comet_machine):
+    campaign = FuzzingCampaign(
+        machine=comet_machine,
+        config=rhohammer_config(nop_count=60, num_banks=3),
+        scale=QUICK_SCALE,
+        trials_per_pattern=1,
+    )
+    via_budget = campaign.run(RunBudget.trials(3))  # no warning expected
+    with pytest.warns(DeprecationWarning, match="RunBudget"):
+        via_legacy = campaign.run(max_patterns=3)
+    assert via_budget.patterns_tried == via_legacy.patterns_tried == 3

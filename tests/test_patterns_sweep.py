@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import QUICK_SCALE, rhohammer_config, sweep_pattern
+from repro import QUICK_SCALE, RunBudget, rhohammer_config, sweep_pattern
 from repro.exploit.endtoend import canonical_compact_pattern
 
 
@@ -13,7 +13,7 @@ def comet_sweep(comet_machine):
         comet_machine,
         rhohammer_config(nop_count=60, num_banks=3),
         canonical_compact_pattern(),
-        num_locations=12,
+        RunBudget.trials(12),
         scale=QUICK_SCALE,
     )
 
@@ -46,3 +46,23 @@ def test_flips_spread_across_locations(comet_sweep):
 def test_sweep_report_consistency(comet_sweep):
     assert comet_sweep.flips_per_location.size == 12
     assert comet_sweep.virtual_minutes.size == 12
+
+
+def test_legacy_num_locations_shim_matches_budget(comet_machine, comet_sweep):
+    """Both legacy spellings warn but produce the budgeted sweep."""
+    config = rhohammer_config(nop_count=60, num_banks=3)
+    with pytest.warns(DeprecationWarning, match="RunBudget"):
+        positional = sweep_pattern(
+            comet_machine, config, canonical_compact_pattern(), 12,
+            QUICK_SCALE,
+        )
+    with pytest.warns(DeprecationWarning, match="RunBudget"):
+        keyword = sweep_pattern(
+            comet_machine, config, canonical_compact_pattern(),
+            num_locations=12, scale=QUICK_SCALE,
+        )
+    for legacy in (positional, keyword):
+        assert legacy.base_rows == comet_sweep.base_rows
+        assert (
+            legacy.flips_per_location == comet_sweep.flips_per_location
+        ).all()
