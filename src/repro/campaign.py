@@ -28,6 +28,7 @@ from repro.exploit.endtoend import (
     find_compact_pattern,
 )
 from repro.hammer.nops import NopTuningResult, tune_nop_count
+from repro.obs import OBS
 from repro.patterns.frequency import NonUniformPattern
 from repro.patterns.fuzzer import FuzzingCampaign, FuzzingReport
 from repro.patterns.refine import RefinementResult, refine_pattern
@@ -124,13 +125,30 @@ class RhoHammerCampaign:
 
     def run(self) -> CampaignReport:
         report = CampaignReport()
-        self._phase_reveng(report)
-        self._phase_tune(report)
-        self._phase_fuzz(report)
-        self._phase_refine(report)
-        self._phase_sweep(report)
-        if self.run_exploit:
-            self._phase_exploit(report)
+        with OBS.tracer.span(
+            "campaign.run",
+            platform=self.machine.platform.name,
+            dimm=self.machine.dimm.spec.dimm_id,
+            workers=self.workers,
+        ) as span:
+            phases: tuple[tuple[str, object], ...] = (
+                ("reveng", self._phase_reveng),
+                ("tune", self._phase_tune),
+                ("fuzz", self._phase_fuzz),
+                ("refine", self._phase_refine),
+                ("sweep", self._phase_sweep),
+            )
+            for name, phase in phases:
+                with OBS.tracer.span(f"campaign.{name}"):
+                    phase(report)
+            if self.run_exploit:
+                with OBS.tracer.span("campaign.exploit"):
+                    self._phase_exploit(report)
+            span.set(succeeded=report.succeeded)
+            if OBS.enabled:
+                OBS.metrics.counter("campaign.runs").inc()
+                if report.succeeded:
+                    OBS.metrics.counter("campaign.successes").inc()
         return report
 
     # ------------------------------------------------------------------

@@ -9,19 +9,28 @@ Installed as the ``rhohammer`` console script::
     rhohammer tune     --platform raptor_lake
     rhohammer emit     --platform raptor_lake --format asm
     rhohammer campaign --platform raptor_lake --workers 4
+    rhohammer inspect  trace.jsonl
 
 Every subcommand builds the simulated machine, runs the corresponding
 pipeline at the quick simulation scale (override with ``--scale``), and
 prints a human-readable report.  ``fuzz``, ``sweep`` and ``campaign``
 accept ``--workers N`` to fan independent trials out over the
 :mod:`repro.engine` pool; reported numbers are bit-identical to serial.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--trace PATH`` streams
+nested phase spans as JSONL, ``--metrics-out PATH`` writes the run
+manifest with the final metric snapshot, ``--json`` replaces the
+human-readable table with one machine-readable JSON object on stdout,
+and ``inspect`` summarises a recorded trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro import (
     BENCH_SCALE,
@@ -32,6 +41,7 @@ from repro import (
     RunBudget,
     SimulationScale,
     TimingOracle,
+    __version__,
     baseline_load_config,
     build_machine,
     rhohammer_config,
@@ -41,6 +51,9 @@ from repro.common.errors import ReproError
 from repro.exploit import EndToEndAttack
 from repro.exploit.endtoend import canonical_compact_pattern
 from repro.hammer.nops import tune_nop_count, tuned_config_for
+from repro.obs import OBS, RunManifest
+from repro.obs.inspect import format_summary, summarize_trace
+from repro.obs.trace import DETAIL_LEVELS
 from repro.reveng import compare_mappings
 from repro.system.presets import dimm_ids, machine_names
 
@@ -57,6 +70,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--scale", choices=sorted(_SCALES), default="quick",
         help="simulation scale (quick/bench/fine)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="stream a JSONL span trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--trace-detail", choices=DETAIL_LEVELS, default="phase",
+        help="trace granularity: phase spans only, or also one event "
+             "per DRAM refresh window",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run manifest + final metrics snapshot to PATH",
+    )
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
@@ -64,6 +90,13 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=1,
         help="worker processes for independent trials (results are "
              "bit-identical to --workers 1)",
+    )
+
+
+def _add_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print one machine-readable JSON object instead of the table",
     )
 
 
@@ -78,6 +111,21 @@ def _machine(args) -> tuple:
 def _tuned_config(args, scale):
     """The platform's tuned kernel, from the shared calibration table."""
     return tuned_config_for(args.platform)
+
+
+def _print_json(payload: dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _run_meta(args) -> dict[str, Any]:
+    """The identity fields every ``--json`` result leads with."""
+    return {
+        "command": args.command,
+        "platform": args.platform,
+        "dimm": args.dimm,
+        "seed": args.seed,
+        "scale": args.scale,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -103,12 +151,29 @@ def cmd_fuzz(args) -> int:
         if args.baseline
         else _tuned_config(args, scale)
     )
-    print(f"target : {machine.describe()}")
-    print(f"kernel : {config.describe()}")
+    if not args.json:
+        print(f"target : {machine.describe()}")
+        print(f"kernel : {config.describe()}")
     campaign = FuzzingCampaign(machine=machine, config=config, scale=scale)
     report = campaign.execute(
         RunBudget(max_trials=args.patterns, workers=args.workers)
     )
+    if args.json:
+        _print_json({
+            **_run_meta(args),
+            "patterns_tried": report.patterns_tried,
+            "effective_patterns": report.effective_patterns,
+            "total_flips": report.total_flips,
+            "best_pattern_flips": report.best_pattern_flips,
+            "best_pattern": (
+                report.best_pattern.describe()
+                if report.best_pattern is not None
+                else None
+            ),
+            "mean_miss_rate": report.mean_miss_rate,
+            "notes": list(report.notes),
+        })
+        return 0
     print(f"patterns tried     : {report.patterns_tried}")
     print(f"effective patterns : {report.effective_patterns}")
     print(f"total flips        : {report.total_flips}")
@@ -125,6 +190,22 @@ def cmd_sweep(args) -> int:
         machine, config, canonical_compact_pattern(),
         RunBudget(max_trials=args.locations, workers=args.workers), scale,
     )
+    if args.json:
+        _print_json({
+            **_run_meta(args),
+            "locations": args.locations,
+            "total_flips": report.total_flips,
+            "flips_per_minute": report.flips_per_minute,
+            "locations_with_flips": report.locations_with_flips,
+            "flips_per_location": [
+                int(f) for f in report.flips_per_location.tolist()
+            ],
+            "virtual_minutes": float(report.virtual_minutes[-1])
+            if report.virtual_minutes.size
+            else 0.0,
+            "notes": list(report.notes),
+        })
+        return 0
     print(f"target           : {machine.describe()}")
     print(f"locations swept  : {args.locations}")
     print(f"total flips      : {report.total_flips}")
@@ -143,6 +224,21 @@ def cmd_exploit(args) -> int:
         scale=scale,
     )
     outcome = attack.run()
+    if args.json:
+        _print_json({
+            **_run_meta(args),
+            "total_flips": outcome.total_flips,
+            "exploitable_flips": outcome.exploitable_flips,
+            "total_seconds_virtual": outcome.total_seconds,
+            "succeeded": outcome.succeeded,
+            "corrupted_pte_before": (
+                outcome.corrupted_pte_before if outcome.succeeded else None
+            ),
+            "corrupted_pte_after": (
+                outcome.corrupted_pte_after if outcome.succeeded else None
+            ),
+        })
+        return 0 if outcome.succeeded else 1
     print(f"target            : {machine.describe()}")
     print(f"flips templated   : {outcome.total_flips}")
     print(f"exploitable flips : {outcome.exploitable_flips}")
@@ -160,7 +256,8 @@ def cmd_campaign(args) -> int:
     from repro.campaign import RhoHammerCampaign
 
     machine, scale = _machine(args)
-    print(f"target : {machine.describe()}\n")
+    if not args.json:
+        print(f"target : {machine.describe()}\n")
     campaign = RhoHammerCampaign(
         machine=machine,
         scale=scale,
@@ -170,6 +267,50 @@ def cmd_campaign(args) -> int:
         workers=args.workers,
     )
     report = campaign.run()
+    if args.json:
+        _print_json({
+            **_run_meta(args),
+            "succeeded": report.succeeded,
+            "mapping_validated": (
+                report.mapping_validation.validated
+                if report.mapping_validation is not None
+                else None
+            ),
+            "tuned_nops": (
+                report.tuning.best_nop_count
+                if report.tuning is not None
+                else None
+            ),
+            "fuzzing": (
+                {
+                    "patterns_tried": report.fuzzing.patterns_tried,
+                    "effective_patterns": report.fuzzing.effective_patterns,
+                    "total_flips": report.fuzzing.total_flips,
+                    "best_pattern_flips": report.fuzzing.best_pattern_flips,
+                }
+                if report.fuzzing is not None
+                else None
+            ),
+            "sweep": (
+                {
+                    "total_flips": report.sweep.total_flips,
+                    "flips_per_minute": report.sweep.flips_per_minute,
+                    "locations": len(report.sweep.base_rows),
+                }
+                if report.sweep is not None
+                else None
+            ),
+            "exploit": (
+                {
+                    "succeeded": report.exploit.succeeded,
+                    "exploitable_flips": report.exploit.exploitable_flips,
+                }
+                if report.exploit is not None
+                else None
+            ),
+            "notes": list(report.notes),
+        })
+        return 0 if report.succeeded else 1
     print(report.summary())
     print(f"\ncampaign succeeded: {report.succeeded}")
     return 0 if report.succeeded else 1
@@ -209,10 +350,22 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_inspect(args) -> int:
+    summary = summarize_trace(args.trace_file)
+    if args.json:
+        _print_json(summary.to_dict())
+    else:
+        print(format_summary(summary))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rhohammer",
         description="rhoHammer (MICRO 2025) reproduction on a simulated platform",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -225,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fuzz", help="fuzz non-uniform hammer patterns")
     _add_common(p)
     _add_workers(p)
+    _add_json(p)
     p.add_argument("--patterns", type=int, default=20)
     p.add_argument("--baseline", action="store_true",
                    help="use the load-based baseline kernel")
@@ -233,11 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="sweep the tuned pattern over locations")
     _add_common(p)
     _add_workers(p)
+    _add_json(p)
     p.add_argument("--locations", type=int, default=16)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("exploit", help="end-to-end PTE corruption attack")
     _add_common(p)
+    _add_json(p)
     p.set_defaults(func=cmd_exploit)
 
     p = sub.add_parser("tune", help="NOP pseudo-barrier tuning phase")
@@ -258,20 +414,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_workers(p)
+    _add_json(p)
     p.add_argument("--patterns", type=int, default=15)
     p.add_argument("--locations", type=int, default=10)
     p.add_argument("--no-exploit", action="store_true")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "inspect", help="summarise a recorded --trace JSONL stream"
+    )
+    p.add_argument("trace_file", help="trace file written by --trace")
+    _add_json(p)
+    p.set_defaults(func=cmd_inspect)
     return parser
+
+
+# ----------------------------------------------------------------------
+# Telemetry lifecycle around one CLI run
+# ----------------------------------------------------------------------
+def _budget_dict(args) -> dict[str, Any]:
+    """The budget knobs this subcommand was invoked with (for the manifest)."""
+    return {
+        name: getattr(args, name)
+        for name in ("patterns", "locations", "workers", "fraction")
+        if hasattr(args, name)
+    }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    telemetry_on = bool(trace_path or metrics_out)
+    manifest: RunManifest | None = None
+    if telemetry_on:
+        OBS.configure(
+            trace_path=trace_path,
+            trace_detail=getattr(args, "trace_detail", "phase"),
+            metrics=True,
+        )
+        manifest = RunManifest.collect(
+            command=args.command,
+            argv=tuple(argv) if argv is not None else tuple(sys.argv[1:]),
+            seed=getattr(args, "seed", None),
+            platform=getattr(args, "platform", None),
+            dimm=getattr(args, "dimm", None),
+            scale=getattr(args, "scale", None),
+            budget=_budget_dict(args),
+        )
+        OBS.tracer.manifest(manifest.header_dict(), wall=manifest.wall)
+    code = 2
     try:
-        return args.func(args)
+        with OBS.tracer.span(f"cli.{args.command}"):
+            code = args.func(args)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout piped into a closed reader (e.g. `inspect ... | head`).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+        return code
+    finally:
+        if telemetry_on:
+            if metrics_out:
+                manifest.metrics = OBS.metrics.snapshot()
+                manifest.exit_code = code
+                manifest.write(metrics_out)
+            OBS.shutdown()
 
 
 if __name__ == "__main__":

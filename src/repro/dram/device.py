@@ -26,6 +26,7 @@ from repro.dram.ddr5 import RaaCounter, RfmConfig
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DdrTiming
 from repro.dram.trr import PtrrShield, TrrConfig, TrrSampler
+from repro.obs import OBS
 
 #: Disturbance coupling per activation, by |victim - aggressor| distance.
 #: +/-2 coupling reflects the Half-Double style far-aggressor effect.
@@ -73,16 +74,26 @@ class HammerResult:
 
 @dataclass
 class _BankState:
-    """Mutable per-bank hammer bookkeeping."""
+    """Mutable per-bank hammer bookkeeping.
+
+    ``peak_window`` records, per victim, the refresh-window index in which
+    the running peak was attained — only when ``track_windows`` is set
+    (telemetry enabled), so the disabled path pays a single branch on the
+    rare peak-improvement updates.
+    """
 
     disturbance: dict[int, float] = field(default_factory=dict)
     peak: dict[int, float] = field(default_factory=dict)
+    peak_window: dict[int, int] = field(default_factory=dict)
+    track_windows: bool = False
 
-    def add(self, victim: int, amount: float) -> None:
+    def add(self, victim: int, amount: float, window: int = 0) -> None:
         level = self.disturbance.get(victim, 0.0) + amount
         self.disturbance[victim] = level
         if level > self.peak.get(victim, 0.0):
             self.peak[victim] = level
+            if self.track_windows:
+                self.peak_window[victim] = window
 
     def refresh_row(self, row: int) -> None:
         self.disturbance.pop(row, None)
@@ -158,6 +169,12 @@ class Dimm:
                 flip_total += bank_flips
         if collect_events:
             flip_total = len(flips)
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter("dram.hammer_calls").inc()
+            metrics.counter("dram.acts_total").inc(acts)
+            metrics.counter("dram.trr_refreshes_total").inc(trr_refreshes)
+            metrics.histogram("dram.flips_per_hammer").observe(flip_total)
         return HammerResult(
             flips=tuple(flips),
             flip_count=flip_total,
@@ -177,7 +194,9 @@ class Dimm:
     ):
         timing = self.timing
         sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
-        state = _BankState()
+        telemetry = OBS.enabled
+        trace_windows = OBS.tracer.enabled and OBS.tracer.detail == "window"
+        state = _BankState(track_windows=telemetry)
         geometry = self.spec.geometry
         ptrr_rng = self.rng.child("ptrr", bank)
         raa: RaaCounter | None = None
@@ -201,7 +220,9 @@ class Dimm:
             chunk = rows[start:stop]
             start = stop
             if chunk.size:
-                self._apply_disturbance(state, chunk, geometry, disturbance_gain)
+                self._apply_disturbance(
+                    state, chunk, geometry, disturbance_gain, interval
+                )
                 if self.ptrr.enabled:
                     mask = self.ptrr.refresh_mask(chunk.size, ptrr_rng)
                     for aggressor in chunk[mask].tolist():
@@ -217,21 +238,52 @@ class Dimm:
                                 )
                 sampler.observe(chunk)
             # REF at the interval end: TRR targeted refreshes...
-            for aggressor in sampler.on_ref():
+            ref_targets = sampler.on_ref()
+            for aggressor in ref_targets:
                 trr_refreshes += 1
                 self._refresh_neighbours(state, aggressor, geometry)
             # ... plus this interval's share of the periodic refresh.
             self._periodic_refresh(state, interval, rows_per_ref, refs_per_window)
+            if telemetry:
+                OBS.metrics.counter("dram.windows_total").inc()
+                OBS.metrics.histogram("dram.acts_per_window").observe(
+                    int(chunk.size)
+                )
+                if trace_windows:
+                    OBS.tracer.point(
+                        "dram.window",
+                        bank=bank,
+                        window=interval,
+                        acts=int(chunk.size),
+                        trr_refreshes=len(ref_targets),
+                        virtual_ns=t_refi,
+                    )
 
         if collect_events:
             flips: list[FlipEvent] | int = []
             for victim, peak in state.peak.items():
-                flips.extend(self.cells.flips_for(bank, victim, peak))
+                events = self.cells.flips_for(bank, victim, peak)
+                flips.extend(events)
+                if telemetry and events:
+                    self._flip_metrics(
+                        len(events), state.peak_window.get(victim, 0)
+                    )
         else:
             flips = 0
             for victim, peak in state.peak.items():
-                flips += self.cells.flip_count_for(bank, victim, peak)
+                count = self.cells.flip_count_for(bank, victim, peak)
+                flips += count
+                if telemetry and count:
+                    self._flip_metrics(
+                        count, state.peak_window.get(victim, 0)
+                    )
         return flips, trr_refreshes
+
+    @staticmethod
+    def _flip_metrics(count: int, window: int) -> None:
+        """Attribute flips to the refresh window where the peak was hit."""
+        OBS.metrics.counter("dram.flips_total").inc(count)
+        OBS.metrics.counter("dram.flips_by_window", window=window).inc(count)
 
     @staticmethod
     def _apply_disturbance(
@@ -239,13 +291,14 @@ class Dimm:
         chunk: np.ndarray,
         geometry: DramGeometry,
         gain: float,
+        window: int = 0,
     ) -> None:
         aggressors, counts = np.unique(chunk, return_counts=True)
         for aggressor, count in zip(aggressors.tolist(), counts.tolist()):
             for distance, weight in NEIGHBOUR_WEIGHTS.items():
                 for victim in (aggressor - distance, aggressor + distance):
                     if geometry.contains_row(victim):
-                        state.add(victim, weight * count * gain)
+                        state.add(victim, weight * count * gain, window)
 
     @staticmethod
     def _refresh_neighbours(

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.rng import RngStream
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -86,29 +87,62 @@ class TrrSampler:
         if self.config.sample_prob < 1.0:
             mask = self.rng.random(rows.size) < self.config.sample_prob
             observed = rows[mask]
+            if OBS.enabled:
+                OBS.metrics.counter("dram.trr.acts_unsampled").inc(
+                    int(rows.size - observed.size)
+                )
             if observed.size == 0:
                 return
         counts = self._counts
         capacity = self.config.capacity
+        telemetry = OBS.enabled
+        if telemetry:
+            size_before = len(counts)
+            total_before = sum(counts.values())
         for row in observed.tolist():
             if row in counts:
                 counts[row] += 1
             elif len(counts) < capacity:
                 counts[row] = 1
             # else: table full -> activation escapes the sampler entirely.
+        if telemetry:
+            # The three outcome classes fall out of two dict aggregates,
+            # so the hot loop itself stays untouched.
+            inserted = len(counts) - size_before
+            bumped = (sum(counts.values()) - total_before) - inserted
+            escaped = int(observed.size) - inserted - bumped
+            metrics = OBS.metrics
+            metrics.counter("dram.trr.acts_observed").inc(int(observed.size))
+            metrics.counter("dram.trr.rows_inserted").inc(inserted)
+            metrics.counter("dram.trr.tracked_hits").inc(bumped)
+            metrics.counter("dram.trr.acts_escaped").inc(escaped)
 
     def on_ref(self) -> list[int]:
         """REF arrived: return aggressor rows whose neighbours get refreshed."""
         targets: list[int] = []
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.histogram(
+                "dram.trr.occupancy", buckets=tuple(range(1, 33))
+            ).observe(len(self._counts))
+            metrics.gauge("dram.trr.last_occupancy").set(len(self._counts))
         if self._counts:
             ranked = sorted(self._counts, key=self._counts.get, reverse=True)
             targets = ranked[: self.config.refreshes_per_ref]
             for row in targets:
                 del self._counts[row]
         self._refs_since_flush += 1
+        flushed = False
         if self._refs_since_flush >= self.config.flush_every_refs:
             self._counts.clear()
             self._refs_since_flush = 0
+            flushed = True
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter("dram.trr.refs").inc()
+            metrics.counter("dram.trr.neighbour_refreshes").inc(len(targets))
+            if flushed:
+                metrics.counter("dram.trr.flushes").inc()
         return targets
 
     def reset(self) -> None:

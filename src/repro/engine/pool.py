@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+from repro.obs import OBS
 
 #: Parent-side state inherited by forked workers.  Set immediately before
 #: the pool forks and cleared afterwards; fork inheritance lets task
@@ -31,17 +34,37 @@ from typing import Any, Callable, Sequence
 _FORK_STATE: dict[str, Any] = {}
 
 
-def _fork_entry(indexed_task: tuple[int, Any]) -> tuple[int, bool, Any]:
-    """Worker-side trampoline: run one task against the inherited closure."""
+def _fork_entry(
+    indexed_task: tuple[int, Any],
+) -> tuple[int, bool, Any, dict[str, Any]]:
+    """Worker-side trampoline: run one task against the inherited closure.
+
+    Besides the result, each task ships a ``meta`` dict back to the
+    parent: wall duration and worker pid always, plus — when telemetry is
+    enabled — the task's metric delta and buffered trace events, which
+    the parent merges/replays in task order so parallel telemetry stays
+    deterministic (see :mod:`repro.obs`).
+    """
     index, task = indexed_task
     state = _FORK_STATE
+    start = time.perf_counter()
+    mark = OBS.metrics.mark() if OBS.metrics.enabled else None
     try:
         if state.get("init") is not None and "ctx" not in state:
             state["ctx"] = state["init"]()
         result = state["fn"](state.get("ctx"), task)
-        return index, True, result
+        ok, payload = True, result
     except Exception:  # noqa: BLE001 - captured and surfaced to the caller
-        return index, False, traceback.format_exc(limit=8)
+        ok, payload = False, traceback.format_exc(limit=8)
+    meta: dict[str, Any] = {
+        "dur_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+    if mark is not None:
+        meta["metrics"] = OBS.metrics.delta_since(mark)
+    if OBS.tracer.enabled:
+        meta["events"] = OBS.tracer.take_child_events()
+    return index, ok, payload, meta
 
 
 @dataclass(frozen=True)
@@ -52,9 +75,31 @@ class TaskError:
     detail: str
 
     @property
+    def exception_line(self) -> str:
+        """The ``ExcType: message`` line of the captured traceback.
+
+        Robust against trailing blank lines and multi-line exception
+        messages: the exception line is the first non-indented line after
+        the traceback's last ``File`` frame (Python's own format), with a
+        last-non-blank-line fallback for free-form detail strings.
+        """
+        lines = self.detail.splitlines()
+        last_frame = -1
+        for i, line in enumerate(lines):
+            if line.startswith("  File "):
+                last_frame = i
+        if last_frame >= 0:
+            for line in lines[last_frame + 1:]:
+                if line.strip() and not line.startswith(" "):
+                    return line.strip()
+        for line in reversed(lines):
+            if line.strip():
+                return line.strip()
+        return "unknown error"
+
+    @property
     def summary(self) -> str:
-        last = self.detail.strip().rsplit("\n", 1)[-1]
-        return f"task {self.index}: {last}"
+        return f"task {self.index}: {self.exception_line}"
 
 
 @dataclass
@@ -83,8 +128,7 @@ class PoolReport:
     def notes(self, label: str = "task") -> tuple[str, ...]:
         """Human-readable failure notes for embedding in reports."""
         notes = [
-            f"{label} {err.index} failed: "
-            + err.detail.strip().rsplit("\n", 1)[-1]
+            f"{label} {err.index} failed: {err.exception_line}"
             for err in self.errors
         ]
         if self.degraded:
@@ -144,9 +188,16 @@ class TaskPool:
         """Run ``fn`` over every task and gather ordered results."""
         tasks = list(tasks)
         workers = min(self.workers, max(1, len(tasks)))
+        if OBS.enabled:
+            OBS.metrics.counter("pool.batches").inc()
+            OBS.tracer.point("pool.queued", tasks=len(tasks), workers=workers)
         if workers <= 1 or not fork_available():
-            return self._run_serial(fn, tasks, init)
-        return self._run_parallel(fn, tasks, init, workers)
+            report = self._run_serial(fn, tasks, init)
+        else:
+            report = self._run_parallel(fn, tasks, init, workers)
+        if OBS.enabled and report.degraded:
+            OBS.metrics.counter("pool.degraded_batches").inc()
+        return report
 
     # ------------------------------------------------------------------
     def _run_serial(
@@ -167,17 +218,34 @@ class TaskPool:
         for index, task in enumerate(tasks):
             if index in settled:
                 continue  # preserved from before the pool broke
-            try:
-                report.results[index] = fn(ctx, task)
-            except Exception:  # noqa: BLE001 - surfaced via TaskError
-                report.errors.append(
-                    TaskError(index, traceback.format_exc(limit=8))
-                )
+            start = time.perf_counter()
+            with OBS.tracer.span("pool.task", index=index) as span:
+                status = "ok"
+                try:
+                    report.results[index] = fn(ctx, task)
+                except Exception:  # noqa: BLE001 - surfaced via TaskError
+                    report.errors.append(
+                        TaskError(index, traceback.format_exc(limit=8))
+                    )
+                    status = "failed"
+                span.set(status=status)
+                span.set_wall(worker=os.getpid())
+            if OBS.metrics.enabled:
+                self._task_metrics(status, time.perf_counter() - start)
             done += 1
             if self.progress is not None:
                 self.progress(done, len(tasks))
         report.errors.sort(key=lambda err: err.index)
         return report
+
+    @staticmethod
+    def _task_metrics(status: str, dur_s: float) -> None:
+        """Parent-side per-task counters (``*_wall_*`` = nondeterministic)."""
+        metrics = OBS.metrics
+        metrics.counter("pool.tasks_total").inc()
+        if status == "failed":
+            metrics.counter("pool.tasks_failed").inc()
+        metrics.histogram("pool.task_wall_seconds").observe(dur_s)
 
     def _run_parallel(
         self,
@@ -187,6 +255,7 @@ class TaskPool:
         workers: int,
     ) -> PoolReport:
         report = PoolReport(results=[None] * len(tasks), workers=workers)
+        metas: list[dict[str, Any] | None] = [None] * len(tasks)
         chunk = self.chunk_size or max(1, len(tasks) // (workers * 4))
         _FORK_STATE.clear()
         _FORK_STATE.update(fn=fn, init=init)
@@ -194,9 +263,10 @@ class TaskPool:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
                 done = 0
-                for index, ok, payload in pool.imap_unordered(
+                for index, ok, payload, meta in pool.imap_unordered(
                     _fork_entry, list(enumerate(tasks)), chunksize=chunk
                 ):
+                    metas[index] = meta
                     if ok:
                         report.results[index] = payload
                     else:
@@ -209,8 +279,42 @@ class TaskPool:
             # kept; only the unsettled remainder re-runs in-process.
             report.degraded = True
             _FORK_STATE.clear()
+            self._absorb_worker_telemetry(report, metas)
             return self._run_serial(fn, tasks, init, into=report)
         finally:
             _FORK_STATE.clear()
         report.errors.sort(key=lambda err: err.index)
+        self._absorb_worker_telemetry(report, metas)
         return report
+
+    def _absorb_worker_telemetry(
+        self, report: PoolReport, metas: list[dict[str, Any] | None]
+    ) -> None:
+        """Merge worker metric deltas and replay worker trace events.
+
+        Walks tasks in index order — never completion order — so the
+        emitted stream and the merged snapshot are deterministic and
+        bit-identical to a serial run's (modulo ``wall`` fields and
+        wall-named metrics).
+        """
+        if not OBS.enabled:
+            return
+        failed = {err.index for err in report.errors}
+        for index, meta in enumerate(metas):
+            if meta is None:
+                continue  # unsettled (degraded batch): serial re-run covers it
+            status = "failed" if index in failed else "ok"
+            if OBS.tracer.enabled:
+                with OBS.tracer.span("pool.task", index=index) as span:
+                    OBS.tracer.replay(meta.get("events", []), span.span_id)
+                    span.set(status=status)
+                    # dur_s overrides the parent-side (near-zero) replay
+                    # duration with the worker-side task duration.
+                    span.set_wall(
+                        worker=meta["worker"], dur_s=meta["dur_s"]
+                    )
+            if OBS.metrics.enabled:
+                delta = meta.get("metrics")
+                if delta is not None:
+                    OBS.metrics.merge(delta)
+                self._task_metrics(status, meta["dur_s"])

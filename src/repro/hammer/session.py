@@ -19,6 +19,7 @@ import numpy as np
 from repro.cpu.isa import HammerKernelConfig
 from repro.dram.cells import FlipEvent
 from repro.hammer.multibank import interleave_stream, multibank_addresses
+from repro.obs import OBS
 from repro.patterns.frequency import NonUniformPattern
 from repro.system.machine import Machine
 
@@ -75,6 +76,42 @@ class HammerSession:
         collect_events: bool = False,
     ) -> PatternOutcome:
         """Hammer ``pattern`` at ``base_row`` for ~``activations`` accesses."""
+        if not OBS.enabled:
+            return self._run_pattern(
+                pattern, base_row, activations, banks, collect_events
+            )
+        with OBS.tracer.span(
+            "hammer.pattern", base_row=base_row, acts_requested=activations
+        ) as span:
+            outcome = self._run_pattern(
+                pattern, base_row, activations, banks, collect_events
+            )
+            span.set(
+                flips=outcome.flip_count,
+                acts_executed=outcome.acts_executed,
+                virtual_ns=outcome.duration_ns,
+            )
+        metrics = OBS.metrics
+        metrics.counter("hammer.dispatches").inc()
+        metrics.counter("hammer.acts_issued").inc(outcome.acts_issued)
+        metrics.counter("hammer.acts_executed").inc(outcome.acts_executed)
+        metrics.histogram("hammer.effective_act_rate_per_sec").observe(
+            outcome.activation_rate_per_sec
+        )
+        metrics.histogram(
+            "hammer.cache_miss_rate",
+            buckets=tuple(i / 20 for i in range(1, 21)),
+        ).observe(outcome.cache_miss_rate)
+        return outcome
+
+    def _run_pattern(
+        self,
+        pattern: NonUniformPattern,
+        base_row: int,
+        activations: int,
+        banks: tuple[int, ...] | None,
+        collect_events: bool,
+    ) -> PatternOutcome:
         target_banks = list(banks if banks is not None else self.default_banks)
         est_cost = self.machine.executor.throughput.iteration_cost(
             self.config, miss_rate=0.7

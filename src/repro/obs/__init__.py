@@ -1,0 +1,140 @@
+"""repro.obs — the dependency-free telemetry layer.
+
+Three pieces (see ``docs/OBSERVABILITY.md`` for the full catalogue):
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms keyed by dotted names with labels, JSON snapshots, and a
+  delta/merge protocol that keeps ``workers=N`` snapshots identical to
+  serial ones;
+* :class:`~repro.obs.trace.SpanTracer` — nested phase spans carrying both
+  wall-clock and virtual simulated time as a JSONL stream, deterministic
+  modulo each record's ``wall`` section;
+* :class:`~repro.obs.manifest.RunManifest` — every run stamped with seed,
+  platform, DIMM, budget, ``git describe`` and the final metric snapshot.
+
+Instrumented library code reaches telemetry through the process-wide
+:data:`OBS` holder::
+
+    from repro.obs import OBS
+
+    if OBS.enabled:                       # one attribute check when off
+        OBS.metrics.counter("dram.flips_total").inc(n)
+    with OBS.tracer.span("fuzz.campaign", patterns=n) as sp:
+        ...
+        sp.set(virtual_s=elapsed, flips=total)
+
+Telemetry is **off by default** — every instrument degrades to a shared
+no-op and the only disabled-path cost is the guard check (bounded <3% by
+``scripts/bench_obs.py``).  Enable it for a block with
+:func:`telemetry_session`, or for a whole process with
+:meth:`Telemetry.configure`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.manifest import RunManifest, git_describe
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.obs.trace import (
+    DETAIL_LEVELS,
+    WALL_KEY,
+    Span,
+    SpanTracer,
+    read_trace,
+    strip_wall,
+)
+
+
+class Telemetry:
+    """The pair of registries a process exposes to instrumented code.
+
+    ``enabled`` is a plain attribute (not a property) so hot loops pay a
+    single attribute load to skip telemetry entirely.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer()
+        self.enabled = False
+
+    def configure(
+        self,
+        trace_path: str | None = None,
+        trace_memory: bool = False,
+        trace_detail: str = "phase",
+        metrics: bool = False,
+    ) -> None:
+        """Turn telemetry on: any of a trace sink and/or live metrics."""
+        if trace_path is not None or trace_memory:
+            self.tracer.configure(
+                path=trace_path, memory=trace_memory, detail=trace_detail
+            )
+        if metrics:
+            self.metrics.reset()
+            self.metrics.enabled = True
+        self.enabled = self.tracer.enabled or self.metrics.enabled
+
+    def shutdown(self) -> None:
+        """Close sinks, drop state, return to the free disabled mode."""
+        self.tracer.shutdown()
+        self.metrics.enabled = False
+        self.metrics.reset()
+        self.enabled = False
+
+
+#: The process-wide telemetry holder all instrumented modules import.
+OBS = Telemetry()
+
+
+@contextmanager
+def telemetry_session(
+    trace_path: str | None = None,
+    trace_memory: bool = False,
+    trace_detail: str = "phase",
+    metrics: bool = False,
+) -> Iterator[Telemetry]:
+    """Enable :data:`OBS` for a block, restoring the disabled state after.
+
+    The final metrics snapshot is read *inside* the block (or grab it in
+    a ``finally`` of your own) — ``shutdown()`` clears it.
+    """
+    OBS.configure(
+        trace_path=trace_path,
+        trace_memory=trace_memory,
+        trace_detail=trace_detail,
+        metrics=metrics,
+    )
+    try:
+        yield OBS
+    finally:
+        OBS.shutdown()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DETAIL_LEVELS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "WALL_KEY",
+    "git_describe",
+    "metric_key",
+    "read_trace",
+    "strip_wall",
+    "telemetry_session",
+]

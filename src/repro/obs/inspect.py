@@ -1,0 +1,189 @@
+"""Summarise a trace stream: ``rhohammer inspect TRACE.jsonl``.
+
+Builds aggregate statistics from the JSONL span stream — span counts and
+durations by name, pool task/worker skew, point-event counts — without
+loading anything beyond the stdlib.  Used by the CLI's ``inspect``
+subcommand and importable for ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.trace import read_trace
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over all spans sharing one name."""
+
+    count: int = 0
+    open_count: int = 0
+    wall_s: float = 0.0
+    virtual_ns: float = 0.0
+    errors: int = 0
+
+    @property
+    def virtual_s(self) -> float:
+        return self.virtual_ns * 1e-9
+
+
+@dataclass
+class TaskStats:
+    """Pool task events: completion and per-worker skew."""
+
+    total: int = 0
+    failed: int = 0
+    wall_s: list[float] = field(default_factory=list)
+    by_worker: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_wall_s(self) -> float:
+        return sum(self.wall_s) / len(self.wall_s) if self.wall_s else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``inspect`` reports about one trace file."""
+
+    manifest: dict[str, Any] | None
+    events: int
+    spans: dict[str, SpanStats]
+    points: dict[str, int]
+    tasks: TaskStats
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "manifest": self.manifest,
+            "events": self.events,
+            "spans": {
+                name: {
+                    "count": s.count,
+                    "open": s.open_count,
+                    "wall_s": round(s.wall_s, 6),
+                    "virtual_s": round(s.virtual_s, 6),
+                    "errors": s.errors,
+                }
+                for name, s in sorted(self.spans.items())
+            },
+            "points": dict(sorted(self.points.items())),
+            "tasks": {
+                "total": self.tasks.total,
+                "failed": self.tasks.failed,
+                "mean_wall_s": round(self.tasks.mean_wall_s, 6),
+                "max_wall_s": round(max(self.tasks.wall_s), 6)
+                if self.tasks.wall_s
+                else 0.0,
+                "by_worker": dict(sorted(self.tasks.by_worker.items())),
+            },
+        }
+
+
+def _virtual_duration(attrs: dict[str, Any]) -> float:
+    """A span's simulated duration in nanoseconds, from its end attrs."""
+    if "virtual_ns" in attrs:
+        return float(attrs["virtual_ns"])
+    if "virtual_s" in attrs:
+        return float(attrs["virtual_s"]) * 1e9
+    if "virtual_minutes" in attrs:
+        return float(attrs["virtual_minutes"]) * 60e9
+    return 0.0
+
+
+def summarize_trace(path: str | os.PathLike[str]) -> TraceSummary:
+    """One pass over the stream, aggregating by span/point name."""
+    manifest: dict[str, Any] | None = None
+    spans: dict[str, SpanStats] = {}
+    points: dict[str, int] = {}
+    tasks = TaskStats()
+    open_names: dict[int, str] = {}
+    events = 0
+
+    for record in read_trace(path):
+        events += 1
+        kind = record.get("ev")
+        if kind == "manifest":
+            if manifest is None:
+                manifest = record.get("data")
+        elif kind == "span":
+            if record.get("ph") == "B":
+                name = record.get("name", "?")
+                open_names[record["id"]] = name
+                stats = spans.setdefault(name, SpanStats())
+                stats.count += 1
+                stats.open_count += 1
+            else:
+                name = open_names.pop(record.get("id"), "?")
+                stats = spans.setdefault(name, SpanStats())
+                stats.open_count -= 1
+                attrs = record.get("attrs", {})
+                wall = record.get("wall", {})
+                stats.wall_s += float(wall.get("dur_s", 0.0))
+                stats.virtual_ns += _virtual_duration(attrs)
+                if "error" in attrs:
+                    stats.errors += 1
+                if name == "pool.task":
+                    tasks.total += 1
+                    if attrs.get("status") == "failed":
+                        tasks.failed += 1
+                    tasks.wall_s.append(float(wall.get("dur_s", 0.0)))
+                    worker = str(wall.get("worker", "?"))
+                    tasks.by_worker[worker] = tasks.by_worker.get(worker, 0) + 1
+        elif kind == "point":
+            name = record.get("name", "?")
+            points[name] = points.get(name, 0) + 1
+    return TraceSummary(
+        manifest=manifest,
+        events=events,
+        spans=spans,
+        points=points,
+        tasks=tasks,
+    )
+
+
+def format_summary(summary: TraceSummary) -> str:
+    """Human-readable report for the CLI."""
+    lines: list[str] = []
+    man = summary.manifest
+    if man:
+        budget = man.get("budget") or {}
+        budget_txt = (
+            " ".join(f"{k}={v}" for k, v in sorted(budget.items()))
+            or "(default)"
+        )
+        lines.append(
+            f"run      : {man.get('command')} on {man.get('platform')}"
+            f"/{man.get('dimm')} seed={man.get('seed')} "
+            f"scale={man.get('scale')}"
+        )
+        lines.append(f"budget   : {budget_txt}")
+        lines.append(f"code     : {man.get('git')}")
+    lines.append(f"events   : {summary.events}")
+    if summary.spans:
+        lines.append("spans    :")
+        width = max(len(n) for n in summary.spans)
+        for name in sorted(summary.spans):
+            s = summary.spans[name]
+            extra = f"  open={s.open_count}" if s.open_count else ""
+            err = f"  errors={s.errors}" if s.errors else ""
+            lines.append(
+                f"  {name:<{width}}  n={s.count:<6} wall={s.wall_s:9.3f}s"
+                f"  virtual={s.virtual_s:12.6f}s{extra}{err}"
+            )
+    if summary.points:
+        lines.append("points   :")
+        width = max(len(n) for n in summary.points)
+        for name, count in sorted(summary.points.items()):
+            lines.append(f"  {name:<{width}}  n={count}")
+    if summary.tasks.total:
+        t = summary.tasks
+        lines.append(
+            f"tasks    : {t.total} total, {t.failed} failed, "
+            f"wall mean={t.mean_wall_s:.3f}s max="
+            f"{max(t.wall_s) if t.wall_s else 0.0:.3f}s"
+        )
+        for worker, count in sorted(t.by_worker.items()):
+            lines.append(f"  worker {worker}: {count} task(s)")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Run manifests: every CLI/engine run stamped reproducible-by-construction.
+
+A manifest records everything needed to re-run a result and check it —
+the command, seed, platform, DIMM, scale and budget, the code version
+(``git describe``), interpreter/library versions, and the final metrics
+snapshot.  Deterministic fields live at the top level; wall-clock and
+host-identity facts live under ``wall`` so manifests obey the same
+strip-and-diff convention as trace records (:mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform as _platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def git_describe(cwd: str | os.PathLike[str] | None = None) -> str:
+    """``git describe --always --dirty`` of the source tree, or ``unknown``."""
+    if cwd is None:
+        cwd = pathlib.Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    out = proc.stdout.strip()
+    return out if proc.returncode == 0 and out else "unknown"
+
+
+@dataclass
+class RunManifest:
+    """One run's identity card; serialise with :meth:`to_dict`/:meth:`write`."""
+
+    command: str
+    argv: tuple[str, ...] = ()
+    seed: int | None = None
+    platform: str | None = None
+    dimm: str | None = None
+    scale: str | None = None
+    budget: dict[str, Any] = field(default_factory=dict)
+    git: str = "unknown"
+    versions: dict[str, str] = field(default_factory=dict)
+    metrics: dict[str, Any] | None = None
+    exit_code: int | None = None
+    result: dict[str, Any] | None = None
+    wall: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        command: str,
+        argv: tuple[str, ...] | list[str] | None = None,
+        seed: int | None = None,
+        platform: str | None = None,
+        dimm: str | None = None,
+        scale: str | None = None,
+        budget: dict[str, Any] | None = None,
+    ) -> "RunManifest":
+        """Stamp a manifest for a run that is about to start."""
+        versions = {"python": _platform.python_version(), "repro": _repro_version()}
+        try:
+            import numpy
+
+            versions["numpy"] = numpy.__version__
+        except Exception:  # pragma: no cover - numpy is a hard dependency
+            pass
+        return cls(
+            command=command,
+            argv=tuple(argv or ()),
+            seed=seed,
+            platform=platform,
+            dimm=dimm,
+            scale=scale,
+            budget=dict(budget or {}),
+            git=git_describe(),
+            versions=versions,
+            wall={
+                "started": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "host": _platform.node(),
+                "pid": os.getpid(),
+            },
+        )
+
+    def header_dict(self) -> dict[str, Any]:
+        """The deterministic identity fields (the trace stream header)."""
+        return {
+            "command": self.command,
+            "argv": list(self.argv),
+            "seed": self.seed,
+            "platform": self.platform,
+            "dimm": self.dimm,
+            "scale": self.scale,
+            "budget": self.budget,
+            "git": self.git,
+            "versions": self.versions,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = self.header_dict()
+        out["exit_code"] = self.exit_code
+        if self.result is not None:
+            out["result"] = self.result
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        out["wall"] = dict(self.wall)
+        return out
+
+    def write(self, path: str | os.PathLike[str]) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+
+def _repro_version() -> str:
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - circular-import guard
+        return "unknown"

@@ -1,0 +1,280 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+Instruments are keyed by dotted names plus optional labels
+(``pool.tasks_total{status=ok}``) and live in a :class:`MetricsRegistry`.
+The registry is designed around two constraints the simulator imposes:
+
+* **near-zero cost when disabled** — a disabled registry hands every call
+  site the same shared no-op instrument, so hot loops pay one attribute
+  check and one dict-free method call;
+* **deterministic parallel merging** — :meth:`MetricsRegistry.mark` /
+  :meth:`MetricsRegistry.delta_since` / :meth:`MetricsRegistry.merge`
+  let forked :class:`~repro.engine.pool.TaskPool` workers ship their
+  per-task metric contributions back to the parent, which merges them in
+  task order; counters and histograms are additive, gauges are
+  last-write-wins in task order, so ``workers=N`` snapshots equal
+  ``workers=1`` snapshots.
+
+Snapshots are plain sorted dicts, so ``json.dumps`` of a snapshot is the
+export format — no client library, no wire protocol.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping
+
+#: Default histogram bucket upper bounds: a 1-2-5 geometric ladder that
+#: covers counts (flips per window) through rates (ACTs per second).
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    m * 10**e for e in range(0, 10) for m in (1, 2, 5)
+)
+
+
+def metric_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """Canonical instrument key: ``name`` or ``name{k=v,...}``, k sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Distribution summary: count/sum/min/max plus fixed buckets.
+
+    ``bucket_counts[i]`` counts observations ``v <= buckets[i]`` (and
+    ``> buckets[i-1]``); the trailing slot counts overflows.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+            "buckets": [
+                [le, n]
+                for le, n in zip(
+                    list(self.buckets) + ["+inf"], self.bucket_counts
+                )
+                if n
+            ],
+        }
+
+
+class _NoopInstrument:
+    """The shared instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NOOP = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """All live instruments of one run, keyed by dotted name + labels."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        key = metric_key(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter()
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        key = metric_key(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge()
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram | _NoopInstrument:
+        if not self.enabled:
+            return _NOOP
+        key = metric_key(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(buckets)
+        return inst
+
+    # -- snapshot / export ---------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of every instrument, keys sorted."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].as_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- fork-worker delta protocol ------------------------------------
+    def mark(self) -> dict[str, Any]:
+        """A snapshot to later diff against (see :meth:`delta_since`)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: (h.count, h.total, tuple(h.bucket_counts))
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def delta_since(self, mark: dict[str, Any]) -> dict[str, Any]:
+        """What changed since ``mark``, as a mergeable payload.
+
+        Histogram min/max cannot be windowed to the delta period, so the
+        delta carries the instrument's lifetime min/max; merging with
+        ``min()``/``max()`` keeps the merged result exact because any
+        pre-mark extremum is already present on the merging side (fork
+        workers inherit the parent registry's history).
+        """
+        old_c = mark["counters"]
+        old_g = mark["gauges"]
+        old_h = mark["histograms"]
+        counters = {
+            k: c.value - old_c.get(k, 0)
+            for k, c in self._counters.items()
+            if c.value != old_c.get(k, 0)
+        }
+        gauges = {
+            k: g.value
+            for k, g in self._gauges.items()
+            if k not in old_g or g.value != old_g[k]
+        }
+        histograms = {}
+        for k, h in self._histograms.items():
+            prev = old_h.get(k, (0, 0.0, ()))
+            if h.count == prev[0]:
+                continue
+            prev_buckets = prev[2]
+            histograms[k] = {
+                "buckets": list(h.buckets),
+                "count": h.count - prev[0],
+                "sum": h.total - prev[1],
+                "min": h.vmin,
+                "max": h.vmax,
+                "bucket_counts": [
+                    n - (prev_buckets[i] if i < len(prev_buckets) else 0)
+                    for i, n in enumerate(h.bucket_counts)
+                ],
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge(self, delta: dict[str, Any]) -> None:
+        """Fold one worker's :meth:`delta_since` payload into this registry."""
+        if not self.enabled:
+            return
+        for key, amount in delta.get("counters", {}).items():
+            inst = self._counters.get(key)
+            if inst is None:
+                inst = self._counters[key] = Counter()
+            inst.value += amount
+        for key, value in delta.get("gauges", {}).items():
+            inst = self._gauges.get(key)
+            if inst is None:
+                inst = self._gauges[key] = Gauge()
+            inst.value = value
+        for key, payload in delta.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(
+                    tuple(payload["buckets"])
+                )
+            hist.count += payload["count"]
+            hist.total += payload["sum"]
+            if payload["min"] is not None:
+                hist.vmin = (
+                    payload["min"]
+                    if hist.vmin is None
+                    else min(hist.vmin, payload["min"])
+                )
+            if payload["max"] is not None:
+                hist.vmax = (
+                    payload["max"]
+                    if hist.vmax is None
+                    else max(hist.vmax, payload["max"])
+                )
+            for i, n in enumerate(payload["bucket_counts"]):
+                hist.bucket_counts[i] += n

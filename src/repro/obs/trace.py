@@ -1,0 +1,275 @@
+"""Span tracer: nested phases as a deterministic JSONL event stream.
+
+Every record is one JSON object per line.  Three event kinds:
+
+* ``{"ev": "span", "ph": "B", "id": N, "parent": P, "name": ..., "attrs": {...}, "wall": {...}}``
+  opens span ``N`` under ``P`` (``null`` at the root);
+* ``{"ev": "span", "ph": "E", "id": N, "attrs": {...}, "wall": {...}}``
+  closes it — end attrs carry the *virtual simulated* durations
+  (``virtual_ns`` / ``virtual_s``) and outcome counts;
+* ``{"ev": "point", ...}`` / ``{"ev": "manifest", ...}`` are single
+  instantaneous records.
+
+**Determinism contract:** every nondeterministic value — wall-clock
+timestamps, wall durations, worker pids — lives under the record's
+``"wall"`` key and nowhere else.  Two runs with the same seed therefore
+produce byte-identical streams after :func:`strip_wall`; this is asserted
+by the test suite and is what makes traces diffable across runs.
+
+**Fork safety:** :class:`~repro.engine.pool.TaskPool` workers inherit the
+live tracer through ``fork``.  A tracer detects it is running in a child
+(pid mismatch) and diverts events to an in-memory buffer instead of the
+parent's file handle; the pool ships each task's buffered events back and
+:meth:`SpanTracer.replay` re-emits them under the task's span with ids
+remapped into the parent's id space.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, IO, Iterator
+
+#: The one key that may hold nondeterministic values in a trace record.
+WALL_KEY = "wall"
+
+#: Trace detail levels: ``phase`` records campaign/trial/task phases;
+#: ``window`` additionally records one point per DRAM refresh window.
+DETAIL_LEVELS = ("phase", "window")
+
+
+class _NoopSpan:
+    """Context manager handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def set_wall(self, **wall: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live span; use via ``with tracer.span(...) as sp``."""
+
+    __slots__ = ("tracer", "span_id", "_end_attrs", "_end_wall", "_t0")
+
+    def __init__(self, tracer: "SpanTracer", span_id: int) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self._end_attrs: dict[str, Any] = {}
+        self._end_wall: dict[str, Any] = {}
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach deterministic attributes to the span's end record."""
+        self._end_attrs.update(attrs)
+
+    def set_wall(self, **wall: Any) -> None:
+        """Attach nondeterministic facts (worker pid, queue delay, ...)."""
+        self._end_wall.update(wall)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._end_attrs.setdefault("error", exc_type.__name__)
+        self.tracer._end_span(self, self._end_attrs)
+
+
+class SpanTracer:
+    """Emits the JSONL stream; disabled (all no-ops) until configured."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.detail = "phase"
+        self._sink: IO[str] | None = None
+        self._owns_sink = False
+        self._memory: list[dict[str, Any]] | None = None
+        self._pid = os.getpid()
+        self._child_events: list[dict[str, Any]] = []
+        self._next_id = 1
+        self._stack: list[int] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def configure(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        memory: bool = False,
+        detail: str = "phase",
+    ) -> None:
+        """Start a fresh stream to ``path`` (or an in-memory list)."""
+        if detail not in DETAIL_LEVELS:
+            raise ValueError(f"trace detail must be one of {DETAIL_LEVELS}")
+        self.shutdown()
+        if path is not None:
+            self._sink = open(path, "w", encoding="utf-8")
+            self._owns_sink = True
+        elif memory:
+            self._memory = []
+        else:
+            return
+        self.enabled = True
+        self.detail = detail
+        self._pid = os.getpid()
+        self._child_events = []
+        self._next_id = 1
+        self._stack = []
+
+    def shutdown(self) -> None:
+        """Close the stream and return to the disabled state."""
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+        self._sink = None
+        self._owns_sink = False
+        self._memory = None
+        self.enabled = False
+        self.detail = "phase"
+        self._stack = []
+        self._child_events = []
+
+    @property
+    def memory_events(self) -> list[dict[str, Any]]:
+        """The in-memory stream (only when configured with ``memory=True``)."""
+        return list(self._memory or [])
+
+    # -- emission ------------------------------------------------------
+    def _emit(self, record: dict[str, Any]) -> None:
+        if os.getpid() != self._pid:
+            # fork child: never touch the parent's sink; buffer for the
+            # pool to ship back (see module docstring).
+            self._child_events.append(record)
+            return
+        if self._memory is not None:
+            self._memory.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._sink.flush()  # keeps fork children's inherited buffer empty
+
+    def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
+        """Open a nested span; close it by leaving the ``with`` block."""
+        if not self.enabled:
+            return NOOP_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        self._emit(
+            {
+                "ev": "span",
+                "ph": "B",
+                "id": span_id,
+                "parent": parent,
+                "name": name,
+                "attrs": attrs,
+                WALL_KEY: {"t": time.time()},
+            }
+        )
+        return Span(self, span_id)
+
+    def _end_span(self, span: Span, attrs: dict[str, Any]) -> None:
+        if not self.enabled:
+            return
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        elif span.span_id in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(span.span_id)
+        self._emit(
+            {
+                "ev": "span",
+                "ph": "E",
+                "id": span.span_id,
+                "attrs": attrs,
+                WALL_KEY: {
+                    "t": time.time(),
+                    "dur_s": time.perf_counter() - span._t0,
+                    **span._end_wall,
+                },
+            }
+        )
+
+    def point(self, name: str, wall: dict[str, Any] | None = None, **attrs: Any) -> None:
+        """One instantaneous record under the current span."""
+        if not self.enabled:
+            return
+        record_id = self._next_id
+        self._next_id += 1
+        self._emit(
+            {
+                "ev": "point",
+                "id": record_id,
+                "parent": self._stack[-1] if self._stack else None,
+                "name": name,
+                "attrs": attrs,
+                WALL_KEY: {"t": time.time(), **(wall or {})},
+            }
+        )
+
+    def manifest(self, data: dict[str, Any], wall: dict[str, Any] | None = None) -> None:
+        """The stream header: the run's manifest as the first record."""
+        if not self.enabled:
+            return
+        self._emit({"ev": "manifest", "data": data, WALL_KEY: wall or {}})
+
+    # -- fork-worker replay --------------------------------------------
+    def take_child_events(self) -> list[dict[str, Any]]:
+        """(Worker side.) Drain events buffered since the last drain."""
+        events, self._child_events = self._child_events, []
+        return events
+
+    def replay(
+        self, events: list[dict[str, Any]], parent_id: int | None
+    ) -> None:
+        """(Parent side.) Re-emit a worker's buffered events.
+
+        Ids are remapped into this tracer's id space in replay order —
+        deterministic because the pool replays tasks in task order.
+        References to spans that were opened before the fork (or ids never
+        seen in this buffer) are reparented onto ``parent_id``.
+        """
+        if not self.enabled:
+            return
+        id_map: dict[int, int] = {}
+        for record in events:
+            record = dict(record)
+            old_id = record.get("id")
+            if old_id is not None:
+                if record.get("ev") == "span" and record.get("ph") == "E":
+                    record["id"] = id_map.get(old_id, old_id)
+                else:
+                    new_id = self._next_id
+                    self._next_id += 1
+                    id_map[old_id] = new_id
+                    record["id"] = new_id
+            if "parent" in record:
+                record["parent"] = id_map.get(record["parent"], parent_id)
+            self._emit(record)
+
+
+# ----------------------------------------------------------------------
+# Reading traces back
+# ----------------------------------------------------------------------
+def read_trace(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
+    """Yield every record of a JSONL trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def strip_wall(record: dict[str, Any]) -> dict[str, Any]:
+    """The record without its nondeterministic ``wall`` section."""
+    return {k: v for k, v in record.items() if k != WALL_KEY}

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.common.rng import RngStream
 from repro.cpu.isa import HammerKernelConfig
 from repro.engine import ExperimentSpec, RunBudget, TaskPool
+from repro.obs import OBS
 from repro.patterns.frequency import AggressorPair, NonUniformPattern, lay_out_pattern
 from repro.system.calibration import SimulationScale
 from repro.system.machine import Machine
@@ -179,26 +180,55 @@ class FuzzingCampaign:
                 miss_sum += outcome.cache_miss_rate
             return _TrialResult(flips, miss_sum, len(task.base_rows))
 
-        pool = TaskPool(workers=budget.workers)
-        batch = pool.map(run_trial, tasks, init=spec.session)
+        with OBS.tracer.span(
+            "fuzz.campaign",
+            patterns=n_patterns,
+            workers=budget.workers,
+            trials_per_pattern=self.trials_per_pattern,
+            seed_name=self.seed_name,
+        ) as span:
+            pool = TaskPool(workers=budget.workers)
+            batch = pool.map(run_trial, tasks, init=spec.session)
 
-        total = 0
-        best_flips = 0
-        best_pattern: NonUniformPattern | None = None
-        effective = 0
-        miss_sum = 0.0
-        trials = 0
-        for task, result in zip(tasks, batch.results):
-            if result is None:
-                continue
-            total += result.flips
-            miss_sum += result.miss_sum
-            trials += result.trials
-            if result.flips > 0:
-                effective += 1
-            if result.flips > best_flips:
-                best_flips = result.flips
-                best_pattern = task.pattern
+            total = 0
+            best_flips = 0
+            best_pattern: NonUniformPattern | None = None
+            effective = 0
+            miss_sum = 0.0
+            trials = 0
+            telemetry = OBS.enabled
+            for task, result in zip(tasks, batch.results):
+                if result is None:
+                    continue
+                total += result.flips
+                miss_sum += result.miss_sum
+                trials += result.trials
+                if result.flips > 0:
+                    effective += 1
+                if result.flips > best_flips:
+                    best_flips = result.flips
+                    best_pattern = task.pattern
+                if telemetry:
+                    OBS.metrics.histogram("fuzz.flips_per_pattern").observe(
+                        result.flips
+                    )
+                    OBS.tracer.point(
+                        "fuzz.pattern",
+                        index=task.index,
+                        flips=result.flips,
+                        effective=result.flips > 0,
+                        pattern=task.pattern.describe(),
+                    )
+            if telemetry:
+                metrics = OBS.metrics
+                metrics.counter("fuzz.patterns_tried").inc(n_patterns)
+                metrics.counter("fuzz.patterns_effective").inc(effective)
+                metrics.counter("fuzz.flips_total").inc(total)
+            span.set(
+                flips=total,
+                effective_patterns=effective,
+                best_pattern_flips=best_flips,
+            )
         return FuzzingReport(
             total_flips=total,
             best_pattern_flips=best_flips,

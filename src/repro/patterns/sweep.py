@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cpu.isa import HammerKernelConfig
 from repro.engine import ExperimentSpec, RunBudget, TaskPool
+from repro.obs import OBS
 from repro.patterns.frequency import NonUniformPattern
 from repro.system.calibration import SimulationScale
 from repro.system.machine import Machine
@@ -111,23 +112,49 @@ def sweep_pattern(
         outcome = session.run_pattern(pattern, base_row, activations=acts)
         return _LocationResult(outcome.flip_count, outcome.duration_ns)
 
-    pool = TaskPool(workers=budget.workers)
-    batch = pool.map(
-        run_location,
-        [int(r) for r in base_rows.tolist()],
-        init=spec.session,
-    )
+    with OBS.tracer.span(
+        "sweep.run",
+        locations=num_locations,
+        workers=budget.workers,
+        seed_name=seed_name,
+    ) as span:
+        pool = TaskPool(workers=budget.workers)
+        batch = pool.map(
+            run_location,
+            [int(r) for r in base_rows.tolist()],
+            init=spec.session,
+        )
 
-    flips = np.zeros(num_locations, dtype=np.int64)
-    minutes = np.zeros(num_locations, dtype=np.float64)
-    elapsed_ns = 0.0
-    for i, result in enumerate(batch.results):
-        if result is not None:
-            flips[i] = result.flips
-            # Scale simulated per-location time back up to the paper's
-            # per-location activation budget for the Figure 11 time axis.
-            elapsed_ns += result.duration_ns * scale.time_compression
-        minutes[i] = elapsed_ns / 60e9
+        flips = np.zeros(num_locations, dtype=np.int64)
+        minutes = np.zeros(num_locations, dtype=np.float64)
+        elapsed_ns = 0.0
+        telemetry = OBS.enabled
+        for i, result in enumerate(batch.results):
+            if result is not None:
+                flips[i] = result.flips
+                # Scale simulated per-location time back up to the paper's
+                # per-location activation budget for the Figure 11 time axis.
+                elapsed_ns += result.duration_ns * scale.time_compression
+            minutes[i] = elapsed_ns / 60e9
+            if telemetry and result is not None:
+                OBS.metrics.histogram("sweep.flips_per_location").observe(
+                    result.flips
+                )
+                OBS.tracer.point(
+                    "sweep.location",
+                    index=i,
+                    base_row=int(base_rows[i]),
+                    flips=int(result.flips),
+                    virtual_minutes=float(minutes[i]),
+                )
+        if telemetry:
+            metrics = OBS.metrics
+            metrics.counter("sweep.locations_total").inc(num_locations)
+            metrics.counter("sweep.flips_total").inc(int(flips.sum()))
+        span.set(
+            flips=int(flips.sum()),
+            virtual_minutes=float(minutes[-1]) if minutes.size else 0.0,
+        )
     return SweepReport(
         base_rows=tuple(int(r) for r in base_rows.tolist()),
         flips_per_location=flips,

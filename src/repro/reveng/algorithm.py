@@ -23,10 +23,12 @@ versus the exponential function search of brute-force tools.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.common.errors import RevEngFailure
 from repro.mapping.functions import AddressMapping, BankFunction
+from repro.obs import OBS
 from repro.reveng.oracle import TimingOracle
 from repro.reveng.threshold import ThresholdResult, find_sbdr_threshold
 
@@ -85,44 +87,80 @@ class RhoHammerRevEng:
 
     def run(self) -> RevEngResult:
         oracle = self.oracle
-        threshold = find_sbdr_threshold(oracle)
-        thres = threshold.threshold_ns
-        bits = oracle.candidate_bits()
+        with OBS.tracer.span(
+            "reveng.run", platform=oracle.machine.platform.name
+        ) as run_span:
+            with OBS.tracer.span("reveng.threshold") as sp:
+                threshold = find_sbdr_threshold(oracle)
+                sp.set(threshold_ns=threshold.threshold_ns)
+            thres = threshold.threshold_ns
+            bits = oracle.candidate_bits()
 
-        pure_row = self._exclude_pure_row_bits(bits, thres)
-        non_pure = [b for b in bits if b not in pure_row]
+            with self._step_span("reveng.prescan", probes=len(bits)) as sp:
+                pure_row = self._exclude_pure_row_bits(bits, thres)
+                sp.set(pure_row_bits=len(pure_row))
+            non_pure = [b for b in bits if b not in pure_row]
 
-        duet_pairs = self._duet(non_pure, thres)
-        row_bits = self._collect_row_bits(pure_row, duet_pairs)
-        if not duet_pairs:
-            raise RevEngFailure(
-                "no row-inclusive bank functions observed; cannot proceed"
+            with self._step_span("reveng.duet") as sp:
+                duet_pairs = self._duet(non_pure, thres)
+                sp.set(slow_pairs=len(duet_pairs))
+            row_bits = self._collect_row_bits(pure_row, duet_pairs)
+            if not duet_pairs:
+                raise RevEngFailure(
+                    "no row-inclusive bank functions observed; cannot proceed"
+                )
+
+            base_pair = duet_pairs[0]
+            non_row_candidates = [
+                b for b in non_pure if b not in row_bits and b not in base_pair
+            ]
+            with self._step_span("reveng.trios") as sp:
+                non_row_bank_bits = self._trios(
+                    base_pair, non_row_candidates, thres
+                )
+                sp.set(non_row_bank_bits=len(non_row_bank_bits))
+            with self._step_span("reveng.quartet") as sp:
+                quartet_pairs = self._quartet(base_pair, non_row_bank_bits, thres)
+                sp.set(slow_pairs=len(quartet_pairs))
+
+            functions = self._merge(duet_pairs, quartet_pairs, non_row_bank_bits)
+            mapping = AddressMapping(
+                bank_functions=tuple(BankFunction(f) for f in sorted(functions)),
+                row_bits=(min(row_bits), max(row_bits)),
+                phys_bits=oracle.phys_bits,
+                name=f"recovered-{oracle.machine.platform.name}",
             )
+            result = RevEngResult(
+                mapping=mapping,
+                threshold=threshold,
+                pure_row_bits=tuple(sorted(pure_row)),
+                duet_pairs=tuple(duet_pairs),
+                quartet_pairs=tuple(quartet_pairs),
+                heatmap=dict(self._heatmap),
+                measurements=oracle.timer.measurements_taken,
+                runtime_seconds=oracle.runtime_seconds(),
+            )
+            run_span.set(
+                measurements=result.measurements,
+                bank_functions=len(mapping.bank_functions),
+                virtual_s=result.runtime_seconds,
+            )
+        if OBS.enabled:
+            OBS.metrics.counter("reveng.runs").inc()
+            OBS.metrics.histogram("reveng.measurements_per_run").observe(
+                result.measurements
+            )
+        return result
 
-        base_pair = duet_pairs[0]
-        non_row_candidates = [
-            b for b in non_pure if b not in row_bits and b not in base_pair
-        ]
-        non_row_bank_bits = self._trios(base_pair, non_row_candidates, thres)
-        quartet_pairs = self._quartet(base_pair, non_row_bank_bits, thres)
-
-        functions = self._merge(duet_pairs, quartet_pairs, non_row_bank_bits)
-        mapping = AddressMapping(
-            bank_functions=tuple(BankFunction(f) for f in sorted(functions)),
-            row_bits=(min(row_bits), max(row_bits)),
-            phys_bits=oracle.phys_bits,
-            name=f"recovered-{oracle.machine.platform.name}",
-        )
-        return RevEngResult(
-            mapping=mapping,
-            threshold=threshold,
-            pure_row_bits=tuple(sorted(pure_row)),
-            duet_pairs=tuple(duet_pairs),
-            quartet_pairs=tuple(quartet_pairs),
-            heatmap=dict(self._heatmap),
-            measurements=oracle.timer.measurements_taken,
-            runtime_seconds=oracle.runtime_seconds(),
-        )
+    @contextmanager
+    def _step_span(self, name: str, **attrs):
+        """A probe-round span that reports how many measurements it spent."""
+        before = self.oracle.timer.measurements_taken
+        with OBS.tracer.span(name, **attrs) as span:
+            yield span
+            span.set(
+                measurements=self.oracle.timer.measurements_taken - before
+            )
 
     # ------------------------------------------------------------------
     def _exclude_pure_row_bits(self, bits: list[int], thres: float) -> set[int]:

@@ -20,6 +20,7 @@ from repro.common.errors import RevEngFailure
 from repro.common.rng import RngStream
 from repro.dram.timing import AccessLatency
 from repro.memctrl.sidechannel import PairTimer
+from repro.obs import OBS
 from repro.osmodel.memory import PAGE_SHIFT
 from repro.osmodel.pagemap import AddressSpace
 from repro.system.machine import Machine
@@ -113,7 +114,16 @@ class TimingOracle:
         """The paper's T_SBDR(M, B_diff): mean latency over sampled pairs."""
         pairs = self.sample_pairs(diff_bits, self.pairs_per_primitive)
         latencies = self.timer.measure_many(pairs, reps=self.reps_per_pair)
-        return float(np.mean(latencies))
+        mean = float(np.mean(latencies))
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter("reveng.sbdr_probes").inc()
+            metrics.counter("reveng.probe_bits", n=len(diff_bits)).inc()
+            metrics.counter("reveng.pairs_measured").inc(
+                self.pairs_per_primitive
+            )
+            metrics.histogram("reveng.probe_latency_ns").observe(mean)
+        return mean
 
     # ------------------------------------------------------------------
     # Simulated attacker runtime accounting (Table 5)

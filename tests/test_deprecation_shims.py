@@ -1,0 +1,104 @@
+"""Legacy-spelling shims must warn exactly once and change nothing else.
+
+These tests are intentionally kept in their own module: the CI deprecation
+gate runs the rest of the suite with ``-W error::DeprecationWarning`` and
+skips this file, which is the one place the legacy spellings may appear.
+"""
+
+import warnings
+
+import numpy as np
+
+from repro import (
+    QUICK_SCALE,
+    FuzzingCampaign,
+    RunBudget,
+    build_machine,
+    sweep_pattern,
+)
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.nops import tuned_config_for
+
+
+def _machine(seed=31):
+    return build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=seed)
+
+
+def _campaign(machine):
+    return FuzzingCampaign(
+        machine=machine,
+        config=tuned_config_for("comet_lake"),
+        scale=QUICK_SCALE,
+    )
+
+
+def test_fuzz_hours_shim_warns_once_and_matches_budget():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = _campaign(_machine()).run(hours=0.05, max_patterns=4)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "FuzzingCampaign.run" in str(deprecations[0].message)
+
+    modern = _campaign(_machine()).execute(
+        RunBudget(hours=0.05, max_trials=4)
+    )
+    assert legacy.total_flips == modern.total_flips
+    assert legacy.best_pattern_flips == modern.best_pattern_flips
+    assert legacy.patterns_tried == modern.patterns_tried
+    assert legacy.effective_patterns == modern.effective_patterns
+    assert legacy.mean_miss_rate == modern.mean_miss_rate
+    assert legacy.notes == modern.notes
+    assert (
+        legacy.best_pattern.describe() == modern.best_pattern.describe()
+        if legacy.best_pattern is not None
+        else modern.best_pattern is None
+    )
+
+
+def test_fuzz_run_with_budget_does_not_warn():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _campaign(_machine()).run(RunBudget(max_trials=2))
+    assert not [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+def test_sweep_num_locations_shim_warns_once_and_matches_budget():
+    config = tuned_config_for("comet_lake")
+    pattern = canonical_compact_pattern()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = sweep_pattern(
+            _machine(), config, pattern,
+            num_locations=4, scale=QUICK_SCALE,
+        )
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "num_locations" in str(deprecations[0].message)
+
+    modern = sweep_pattern(
+        _machine(), config, pattern,
+        RunBudget(max_trials=4), scale=QUICK_SCALE,
+    )
+    assert legacy.base_rows == modern.base_rows
+    assert np.array_equal(legacy.flips_per_location, modern.flips_per_location)
+    assert np.array_equal(legacy.virtual_minutes, modern.virtual_minutes)
+    assert legacy.notes == modern.notes
+
+
+def test_sweep_positional_int_shim_warns_once():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sweep_pattern(
+            _machine(), tuned_config_for("comet_lake"),
+            canonical_compact_pattern(), 3, scale=QUICK_SCALE,
+        )
+    assert len([
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+)
+
+
+def test_metric_key_plain_and_labelled():
+    assert metric_key("dram.flips_total") == "dram.flips_total"
+    assert (
+        metric_key("dram.flips_by_window", {"window": 3, "bank": 1})
+        == "dram.flips_by_window{bank=1,window=3}"
+    )
+
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    reg.gauge("g").set(7)
+    reg.gauge("g").set(2)
+    for v in (1, 10, 10, 1000):
+        reg.histogram("h").observe(v)
+    snap = reg.snapshot()
+    assert snap["counters"]["c"] == 5
+    assert snap["gauges"]["g"] == 2
+    hist = snap["histograms"]["h"]
+    assert hist["count"] == 4
+    assert hist["min"] == 1 and hist["max"] == 1000
+    assert hist["mean"] == (1 + 10 + 10 + 1000) / 4
+
+
+def test_labelled_instruments_are_distinct():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("flips", window=1).inc(3)
+    reg.counter("flips", window=2).inc(5)
+    snap = reg.snapshot()["counters"]
+    assert snap == {"flips{window=1}": 3, "flips{window=2}": 5}
+
+
+def test_disabled_registry_is_noop_and_shared():
+    reg = MetricsRegistry(enabled=False)
+    a = reg.counter("x")
+    b = reg.histogram("y")
+    assert a is b  # the one shared no-op instrument
+    a.inc(100)
+    b.observe(1.0)
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_snapshot_is_json_serialisable_and_sorted():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("z.last").inc()
+    reg.counter("a.first").inc()
+    snap = reg.snapshot()
+    json.dumps(snap)  # must not raise
+    assert list(snap["counters"]) == ["a.first", "z.last"]
+
+
+def test_histogram_buckets_only_report_nonzero():
+    h = Histogram(buckets=(1, 10, 100))
+    h.observe(5)
+    h.observe(7)
+    h.observe(5000)  # overflow slot
+    d = h.as_dict()
+    assert d["buckets"] == [[10, 2], ["+inf", 1]]
+
+
+def test_default_buckets_cover_flip_counts_and_rates():
+    # 1-2-5 ladder over ten decades: per-window flips (~tens) through
+    # effective ACT rates (~millions/s) all land inside, not overflow.
+    assert DEFAULT_BUCKETS[0] == 1
+    assert DEFAULT_BUCKETS[-1] == 5e9
+    h = Histogram()
+    h.observe(37)
+    h.observe(2.4e6)
+    assert h.bucket_counts[-1] == 0
+
+
+def test_delta_merge_reproduces_serial_snapshot():
+    """The fork-worker protocol: parent + merged deltas == serial run."""
+    serial = MetricsRegistry(enabled=True)
+    parent = MetricsRegistry(enabled=True)
+    for reg in (serial, parent):  # shared pre-fork history
+        reg.counter("acts").inc(10)
+        reg.histogram("flips").observe(3)
+
+    # Two simulated workers, each inheriting the parent state via fork.
+    deltas = []
+    for contribution in ((5, 8), (7, 2)):
+        child = MetricsRegistry(enabled=True)
+        child.counter("acts").inc(10)  # inherited history
+        child.histogram("flips").observe(3)
+        mark = child.mark()
+        child.counter("acts").inc(contribution[0])
+        child.histogram("flips").observe(contribution[1])
+        child.gauge("occupancy").set(contribution[1])
+        deltas.append(child.delta_since(mark))
+
+    # The serial run does the same work in task order.
+    for contribution in ((5, 8), (7, 2)):
+        serial.counter("acts").inc(contribution[0])
+        serial.histogram("flips").observe(contribution[1])
+        serial.gauge("occupancy").set(contribution[1])
+
+    for delta in deltas:  # parent merges in task order
+        parent.merge(delta)
+    assert parent.snapshot() == serial.snapshot()
+
+
+def test_delta_only_contains_changes():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("before").inc()
+    mark = reg.mark()
+    reg.counter("after").inc(2)
+    delta = reg.delta_since(mark)
+    assert delta["counters"] == {"after": 2}
+    assert delta["histograms"] == {}
+
+
+def test_reset_clears_instruments():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.snapshot()["counters"] == {}
