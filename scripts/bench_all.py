@@ -1,0 +1,27 @@
+"""Run the unified benchmark suite into one schema'd BENCH_all.json.
+
+Thin wrapper over :mod:`repro.obs.bench` so the suite, the regression
+gate, and the ``rhohammer bench`` subcommand share one implementation.
+
+    PYTHONPATH=src python scripts/bench_all.py                  # full suite
+    PYTHONPATH=src python scripts/bench_all.py --quick --check  # the CI gate
+
+``--check`` compares deterministic outcomes against the committed
+baseline in ``benchmarks/baselines/BENCH_all.json`` and exits nonzero on
+regressions beyond ``--rel-threshold``; wall timings are informational
+unless ``--wall-threshold`` is given.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,9 +19,18 @@ accept ``--workers N`` to fan independent trials out over the
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--trace PATH`` streams
 nested phase spans as JSONL, ``--metrics-out PATH`` writes the run
-manifest with the final metric snapshot, ``--json`` replaces the
-human-readable table with one machine-readable JSON object on stdout,
-and ``inspect`` summarises a recorded trace.
+manifest with the final metric snapshot, ``--out DIR`` writes both under
+their conventional names (``DIR/trace.jsonl``, ``DIR/metrics.json``) so
+the directory is a *run* that ``analyze`` and ``compare`` consume,
+``--profile PATH`` wraps each top-level phase in cProfile and writes a
+per-phase hotspot report, and ``--json`` replaces the human-readable
+table with one machine-readable JSON object on stdout.
+
+Analytics: ``inspect`` summarises a recorded trace, ``analyze`` computes
+per-phase rollups / critical path / worker utilization for one run,
+``compare`` diffs two runs and exits nonzero on regressions, and
+``bench`` runs the unified benchmark suite with an optional
+baseline-gated ``--check``.
 """
 
 from __future__ import annotations
@@ -52,6 +61,19 @@ from repro.exploit import EndToEndAttack
 from repro.exploit.endtoend import canonical_compact_pattern
 from repro.hammer.nops import tune_nop_count, tuned_config_for
 from repro.obs import OBS, RunManifest
+from repro.obs.analyze import (
+    METRICS_FILENAME,
+    TRACE_FILENAME,
+    RunLoadError,
+    analyze_run,
+    format_analysis,
+)
+from repro.obs.compare import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WALL_THRESHOLD,
+    compare_runs,
+    format_comparison,
+)
 from repro.obs.inspect import format_summary, summarize_trace
 from repro.obs.trace import DETAIL_LEVELS
 from repro.reveng import compare_mappings
@@ -82,6 +104,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write the run manifest + final metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help=f"record the run as a directory: {TRACE_FILENAME} + "
+             f"{METRICS_FILENAME} under DIR (the unit `analyze` and "
+             "`compare` consume); explicit --trace/--metrics-out win",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="wrap each top-level phase span in cProfile and write the "
+             "merged per-phase hotspot report (JSON) to PATH",
     )
 
 
@@ -351,12 +384,68 @@ def cmd_tune(args) -> int:
 
 
 def cmd_inspect(args) -> int:
-    summary = summarize_trace(args.trace_file)
+    try:
+        summary = summarize_trace(args.trace_file)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if summary.events == 0:
+        print(
+            f"error: {args.trace_file}: no parseable trace records"
+            + (
+                f" ({summary.skipped_lines} corrupt line(s) skipped)"
+                if summary.skipped_lines
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 1
     if args.json:
-        _print_json(summary.to_dict())
+        payload = summary.to_dict()
+        if args.top:
+            payload["slowest"] = summary.top_spans(args.top)
+        _print_json(payload)
     else:
-        print(format_summary(summary))
+        print(format_summary(summary, top=args.top))
     return 0
+
+
+def cmd_analyze(args) -> int:
+    try:
+        analysis = analyze_run(args.run, top=args.top)
+    except (RunLoadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(analysis.to_dict())
+    else:
+        print(format_analysis(analysis, top=args.top))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    try:
+        comparison = compare_runs(
+            args.run_a,
+            args.run_b,
+            threshold=args.threshold,
+            wall_threshold=args.wall_threshold,
+            gate_wall=args.gate_wall,
+        )
+    except (RunLoadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(comparison.to_dict())
+    else:
+        print(format_comparison(comparison, show_neutral=args.show_neutral))
+    return 0 if comparison.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.bench import run_from_args
+
+    return run_from_args(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -424,8 +513,53 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="summarise a recorded --trace JSONL stream"
     )
     p.add_argument("trace_file", help="trace file written by --trace")
+    p.add_argument("--top", type=int, default=0, metavar="N",
+                   help="also rank the N slowest individual spans")
     _add_json(p)
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "analyze",
+        help="per-phase rollups, critical path and worker utilization "
+             "for one recorded run",
+    )
+    p.add_argument("run", help="run directory (--out) or trace .jsonl file")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="slowest individual spans to list (default 10)")
+    _add_json(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "compare",
+        help="diff two recorded runs; exit 1 on regressions beyond "
+             "threshold",
+    )
+    p.add_argument("run_a", help="baseline run directory or artifact file")
+    p.add_argument("run_b", help="candidate run directory or artifact file")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="relative threshold for deterministic quantities "
+                        "(default 0.05)")
+    p.add_argument("--wall-threshold", type=float,
+                   default=DEFAULT_WALL_THRESHOLD,
+                   help="relative threshold for wall-clock quantities "
+                        "(default 0.30)")
+    p.add_argument("--gate-wall", action="store_true",
+                   help="let wall-clock regressions fail the exit code "
+                        "(off by default: wall times are host-dependent)")
+    p.add_argument("--show-neutral", action="store_true",
+                   help="also list below-threshold deltas")
+    _add_json(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the unified benchmark suite (optionally gated against "
+             "the committed baseline)",
+    )
+    from repro.obs.bench import add_bench_args
+
+    add_bench_args(p)
+    p.set_defaults(func=cmd_bench)
     return parser
 
 
@@ -443,15 +577,25 @@ def _budget_dict(args) -> dict[str, Any]:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # Only the run subcommands carry the telemetry flags (_add_common);
+    # analytics subcommands (inspect/analyze/compare/bench) do not.
+    instrumented = hasattr(args, "trace")
     trace_path = getattr(args, "trace", None)
     metrics_out = getattr(args, "metrics_out", None)
-    telemetry_on = bool(trace_path or metrics_out)
+    profile_out = getattr(args, "profile", None)
+    out_dir = getattr(args, "out", None) if instrumented else None
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        trace_path = trace_path or os.path.join(out_dir, "trace.jsonl")
+        metrics_out = metrics_out or os.path.join(out_dir, "metrics.json")
+    telemetry_on = bool(trace_path or metrics_out or profile_out)
     manifest: RunManifest | None = None
     if telemetry_on:
         OBS.configure(
             trace_path=trace_path,
             trace_detail=getattr(args, "trace_detail", "phase"),
             metrics=True,
+            profile=bool(profile_out),
         )
         manifest = RunManifest.collect(
             command=args.command,
@@ -482,6 +626,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 manifest.metrics = OBS.metrics.snapshot()
                 manifest.exit_code = code
                 manifest.write(metrics_out)
+            if profile_out and OBS.tracer.profiler is not None:
+                with open(profile_out, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        OBS.tracer.profiler.report(), fh, indent=2
+                    )
+                    fh.write("\n")
             OBS.shutdown()
 
 

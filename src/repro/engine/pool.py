@@ -188,16 +188,36 @@ class TaskPool:
         """Run ``fn`` over every task and gather ordered results."""
         tasks = list(tasks)
         workers = min(self.workers, max(1, len(tasks)))
-        if OBS.enabled:
-            OBS.metrics.counter("pool.batches").inc()
-            OBS.tracer.point("pool.queued", tasks=len(tasks), workers=workers)
-        if workers <= 1 or not fork_available():
-            report = self._run_serial(fn, tasks, init)
-        else:
-            report = self._run_parallel(fn, tasks, init, workers)
-        if OBS.enabled and report.degraded:
+        if not OBS.enabled:
+            return self._dispatch(fn, tasks, init, workers)
+        OBS.metrics.counter("pool.batches").inc()
+        # The batch span is what per-worker utilization is measured
+        # against: its wall duration times the configured worker count is
+        # the pool's capacity, and each child pool.task's wall duration
+        # (attributed to its worker pid) is the busy time inside it.
+        with OBS.tracer.span(
+            "pool.batch", tasks=len(tasks), workers=workers
+        ) as span:
+            report = self._dispatch(fn, tasks, init, workers)
+            span.set(
+                completed=report.completed,
+                failed=len(report.errors),
+                degraded=report.degraded,
+            )
+        if report.degraded:
             OBS.metrics.counter("pool.degraded_batches").inc()
         return report
+
+    def _dispatch(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        init: Callable[[], Any] | None,
+        workers: int,
+    ) -> PoolReport:
+        if workers <= 1 or not fork_available():
+            return self._run_serial(fn, tasks, init)
+        return self._run_parallel(fn, tasks, init, workers)
 
     # ------------------------------------------------------------------
     def _run_serial(

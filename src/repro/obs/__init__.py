@@ -35,6 +35,19 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.analyze import (
+    PhaseRollup,
+    RunArtifacts,
+    RunLoadError,
+    TraceAnalysis,
+    analyze_run,
+    format_analysis,
+)
+from repro.obs.compare import (
+    RunComparison,
+    compare_runs,
+    format_comparison,
+)
 from repro.obs.manifest import RunManifest, git_describe
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -44,6 +57,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     metric_key,
 )
+from repro.obs.profile import PhaseProfiler, format_profile
 from repro.obs.trace import (
     DETAIL_LEVELS,
     WALL_KEY,
@@ -72,12 +86,20 @@ class Telemetry:
         trace_memory: bool = False,
         trace_detail: str = "phase",
         metrics: bool = False,
+        profile: bool = False,
     ) -> None:
-        """Turn telemetry on: any of a trace sink and/or live metrics."""
+        """Turn telemetry on: any of a trace sink, live metrics, and/or
+        the per-phase CPU profiler (see :mod:`repro.obs.profile`)."""
+        if profile and trace_path is None and not trace_memory:
+            # The profiler rides on span begin/end hooks, which only fire
+            # on an enabled tracer; an in-memory sink is the cheapest one.
+            trace_memory = True
         if trace_path is not None or trace_memory:
             self.tracer.configure(
                 path=trace_path, memory=trace_memory, detail=trace_detail
             )
+        if profile:
+            self.tracer.profiler = PhaseProfiler()
         if metrics:
             self.metrics.reset()
             self.metrics.enabled = True
@@ -101,17 +123,20 @@ def telemetry_session(
     trace_memory: bool = False,
     trace_detail: str = "phase",
     metrics: bool = False,
+    profile: bool = False,
 ) -> Iterator[Telemetry]:
     """Enable :data:`OBS` for a block, restoring the disabled state after.
 
-    The final metrics snapshot is read *inside* the block (or grab it in
-    a ``finally`` of your own) — ``shutdown()`` clears it.
+    The final metrics snapshot (and the profiler's report, with
+    ``profile=True``) is read *inside* the block (or grab it in a
+    ``finally`` of your own) — ``shutdown()`` clears it.
     """
     OBS.configure(
         trace_path=trace_path,
         trace_memory=trace_memory,
         trace_detail=trace_detail,
         metrics=metrics,
+        profile=profile,
     )
     try:
         yield OBS
@@ -127,11 +152,22 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "OBS",
+    "PhaseProfiler",
+    "PhaseRollup",
+    "RunArtifacts",
+    "RunComparison",
+    "RunLoadError",
     "RunManifest",
     "Span",
     "SpanTracer",
     "Telemetry",
+    "TraceAnalysis",
     "WALL_KEY",
+    "analyze_run",
+    "compare_runs",
+    "format_analysis",
+    "format_comparison",
+    "format_profile",
     "git_describe",
     "metric_key",
     "read_trace",

@@ -1,0 +1,427 @@
+"""The unified benchmark suite behind ``rhohammer bench`` / ``bench_all.py``.
+
+Runs every subsystem the repo makes perf promises about — the parallel
+engine, the telemetry layer, fuzzing, reverse engineering, and the
+end-to-end exploit — and writes one schema'd ``BENCH_all.json``.  A
+committed baseline (``benchmarks/baselines/BENCH_all.json``) turns that
+file into a regression gate: ``--check`` compares the fresh run against
+the baseline and exits nonzero on regressions beyond threshold.
+
+Two kinds of numbers, gated differently:
+
+* ``checks`` — deterministic outcomes (flip counts, probe volume,
+  virtual seconds, bit-identical parallelism).  For a fixed seed these
+  are host-independent, so they are gated tightly (default ±5%) on every
+  CI run.
+* ``timings`` — wall-clock seconds.  Host-dependent, therefore
+  **informational by default**; pass ``--wall-threshold`` to gate them
+  on a machine you trust (only slowdowns fail, speedups never do).
+
+Run:  PYTHONPATH=src python scripts/bench_all.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform as _platform
+import time
+from typing import Any, Callable
+
+from repro import (
+    BENCH_SCALE,
+    QUICK_SCALE,
+    FuzzingCampaign,
+    RhoHammerRevEng,
+    RunBudget,
+    TimingOracle,
+    build_machine,
+)
+from repro.engine import default_workers
+from repro.exploit import EndToEndAttack
+from repro.exploit.endtoend import canonical_compact_pattern
+from repro.hammer.nops import tuned_config_for
+from repro.obs import OBS, telemetry_session
+from repro.obs.manifest import git_describe
+from repro.reveng import compare_mappings
+
+SCHEMA = "rhohammer-bench-all/v1"
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+DEFAULT_RESULTS = _REPO_ROOT / "benchmarks" / "results" / "BENCH_all.json"
+DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baselines" / "BENCH_all.json"
+
+#: Default relative tolerance on deterministic ``checks``.
+DEFAULT_REL_THRESHOLD = 0.05
+
+
+def _suite_params(suite: str) -> dict[str, Any]:
+    if suite == "quick":
+        return {
+            "scale": QUICK_SCALE,
+            "scale_name": "QUICK",
+            "fuzz_patterns": 6,
+            "engine_patterns": 6,
+            "workers": 2,
+            "reveng_fraction": 0.4,
+        }
+    return {
+        "scale": BENCH_SCALE,
+        "scale_name": "BENCH",
+        "fuzz_patterns": 24,
+        "engine_patterns": 24,
+        "workers": 4,
+        "reveng_fraction": 0.5,
+    }
+
+
+# ----------------------------------------------------------------------
+# Individual benches: each returns {"checks": {...}, "timings": {...}}
+# ----------------------------------------------------------------------
+def _timed_fuzz(params, patterns: int, workers: int, seed_name: str):
+    machine = build_machine(
+        "raptor_lake", "S3", scale=params["scale"], seed=606
+    )
+    campaign = FuzzingCampaign(
+        machine=machine,
+        config=tuned_config_for("raptor_lake"),
+        scale=params["scale"],
+        trials_per_pattern=1,
+        seed_name=seed_name,
+    )
+    start = time.perf_counter()
+    report = campaign.execute(
+        RunBudget(max_trials=patterns, workers=workers)
+    )
+    return time.perf_counter() - start, report
+
+
+def bench_engine(params) -> dict[str, Any]:
+    """Serial vs pool fuzzing: bit-identical results, speedup recorded."""
+    patterns, workers = params["engine_patterns"], params["workers"]
+    serial_s, serial = _timed_fuzz(params, patterns, 1, "bench-all-engine")
+    parallel_s, parallel = _timed_fuzz(
+        params, patterns, workers, "bench-all-engine"
+    )
+    return {
+        "checks": {
+            "total_flips": serial.total_flips,
+            "effective_patterns": serial.effective_patterns,
+            "best_pattern_flips": serial.best_pattern_flips,
+            "bit_identical": bool(
+                serial.total_flips == parallel.total_flips
+                and serial.best_pattern_flips == parallel.best_pattern_flips
+                and serial.effective_patterns == parallel.effective_patterns
+            ),
+        },
+        "timings": {
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3)
+            if parallel_s > 0
+            else None,
+        },
+    }
+
+
+def bench_obs(params) -> dict[str, Any]:
+    """Telemetry overhead: disabled vs metrics-enabled, plus guard cost."""
+    assert not OBS.enabled, "telemetry must start disabled"
+    patterns = params["fuzz_patterns"]
+    disabled_s, disabled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
+    with telemetry_session(metrics=True):
+        enabled_s, enabled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
+
+    obs = OBS
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(1_000_000):
+        if obs.enabled:
+            hits += 1
+    guard_ns = (time.perf_counter() - start) / 1_000_000 * 1e9
+    assert hits == 0
+    return {
+        "checks": {
+            "total_flips": disabled.total_flips,
+            "telemetry_neutral": bool(
+                disabled.total_flips == enabled.total_flips
+            ),
+        },
+        "timings": {
+            "disabled_s": round(disabled_s, 3),
+            "metrics_s": round(enabled_s, 3),
+            "metrics_overhead": round(enabled_s / disabled_s - 1.0, 4)
+            if disabled_s > 0
+            else None,
+            "guard_ns": round(guard_ns, 2),
+        },
+    }
+
+
+def bench_fuzz(params) -> dict[str, Any]:
+    """The tuned fuzzing workload itself (Table 6's engine)."""
+    wall_s, report = _timed_fuzz(
+        params, params["fuzz_patterns"], 1, "bench-all-fuzz"
+    )
+    return {
+        "checks": {
+            "total_flips": report.total_flips,
+            "effective_patterns": report.effective_patterns,
+            "best_pattern_flips": report.best_pattern_flips,
+            "mean_miss_rate": round(report.mean_miss_rate, 6),
+        },
+        "timings": {"wall_s": round(wall_s, 3)},
+    }
+
+
+def bench_reveng(params) -> dict[str, Any]:
+    """Algorithm 1 mapping recovery: probe volume and virtual runtime."""
+    machine = build_machine(
+        "raptor_lake", "S3", scale=params["scale"], seed=606
+    )
+    oracle = TimingOracle.allocate(
+        machine, fraction=params["reveng_fraction"]
+    )
+    start = time.perf_counter()
+    result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
+    wall_s = time.perf_counter() - start
+    score = compare_mappings(result.mapping, machine.mapping)
+    return {
+        "checks": {
+            "fully_correct": bool(score.fully_correct),
+            "measurements": result.measurements,
+            "virtual_s": round(result.runtime_seconds, 6),
+        },
+        "timings": {"wall_s": round(wall_s, 3)},
+    }
+
+
+def bench_exploit(params) -> dict[str, Any]:
+    """The end-to-end PTE-corruption attack on the default target."""
+    machine = build_machine(
+        "raptor_lake", "S3", scale=params["scale"], seed=606
+    )
+    attack = EndToEndAttack(
+        machine=machine,
+        config=tuned_config_for("raptor_lake"),
+        pattern=canonical_compact_pattern(),
+        scale=params["scale"],
+    )
+    start = time.perf_counter()
+    outcome = attack.run()
+    wall_s = time.perf_counter() - start
+    return {
+        "checks": {
+            "succeeded": bool(outcome.succeeded),
+            "total_flips": outcome.total_flips,
+            "exploitable_flips": outcome.exploitable_flips,
+            "virtual_s": round(outcome.total_seconds, 6),
+        },
+        "timings": {"wall_s": round(wall_s, 3)},
+    }
+
+
+BENCHES: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    "engine": bench_engine,
+    "obs": bench_obs,
+    "fuzz": bench_fuzz,
+    "reveng": bench_reveng,
+    "exploit": bench_exploit,
+}
+
+
+# ----------------------------------------------------------------------
+# Suite runner and regression gate
+# ----------------------------------------------------------------------
+def run_suite(
+    suite: str = "quick",
+    only: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the (sub)suite and return the ``BENCH_all.json`` payload."""
+    params = _suite_params(suite)
+    names = list(only) if only else list(BENCHES)
+    unknown = [n for n in names if n not in BENCHES]
+    if unknown:
+        raise ValueError(f"unknown bench(es): {', '.join(unknown)}")
+    benches: dict[str, Any] = {}
+    for name in names:
+        if progress is not None:
+            progress(name)
+        benches[name] = BENCHES[name](params)
+    return {
+        "schema": SCHEMA,
+        "suite": suite,
+        "scale": params["scale_name"],
+        "git": git_describe(),
+        "benches": benches,
+        "wall": {
+            "python": _platform.python_version(),
+            "host": _platform.node(),
+            "cpu_count": default_workers(),
+            "recorded": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+    }
+
+
+def check_payload(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    wall_threshold: float | None = None,
+) -> list[str]:
+    """Regression failures of ``current`` against ``baseline`` (empty = ok)."""
+    failures: list[str] = []
+    if baseline.get("schema") != SCHEMA:
+        failures.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+        )
+        return failures
+    if baseline.get("suite") != current.get("suite"):
+        failures.append(
+            f"suite mismatch: baseline {baseline.get('suite')!r} vs "
+            f"current {current.get('suite')!r} — rerun with the matching "
+            "--suite"
+        )
+        return failures
+    for name, base in baseline.get("benches", {}).items():
+        cur = current.get("benches", {}).get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        for key, base_v in base.get("checks", {}).items():
+            cur_v = cur.get("checks", {}).get(key)
+            label = f"{name}.checks.{key}"
+            if isinstance(base_v, bool) or base_v is None:
+                if cur_v != base_v:
+                    failures.append(f"{label}: {base_v!r} -> {cur_v!r}")
+            elif not isinstance(cur_v, (int, float)):
+                failures.append(f"{label}: {base_v!r} -> {cur_v!r}")
+            else:
+                if base_v == 0:
+                    ok = cur_v == 0
+                else:
+                    ok = abs(cur_v - base_v) / abs(base_v) <= rel_threshold
+                if not ok:
+                    failures.append(
+                        f"{label}: {base_v} -> {cur_v} "
+                        f"(beyond ±{rel_threshold:.0%})"
+                    )
+        if wall_threshold is None:
+            continue
+        for key, base_v in base.get("timings", {}).items():
+            cur_v = cur.get("timings", {}).get(key)
+            if not isinstance(base_v, (int, float)) or not isinstance(
+                cur_v, (int, float)
+            ):
+                continue
+            # Only slowdowns regress; _s keys are seconds, bigger = worse.
+            if key.endswith("_s") and base_v > 0:
+                if (cur_v - base_v) / base_v > wall_threshold:
+                    failures.append(
+                        f"{name}.timings.{key}: {base_v}s -> {cur_v}s "
+                        f"(slower than +{wall_threshold:.0%})"
+                    )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Shared argparse surface (scripts/bench_all.py and `rhohammer bench`)
+# ----------------------------------------------------------------------
+def add_bench_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite", choices=("quick", "full"), default="full",
+        help="workload size (full: BENCH scale; quick: QUICK scale for CI)",
+    )
+    parser.add_argument(
+        "--quick", action="store_const", dest="suite", const="quick",
+        help="shorthand for --suite quick",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="BENCH", default=None,
+        help=f"run a subset (choices: {', '.join(BENCHES)})",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=str(DEFAULT_RESULTS),
+        help="where to write BENCH_all.json",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate the run against the committed baseline (nonzero exit "
+             "on regression)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=str(DEFAULT_BASELINE),
+        help="baseline BENCH_all.json to gate against",
+    )
+    parser.add_argument(
+        "--rel-threshold", type=float, default=DEFAULT_REL_THRESHOLD,
+        help="relative tolerance on deterministic checks (default 0.05)",
+    )
+    parser.add_argument(
+        "--wall-threshold", type=float, default=None, metavar="FRAC",
+        help="also gate wall timings at +FRAC slowdown (off by default: "
+             "wall clocks are host-dependent)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the payload as JSON instead of the summary",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the suite per parsed args; the shared CLI/script body."""
+    payload = run_suite(
+        suite=args.suite,
+        only=args.only,
+        progress=None if args.json else lambda name: print(f"bench: {name} ..."),
+    )
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, bench in payload["benches"].items():
+            checks = " ".join(
+                f"{k}={v}" for k, v in bench["checks"].items()
+            )
+            timings = " ".join(
+                f"{k}={v}" for k, v in bench["timings"].items()
+            )
+            print(f"  {name:<8} {checks}")
+            print(f"  {'':<8} {timings}")
+        print(f"wrote {out_path}")
+
+    if not args.check:
+        return 0
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"error: no baseline at {baseline_path} — run the suite and "
+              f"commit its output there to seed the gate")
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = check_payload(
+        payload,
+        baseline,
+        rel_threshold=args.rel_threshold,
+        wall_threshold=args.wall_threshold,
+    )
+    if failures:
+        print(f"bench gate FAILED against {baseline_path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench gate ok against {baseline_path} "
+          f"(±{args.rel_threshold:.0%} on checks)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    add_bench_args(parser)
+    return run_from_args(parser.parse_args(argv))

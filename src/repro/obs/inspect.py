@@ -53,11 +53,22 @@ class TraceSummary:
     spans: dict[str, SpanStats]
     points: dict[str, int]
     tasks: TaskStats
+    skipped_lines: int = 0
+    slowest: list[tuple[str, int, float]] = field(default_factory=list)
+
+    def top_spans(self, n: int) -> list[dict[str, Any]]:
+        """The ``n`` individual spans with the largest wall durations."""
+        ranked = sorted(self.slowest, key=lambda t: (-t[2], t[1]))[:n]
+        return [
+            {"name": name, "id": span_id, "wall_s": round(dur, 6)}
+            for name, span_id, dur in ranked
+        ]
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "manifest": self.manifest,
             "events": self.events,
+            "skipped_lines": self.skipped_lines,
             "spans": {
                 name: {
                     "count": s.count,
@@ -93,15 +104,26 @@ def _virtual_duration(attrs: dict[str, Any]) -> float:
 
 
 def summarize_trace(path: str | os.PathLike[str]) -> TraceSummary:
-    """One pass over the stream, aggregating by span/point name."""
+    """One pass over the stream, aggregating by span/point name.
+
+    Corrupt or truncated lines (a run killed mid-write) are skipped and
+    counted in :attr:`TraceSummary.skipped_lines` rather than aborting
+    the summary.
+    """
     manifest: dict[str, Any] | None = None
     spans: dict[str, SpanStats] = {}
     points: dict[str, int] = {}
     tasks = TaskStats()
     open_names: dict[int, str] = {}
+    slowest: list[tuple[str, int, float]] = []
     events = 0
+    skipped = 0
 
-    for record in read_trace(path):
+    def _on_skip(lineno: int, line: str) -> None:
+        nonlocal skipped
+        skipped += 1
+
+    for record in read_trace(path, strict=False, on_skip=_on_skip):
         events += 1
         kind = record.get("ev")
         if kind == "manifest":
@@ -120,7 +142,9 @@ def summarize_trace(path: str | os.PathLike[str]) -> TraceSummary:
                 stats.open_count -= 1
                 attrs = record.get("attrs", {})
                 wall = record.get("wall", {})
-                stats.wall_s += float(wall.get("dur_s", 0.0))
+                dur_s = float(wall.get("dur_s", 0.0))
+                stats.wall_s += dur_s
+                slowest.append((name, record.get("id", -1), dur_s))
                 stats.virtual_ns += _virtual_duration(attrs)
                 if "error" in attrs:
                     stats.errors += 1
@@ -140,10 +164,12 @@ def summarize_trace(path: str | os.PathLike[str]) -> TraceSummary:
         spans=spans,
         points=points,
         tasks=tasks,
+        skipped_lines=skipped,
+        slowest=slowest,
     )
 
 
-def format_summary(summary: TraceSummary) -> str:
+def format_summary(summary: TraceSummary, top: int = 0) -> str:
     """Human-readable report for the CLI."""
     lines: list[str] = []
     man = summary.manifest
@@ -161,6 +187,10 @@ def format_summary(summary: TraceSummary) -> str:
         lines.append(f"budget   : {budget_txt}")
         lines.append(f"code     : {man.get('git')}")
     lines.append(f"events   : {summary.events}")
+    if summary.skipped_lines:
+        lines.append(
+            f"warning  : skipped {summary.skipped_lines} corrupt line(s)"
+        )
     if summary.spans:
         lines.append("spans    :")
         width = max(len(n) for n in summary.spans)
@@ -186,4 +216,11 @@ def format_summary(summary: TraceSummary) -> str:
         )
         for worker, count in sorted(t.by_worker.items()):
             lines.append(f"  worker {worker}: {count} task(s)")
+    if top > 0 and summary.slowest:
+        ranked = summary.top_spans(top)
+        lines.append(f"slowest  : (top {len(ranked)} spans by wall)")
+        for row in ranked:
+            lines.append(
+                f"  #{row['id']:<5} {row['name']:<24} {row['wall_s']:9.3f}s"
+            )
     return "\n".join(lines)

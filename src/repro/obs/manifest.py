@@ -67,8 +67,16 @@ class RunManifest:
         scale: str | None = None,
         budget: dict[str, Any] | None = None,
     ) -> "RunManifest":
-        """Stamp a manifest for a run that is about to start."""
-        versions = {"python": _platform.python_version(), "repro": _repro_version()}
+        """Stamp a manifest for a run that is about to start.
+
+        Every metadata probe degrades to ``"unknown"`` rather than
+        failing the run: a manifest with a hole is still a manifest,
+        and telemetry must never take the experiment down with it.
+        """
+        versions = {
+            "python": _safe_probe(_platform.python_version),
+            "repro": _repro_version(),
+        }
         try:
             import numpy
 
@@ -87,7 +95,7 @@ class RunManifest:
             versions=versions,
             wall={
                 "started": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-                "host": _platform.node(),
+                "host": _safe_probe(_platform.node),
                 "pid": os.getpid(),
             },
         )
@@ -121,6 +129,15 @@ class RunManifest:
             json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n",
             encoding="utf-8",
         )
+
+
+def _safe_probe(probe) -> str:
+    """Interpreter/host metadata, or ``unknown`` when the probe fails."""
+    try:
+        value = probe()
+    except Exception:
+        return "unknown"
+    return value if value else "unknown"
 
 
 def _repro_version() -> str:

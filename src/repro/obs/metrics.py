@@ -93,6 +93,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-quantile (``0 <= q <= 1``) by bucket interpolation.
+
+        Semantics (documented in ``docs/OBSERVABILITY.md``): the target
+        rank ``q * count`` is located in the cumulative bucket counts and
+        the value is **linearly interpolated** inside the containing
+        bucket, assuming observations are uniformly spread across it —
+        not snapped to the nearest bucket boundary.  The open-ended first
+        and overflow buckets borrow the observed ``min``/``max`` as their
+        missing edge, and the result is clamped to ``[min, max]``, so the
+        error of any reported quantile is bounded by the width of its
+        bucket.  Computed purely from the merged bucket counts, the value
+        is identical for ``workers=N`` and serial runs.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0 or self.vmin is None or self.vmax is None:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.vmin if i == 0 else float(self.buckets[i - 1])
+                hi = self.vmax if i >= len(self.buckets) else float(self.buckets[i])
+                fraction = (rank - cumulative) / n
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self.vmin), self.vmax)
+            cumulative += n
+        return self.vmax
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -100,6 +132,9 @@ class Histogram:
             "min": self.vmin,
             "max": self.vmax,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
             "buckets": [
                 [le, n]
                 for le, n in zip(

@@ -1,0 +1,148 @@
+"""Opt-in per-phase CPU profiling: ``--profile`` hotspot reports.
+
+:class:`PhaseProfiler` plugs into :class:`~repro.obs.trace.SpanTracer`
+(``tracer.profiler = PhaseProfiler()``) and wraps each *top-level phase
+span* in a :mod:`cProfile` session.  ``cProfile`` cannot nest, so the
+profiler is owned by one span at a time: the first span that begins while
+the profiler is idle claims it, and nested spans run inside that
+profile.  Wrapper spans that would otherwise swallow the whole run —
+``cli.<command>`` and ``campaign.run`` — pass through, so a ``rhohammer
+campaign --profile`` run attributes cost to ``campaign.fuzz``,
+``campaign.sweep``, … rather than one opaque root.
+
+Stats from every span of the same phase name are merged, yielding one
+cumulative hotspot table per phase.  Profiling is parent-process only:
+forked pool workers inherit the profiler object but a pid check keeps
+them from touching it (their work still shows up in the parent's wall
+accounting via the trace).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from typing import Any
+
+#: Span names (exact or by prefix) that never claim the profiler: they
+#: wrap the whole run and would hide the per-phase breakdown.
+PASSTHROUGH_PREFIXES: tuple[str, ...] = ("cli.",)
+PASSTHROUGH_NAMES: frozenset[str] = frozenset({"campaign.run"})
+
+
+class PhaseProfiler:
+    """Accumulates one merged ``pstats`` table per top-level phase."""
+
+    def __init__(
+        self,
+        passthrough_prefixes: tuple[str, ...] = PASSTHROUGH_PREFIXES,
+        passthrough_names: frozenset[str] | set[str] = PASSTHROUGH_NAMES,
+    ) -> None:
+        self._passthrough_prefixes = passthrough_prefixes
+        self._passthrough_names = frozenset(passthrough_names)
+        self._pid = os.getpid()
+        self._owner_id: int | None = None
+        self._owner_name: str | None = None
+        self._active: cProfile.Profile | None = None
+        self._stats: dict[str, pstats.Stats] = {}
+        self._spans: dict[str, int] = {}
+
+    # -- tracer hooks ---------------------------------------------------
+    def _passthrough(self, name: str) -> bool:
+        return name in self._passthrough_names or name.startswith(
+            self._passthrough_prefixes
+        )
+
+    def on_span_begin(self, span_id: int, name: str) -> None:
+        if (
+            self._active is not None
+            or os.getpid() != self._pid
+            or self._passthrough(name)
+        ):
+            return
+        self._owner_id = span_id
+        self._owner_name = name
+        self._active = cProfile.Profile()
+        self._active.enable()
+
+    def on_span_end(self, span_id: int) -> None:
+        if self._active is None or span_id != self._owner_id:
+            return
+        if os.getpid() != self._pid:  # forked child: not ours to close
+            return
+        self._active.disable()
+        profile, name = self._active, self._owner_name or "?"
+        self._active = None
+        self._owner_id = None
+        self._owner_name = None
+        stats = pstats.Stats(profile)
+        merged = self._stats.get(name)
+        if merged is None:
+            self._stats[name] = stats
+        else:
+            merged.add(profile)
+        self._spans[name] = self._spans.get(name, 0) + 1
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return tuple(sorted(self._stats))
+
+    def report(self, top: int = 20) -> dict[str, Any]:
+        """Per-phase cumulative hotspots, JSON-ready.
+
+        Each phase maps to its profiled span count, total profiled CPU
+        time, and the ``top`` functions by cumulative time — entries of
+        ``{"function", "ncalls", "tottime_s", "cumtime_s"}``.
+        """
+        phases: dict[str, Any] = {}
+        for name in sorted(self._stats):
+            stats = self._stats[name]
+            rows = []
+            entries = sorted(
+                stats.stats.items(),  # type: ignore[attr-defined]
+                key=lambda item: item[1][3],  # cumulative time
+                reverse=True,
+            )
+            for (filename, lineno, func), row in entries[:top]:
+                cc, nc, tt, ct = row[0], row[1], row[2], row[3]
+                rows.append(
+                    {
+                        "function": _format_function(filename, lineno, func),
+                        "ncalls": nc if nc == cc else f"{nc}/{cc}",
+                        "tottime_s": round(tt, 6),
+                        "cumtime_s": round(ct, 6),
+                    }
+                )
+            phases[name] = {
+                "spans": self._spans.get(name, 0),
+                "total_time_s": round(getattr(stats, "total_tt", 0.0), 6),
+                "hotspots": rows,
+            }
+        return {"schema": "rhohammer-profile/v1", "phases": phases}
+
+
+def _format_function(filename: str, lineno: int, func: str) -> str:
+    """``pstats`` triple as the conventional ``file:line(name)`` string."""
+    if filename == "~":  # builtin
+        return func
+    base = os.sep + "repro" + os.sep
+    if base in filename:  # shorten in-package paths to repro/...
+        filename = "repro" + os.sep + filename.split(base, 1)[1]
+    return f"{filename}:{lineno}({func})"
+
+
+def format_profile(report: dict[str, Any], top: int = 10) -> str:
+    """Human-readable rendering of :meth:`PhaseProfiler.report`."""
+    lines: list[str] = []
+    for name, phase in report.get("phases", {}).items():
+        lines.append(
+            f"{name}  spans={phase['spans']} "
+            f"profiled={phase['total_time_s']:.3f}s"
+        )
+        for row in phase["hotspots"][:top]:
+            lines.append(
+                f"  {row['cumtime_s']:9.4f}s cum  {row['tottime_s']:9.4f}s self"
+                f"  x{row['ncalls']:<9} {row['function']}"
+            )
+    return "\n".join(lines) if lines else "(no profiled phases)"

@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Any, IO, Iterator
+from typing import Any, Callable, IO, Iterator
 
 #: The one key that may hold nondeterministic values in a trace record.
 WALL_KEY = "wall"
@@ -95,6 +95,9 @@ class SpanTracer:
     def __init__(self) -> None:
         self.enabled = False
         self.detail = "phase"
+        #: Optional :class:`repro.obs.profile.PhaseProfiler`; when set,
+        #: every span begin/end is offered to it (it decides ownership).
+        self.profiler: Any | None = None
         self._sink: IO[str] | None = None
         self._owns_sink = False
         self._memory: list[dict[str, Any]] | None = None
@@ -137,6 +140,7 @@ class SpanTracer:
         self._memory = None
         self.enabled = False
         self.detail = "phase"
+        self.profiler = None
         self._stack = []
         self._child_events = []
 
@@ -166,6 +170,8 @@ class SpanTracer:
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None
         self._stack.append(span_id)
+        if self.profiler is not None:
+            self.profiler.on_span_begin(span_id, name)
         self._emit(
             {
                 "ev": "span",
@@ -182,6 +188,8 @@ class SpanTracer:
     def _end_span(self, span: Span, attrs: dict[str, Any]) -> None:
         if not self.enabled:
             return
+        if self.profiler is not None:
+            self.profiler.on_span_end(span.span_id)
         if self._stack and self._stack[-1] == span.span_id:
             self._stack.pop()
         elif span.span_id in self._stack:  # tolerate out-of-order exits
@@ -261,13 +269,43 @@ class SpanTracer:
 # ----------------------------------------------------------------------
 # Reading traces back
 # ----------------------------------------------------------------------
-def read_trace(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
-    """Yield every record of a JSONL trace file."""
+def read_trace(
+    path: str | os.PathLike[str],
+    *,
+    strict: bool = True,
+    on_skip: Callable[[int, str], None] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield every record of a JSONL trace file.
+
+    ``strict=True`` (the default) raises on malformed lines.  With
+    ``strict=False`` a truncated or corrupt line — e.g. the tail of a run
+    killed mid-write — is skipped instead, and ``on_skip(lineno, line)``
+    is invoked for each skipped line so callers can count and report
+    them.  A line holding valid JSON that is not an object (the schema
+    requires one object per line) counts as corrupt too.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                if on_skip is not None:
+                    on_skip(lineno, line)
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"trace line {lineno} is not a JSON object: {line[:80]}"
+                    )
+                if on_skip is not None:
+                    on_skip(lineno, line)
+                continue
+            yield record
 
 
 def strip_wall(record: dict[str, Any]) -> dict[str, Any]:

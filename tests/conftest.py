@@ -32,3 +32,28 @@ def raptor_oracle(raptor_machine):
 def fresh_comet():
     """A comet machine not shared with other tests (mutating tests)."""
     return build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=99)
+
+
+@pytest.fixture(scope="session")
+def recorded_runs(tmp_path_factory):
+    """Factory recording CLI runs as ``--out`` directories, cached by label.
+
+    ``record("A", "fuzz", "--patterns", "3")`` runs the CLI once per
+    distinct label and returns the run directory (trace.jsonl +
+    metrics.json), so analytics tests share recordings instead of
+    re-simulating.
+    """
+    from repro.cli import main as cli_main
+
+    base = tmp_path_factory.mktemp("recorded-runs")
+    cache: dict[str, object] = {}
+
+    def record(label: str, *argv: str):
+        if label not in cache:
+            out = base / label
+            code = cli_main([*argv, "--out", str(out)])
+            assert code == 0, f"recording {label} failed with {code}"
+            cache[label] = out
+        return cache[label]
+
+    return record

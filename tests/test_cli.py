@@ -8,7 +8,8 @@ from repro.cli import build_parser, main
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("reveng", "fuzz", "sweep", "exploit", "tune", "campaign", "emit"):
+    for command in ("reveng", "fuzz", "sweep", "exploit", "tune", "campaign",
+                    "emit", "inspect", "analyze", "compare", "bench"):
         assert command in text
 
 

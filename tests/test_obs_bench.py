@@ -1,0 +1,156 @@
+"""Unified bench suite tests: schema, gate logic, CLI round trip."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import SCHEMA, check_payload, run_suite
+
+
+@pytest.fixture(scope="module")
+def reveng_payload():
+    return run_suite("quick", only=["reveng"])
+
+
+def _synthetic_payload():
+    return {
+        "schema": SCHEMA,
+        "suite": "quick",
+        "benches": {
+            "fuzz": {
+                "checks": {
+                    "total_flips": 100,
+                    "bit_identical": True,
+                    "virtual_s": 40.0,
+                },
+                "timings": {"wall_s": 2.0, "speedup": 1.8},
+            },
+        },
+    }
+
+
+def test_run_suite_payload_schema(reveng_payload):
+    payload = reveng_payload
+    assert payload["schema"] == SCHEMA
+    assert payload["suite"] == "quick"
+    assert payload["scale"] == "QUICK"
+    assert payload["git"]
+    assert set(payload["benches"]) == {"reveng"}
+    bench = payload["benches"]["reveng"]
+    assert bench["checks"]["fully_correct"] is True
+    assert bench["checks"]["measurements"] > 0
+    assert bench["checks"]["virtual_s"] > 0
+    assert bench["timings"]["wall_s"] > 0
+    json.dumps(payload)  # JSON-ready
+
+
+def test_run_suite_rejects_unknown_bench():
+    with pytest.raises(ValueError, match="unknown bench"):
+        run_suite("quick", only=["warp_drive"])
+
+
+def test_check_payload_passes_against_itself(reveng_payload):
+    assert check_payload(reveng_payload, reveng_payload) == []
+    assert check_payload(
+        reveng_payload, copy.deepcopy(reveng_payload), wall_threshold=0.30
+    ) == []
+
+
+def test_check_payload_flags_numeric_drift():
+    baseline = _synthetic_payload()
+    current = copy.deepcopy(baseline)
+    current["benches"]["fuzz"]["checks"]["total_flips"] = 80  # -20%
+    failures = check_payload(current, baseline)
+    assert any("total_flips" in f for f in failures)
+    # Within tolerance: 4% move passes at the default ±5%.
+    current["benches"]["fuzz"]["checks"]["total_flips"] = 96
+    assert check_payload(current, baseline) == []
+
+
+def test_check_payload_flags_boolean_flip_and_missing_bench():
+    baseline = _synthetic_payload()
+    current = copy.deepcopy(baseline)
+    current["benches"]["fuzz"]["checks"]["bit_identical"] = False
+    failures = check_payload(current, baseline)
+    assert any("bit_identical" in f for f in failures)
+
+    empty = copy.deepcopy(baseline)
+    empty["benches"] = {}
+    failures = check_payload(empty, baseline)
+    assert failures == ["fuzz: missing from current run"]
+
+
+def test_check_payload_rejects_schema_and_suite_mismatch():
+    baseline = _synthetic_payload()
+    current = copy.deepcopy(baseline)
+
+    stale = copy.deepcopy(baseline)
+    stale["schema"] = "rhohammer-bench-all/v0"
+    assert any("schema" in f for f in check_payload(current, stale))
+
+    full = copy.deepcopy(baseline)
+    full["suite"] = "full"
+    assert any("suite mismatch" in f for f in check_payload(current, full))
+
+
+def test_wall_timings_gate_only_when_asked():
+    baseline = _synthetic_payload()
+    current = copy.deepcopy(baseline)
+    current["benches"]["fuzz"]["timings"]["wall_s"] = 4.0  # 2x slower
+
+    assert check_payload(current, baseline) == []  # ungated by default
+    failures = check_payload(current, baseline, wall_threshold=0.30)
+    assert any("wall_s" in f and "slower" in f for f in failures)
+
+    # Speedups never fail, and non-seconds timing keys are never gated.
+    faster = copy.deepcopy(baseline)
+    faster["benches"]["fuzz"]["timings"]["wall_s"] = 0.5
+    faster["benches"]["fuzz"]["timings"]["speedup"] = 0.1
+    assert check_payload(faster, baseline, wall_threshold=0.30) == []
+
+
+def test_cli_bench_round_trip(tmp_path, capsys):
+    out = tmp_path / "BENCH_all.json"
+    assert main([
+        "bench", "--quick", "--only", "reveng", "--out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == SCHEMA
+
+    # Self-gate: fresh identical-seed run against the file just written.
+    again = tmp_path / "again.json"
+    assert main([
+        "bench", "--quick", "--only", "reveng", "--out", str(again),
+        "--check", "--baseline", str(out),
+    ]) == 0
+    assert "bench gate ok" in capsys.readouterr().out
+
+    # Perturbed baseline: deterministic drift must fail the gate.
+    payload["benches"]["reveng"]["checks"]["measurements"] *= 2
+    bad = tmp_path / "bad-baseline.json"
+    bad.write_text(json.dumps(payload))
+    assert main([
+        "bench", "--quick", "--only", "reveng", "--out", str(again),
+        "--check", "--baseline", str(bad),
+    ]) == 1
+    assert "bench gate FAILED" in capsys.readouterr().out
+
+    # No baseline at all is its own, distinct error.
+    assert main([
+        "bench", "--quick", "--only", "reveng", "--out", str(again),
+        "--check", "--baseline", str(tmp_path / "missing.json"),
+    ]) == 2
+
+
+def test_bench_json_output(tmp_path, capsys):
+    out = tmp_path / "BENCH_all.json"
+    assert main([
+        "bench", "--quick", "--only", "reveng", "--out", str(out),
+        "--json",
+    ]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["schema"] == SCHEMA
+    assert printed["benches"]["reveng"]["checks"]["fully_correct"] is True

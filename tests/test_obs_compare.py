@@ -1,0 +1,147 @@
+"""Run-diff engine tests: classification, thresholds, CLI exit codes."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.obs.compare import (
+    compare_runs,
+    direction_for,
+    format_comparison,
+    is_wall_key,
+)
+
+FUZZ_ARGS = (
+    "fuzz", "--platform", "comet_lake", "--dimm", "S3", "--patterns", "4",
+)
+
+
+@pytest.fixture(scope="module")
+def run_a(recorded_runs):
+    return recorded_runs("compare-a", *FUZZ_ARGS)
+
+
+@pytest.fixture(scope="module")
+def run_b(recorded_runs):
+    return recorded_runs("compare-b", *FUZZ_ARGS)
+
+
+def _slowed_copy(run, tmp_path, factor=2.0):
+    """A copy of ``run`` with its deterministic reveng/virtual work scaled,
+    simulating e.g. doubled SBDR probe rounds."""
+    slowed = tmp_path / "slowed"
+    shutil.copytree(run, slowed)
+    manifest = json.loads((slowed / "metrics.json").read_text())
+    counters = manifest["metrics"]["counters"]
+    counters["reveng.sbdr_probes"] = int(
+        counters.get("reveng.sbdr_probes", 600) * factor
+    ) or int(600 * factor)
+    counters["reveng.measurements"] = int(
+        counters.get("reveng.measurements", 120_000) * factor
+    ) or int(120_000 * factor)
+    (slowed / "metrics.json").write_text(json.dumps(manifest, indent=2))
+    return slowed
+
+
+def test_same_seed_runs_have_zero_regressions(run_a, run_b):
+    comparison = compare_runs(run_a, run_b)
+    assert comparison.ok
+    assert comparison.regressions == []
+    assert comparison.identity_warnings == []
+    # Every deterministic delta is neutral; only wall-side ones may move.
+    for delta in comparison.deltas:
+        if delta.classification != "neutral":
+            assert not delta.gated, delta.key
+
+
+def test_injected_probe_growth_is_flagged_as_regression(run_a, tmp_path):
+    slowed = _slowed_copy(run_a, tmp_path)
+    comparison = compare_runs(run_a, slowed)
+    assert not comparison.ok
+    keys = {d.key for d in comparison.regressions}
+    assert "reveng.sbdr_probes" in keys
+    text = format_comparison(comparison)
+    assert "regression" in text
+    assert "reveng.sbdr_probes" in text
+
+
+def test_direction_rules():
+    assert direction_for("fuzz.flips_total") == "higher"
+    assert direction_for("campaign.successes") == "higher"
+    assert direction_for("reveng.sbdr_probes") == "lower"
+    assert direction_for("fuzz.campaign.wall_s") == "lower"
+    assert direction_for("dram.acts_total") == "none"
+    assert is_wall_key("pool.task_wall_seconds.p50")
+    assert is_wall_key("cli.fuzz.wall_s")
+    assert not is_wall_key("reveng.virtual_s")
+
+
+def _metrics_dir(tmp_path, name, counters):
+    run = tmp_path / name
+    run.mkdir()
+    (run / "metrics.json").write_text(json.dumps(
+        {"metrics": {"counters": counters, "gauges": {}, "histograms": {}}}
+    ))
+    return run
+
+
+def test_threshold_is_honoured(tmp_path):
+    a = _metrics_dir(tmp_path, "a", {"reveng.sbdr_probes": 1000})
+    b = _metrics_dir(tmp_path, "b", {"reveng.sbdr_probes": 1030})
+    assert compare_runs(a, b, threshold=0.05).ok  # 3% < 5%: neutral
+    assert not compare_runs(a, b, threshold=0.01).ok
+
+
+def test_classification_matrix(tmp_path):
+    a = _metrics_dir(tmp_path, "a", {
+        "fuzz.flips_total": 10,       # higher is better
+        "reveng.sbdr_probes": 1000,   # lower is better
+        "dram.acts_total": 5000,      # informational
+    })
+    b = _metrics_dir(tmp_path, "b", {
+        "fuzz.flips_total": 20,       # doubled: improvement
+        "reveng.sbdr_probes": 500,    # halved: improvement
+        "dram.acts_total": 9000,      # moved, but never gated
+    })
+    comparison = compare_runs(a, b)
+    by_key = {d.key: d for d in comparison.deltas}
+    assert by_key["fuzz.flips_total"].classification == "improvement"
+    assert by_key["reveng.sbdr_probes"].classification == "improvement"
+    assert by_key["dram.acts_total"].classification == "changed"
+    assert comparison.ok
+    # The reverse diff regresses both directed quantities.
+    reverse = compare_runs(b, a)
+    assert {d.key for d in reverse.regressions} == {
+        "fuzz.flips_total", "reveng.sbdr_probes",
+    }
+
+
+def test_identity_mismatch_warns(run_a, recorded_runs):
+    other = recorded_runs(
+        "compare-other-seed", *FUZZ_ARGS, "--seed", "77"
+    )
+    comparison = compare_runs(run_a, other)
+    assert any("seed" in w for w in comparison.identity_warnings)
+
+
+def test_cli_compare_exit_codes(run_a, run_b, tmp_path, capsys):
+    assert main(["compare", str(run_a), str(run_b)]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: 0 regression(s)" in out
+
+    slowed = _slowed_copy(run_a, tmp_path)
+    assert main(["compare", str(run_a), str(slowed)]) == 1
+    assert "regression" in capsys.readouterr().out
+
+    assert main(["compare", str(run_a), str(tmp_path / "missing")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_compare_json(run_a, run_b, capsys):
+    assert main(["compare", str(run_a), str(run_b), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["regressions"] == []
+    assert isinstance(payload["deltas"], list)

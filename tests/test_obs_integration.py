@@ -38,13 +38,17 @@ def test_trace_stream_structure(tmp_path):
     names = [r.get("name") for r in records if r.get("ph") == "B"]
     assert "cli.fuzz" in names
     assert "fuzz.campaign" in names
+    assert "pool.batch" in names
     assert "pool.task" in names
     assert "hammer.pattern" in names
 
-    # Nesting: fuzz.campaign under cli.fuzz, pool.task under fuzz.campaign.
+    # Nesting: fuzz.campaign under cli.fuzz, pool.batch under
+    # fuzz.campaign, pool.task under pool.batch.
     begins = {r["name"]: r for r in records if r.get("ph") == "B"}
     assert begins["fuzz.campaign"]["parent"] == begins["cli.fuzz"]["id"]
-    assert begins["pool.task"]["parent"] == begins["fuzz.campaign"]["id"]
+    assert begins["pool.batch"]["parent"] == begins["fuzz.campaign"]["id"]
+    assert begins["pool.task"]["parent"] == begins["pool.batch"]["id"]
+    assert begins["pool.batch"]["attrs"]["workers"] >= 1
 
     # hammer.pattern end spans carry virtual durations; all ends carry wall.
     ends = {
@@ -131,6 +135,67 @@ def test_inspect_command(tmp_path, capsys):
     summary = json.loads(capsys.readouterr().out)
     assert summary["tasks"]["total"] == 3
     assert "fuzz.campaign" in summary["spans"]
+
+
+def test_inspect_top_ranking(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main([
+        "fuzz", "--platform", "comet_lake", "--patterns", "3",
+        "--trace", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(trace), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "slowest  : (top 3 spans by wall)" in out
+
+    assert main(["inspect", str(trace), "--top", "3", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    ranked = summary["slowest"]
+    assert len(ranked) == 3
+    walls = [row["wall_s"] for row in ranked]
+    assert walls == sorted(walls, reverse=True)
+    assert ranked[0]["name"] == "cli.fuzz"  # the root span dominates
+
+
+def test_inspect_skips_corrupt_lines_with_warning(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main([
+        "fuzz", "--platform", "comet_lake", "--patterns", "3",
+        "--trace", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    good = trace.read_text().splitlines()
+    lines = good[:]
+    lines.insert(2, '{"ev": "span", "ph": "B"')  # truncated mid-write
+    lines.append("¡not json!")
+    trace.write_text("\n".join(lines) + "\n")
+
+    assert main(["inspect", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "warning  : skipped 2 corrupt line(s)" in out
+
+    assert main(["inspect", str(trace), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["skipped_lines"] == 2
+    assert summary["events"] == len(good)
+
+
+def test_inspect_exit_codes(tmp_path, capsys):
+    # Missing file: I/O error, exit 2.
+    assert main(["inspect", str(tmp_path / "missing.jsonl")]) == 2
+    assert "error" in capsys.readouterr().err
+
+    # Present but holding no parseable records: exit 1.
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["inspect", str(empty)]) == 1
+    assert "no parseable trace records" in capsys.readouterr().err
+
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json\nnot json either\n")
+    assert main(["inspect", str(garbage)]) == 1
+    err = capsys.readouterr().err
+    assert "2 corrupt line(s) skipped" in err
 
 
 def test_json_output_fuzz(capsys):

@@ -1,0 +1,102 @@
+"""RunManifest fallback and round-trip tests."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.obs.manifest import RunManifest, _safe_probe, git_describe
+
+
+def test_git_describe_inside_repo_is_nonempty():
+    assert git_describe()  # describe output or "unknown", never empty
+
+
+def test_git_describe_outside_a_repo_degrades(tmp_path):
+    assert git_describe(cwd=tmp_path) == "unknown"
+
+
+def test_git_describe_survives_missing_binary(tmp_path, monkeypatch):
+    def no_git(*args, **kwargs):
+        raise FileNotFoundError("git")
+
+    monkeypatch.setattr(subprocess, "run", no_git)
+    assert git_describe(cwd=tmp_path) == "unknown"
+
+
+def test_safe_probe_fallbacks():
+    assert _safe_probe(lambda: "3.11.7") == "3.11.7"
+    assert _safe_probe(lambda: "") == "unknown"
+
+    def boom():
+        raise RuntimeError("no metadata here")
+
+    assert _safe_probe(boom) == "unknown"
+
+
+def test_collect_survives_broken_interpreter_metadata(monkeypatch):
+    import platform
+
+    monkeypatch.setattr(
+        platform, "python_version",
+        lambda: (_ for _ in ()).throw(OSError("probe failed")),
+    )
+    monkeypatch.setattr(
+        platform, "node",
+        lambda: (_ for _ in ()).throw(OSError("probe failed")),
+    )
+    manifest = RunManifest.collect("fuzz", seed=7)
+    assert manifest.versions["python"] == "unknown"
+    assert manifest.wall["host"] == "unknown"
+    assert manifest.versions["repro"] != "unknown"
+
+
+def test_collect_populates_identity_fields():
+    manifest = RunManifest.collect(
+        "fuzz",
+        argv=["--patterns", "4"],
+        seed=7,
+        platform="comet_lake",
+        dimm="S3",
+        scale="quick",
+        budget={"patterns": 4},
+    )
+    assert manifest.command == "fuzz"
+    assert manifest.argv == ("--patterns", "4")
+    assert manifest.versions["python"]
+    assert manifest.versions["numpy"]
+    assert manifest.wall["pid"] > 0
+
+
+def test_round_trip_stability(tmp_path):
+    manifest = RunManifest.collect(
+        "fuzz", seed=7, platform="comet_lake", dimm="S3", scale="quick",
+        budget={"patterns": 4},
+    )
+    manifest.exit_code = 0
+    manifest.metrics = {"counters": {"fuzz.flips_total": 3}}
+
+    path = tmp_path / "metrics.json"
+    manifest.write(path)
+    loaded = json.loads(path.read_text())
+    assert loaded == manifest.to_dict()
+
+    # Serialising the same manifest twice is byte-stable.
+    again = tmp_path / "again.json"
+    manifest.write(again)
+    assert path.read_bytes() == again.read_bytes()
+
+    # header_dict is the deterministic subset of to_dict.
+    header = manifest.header_dict()
+    assert "wall" not in header
+    assert all(loaded[k] == v for k, v in json.loads(
+        json.dumps(header)
+    ).items())
+
+
+def test_header_seed_matches_trace_contract():
+    manifest = RunManifest.collect("fuzz", seed=2025)
+    header = manifest.header_dict()
+    assert header["seed"] == 2025
+    with pytest.raises(KeyError):
+        header["wall"]

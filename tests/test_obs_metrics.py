@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Histogram,
@@ -128,3 +130,68 @@ def test_reset_clears_instruments():
     reg.counter("c").inc()
     reg.reset()
     assert reg.snapshot()["counters"] == {}
+
+
+def test_percentile_interpolates_within_a_bucket():
+    # All mass in the first (open-ended) bucket: lo borrows the observed
+    # min, hi is the bucket edge, and the rank interpolates linearly.
+    h = Histogram(buckets=(10,))
+    for v in (2, 4, 6, 8):
+        h.observe(v)
+    assert h.percentile(0.50) == 6.0  # rank 2 of 4 -> halfway from 2 to 10
+    assert h.percentile(0.0) == 2.0  # the observed min
+    assert h.percentile(1.0) == 8.0  # clamped to the observed max
+
+
+def test_percentile_spans_buckets_and_clamps():
+    h = Histogram(buckets=(10, 20, 30))
+    for _ in range(5):
+        h.observe(5)  # first bucket
+    for _ in range(5):
+        h.observe(25)  # (20, 30] bucket
+    # Rank 5 lands exactly at the first bucket's upper edge.
+    assert h.percentile(0.50) == 10.0
+    # Rank 9 interpolates to 28 inside (20, 30], then clamps to max=25.
+    assert h.percentile(0.90) == 25.0
+
+
+def test_percentile_overflow_bucket_borrows_max():
+    h = Histogram(buckets=(10,))
+    h.observe(5)
+    h.observe(1000)  # overflow slot: upper edge becomes the observed max
+    p99 = h.percentile(0.99)
+    assert p99 == pytest.approx(10 + 0.98 * (1000 - 10))
+
+
+def test_percentile_edge_cases():
+    h = Histogram()
+    assert h.percentile(0.5) is None  # empty histogram has no quantiles
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
+    h.observe(42)
+    assert h.percentile(0.5) == 42.0  # single observation: every quantile
+
+
+def test_percentiles_in_as_dict_and_merge_identical():
+    """p50/p90/p99 come from merged bucket counts: parallel == serial."""
+    serial = MetricsRegistry(enabled=True)
+    parent = MetricsRegistry(enabled=True)
+
+    values = [1, 3, 9, 27, 81, 243, 729]
+    for v in values:
+        serial.histogram("lat").observe(v)
+
+    # Two workers observe disjoint halves; the parent merges the deltas.
+    for half in (values[:4], values[4:]):
+        child = MetricsRegistry(enabled=True)
+        m = child.mark()
+        for v in half:
+            child.histogram("lat").observe(v)
+        parent.merge(child.delta_since(m))
+
+    snap_serial = serial.snapshot()["histograms"]["lat"]
+    snap_parent = parent.snapshot()["histograms"]["lat"]
+    assert {"p50", "p90", "p99"} <= set(snap_serial)
+    for stat in ("p50", "p90", "p99"):
+        assert snap_serial[stat] == snap_parent[stat]
+    assert snap_serial == snap_parent

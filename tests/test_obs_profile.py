@@ -1,0 +1,87 @@
+"""PhaseProfiler tests: claiming, passthrough, merging, CLI --profile."""
+
+import json
+
+from repro import QUICK_SCALE, FuzzingCampaign, RunBudget, build_machine
+from repro.cli import main
+from repro.hammer.nops import tuned_config_for
+from repro.obs import OBS, PhaseProfiler, format_profile, telemetry_session
+
+
+def _busy(n=2000):
+    return sum(i * i for i in range(n))
+
+
+def test_first_real_span_claims_the_profiler():
+    profiler = PhaseProfiler()
+    with telemetry_session(trace_memory=True) as obs:
+        obs.tracer.profiler = profiler
+        with obs.tracer.span("cli.fuzz"):  # passthrough wrapper
+            with obs.tracer.span("fuzz.campaign"):  # claims the profiler
+                with obs.tracer.span("hammer.pattern"):  # nested: inside it
+                    _busy()
+            with obs.tracer.span("sweep.run"):  # idle again: claims too
+                _busy()
+    assert profiler.phases == ("fuzz.campaign", "sweep.run")
+    report = profiler.report()
+    assert report["schema"] == "rhohammer-profile/v1"
+    campaign = report["phases"]["fuzz.campaign"]
+    assert campaign["spans"] == 1
+    assert campaign["hotspots"], "profiled phase must have hotspot rows"
+    functions = " ".join(r["function"] for r in campaign["hotspots"])
+    assert "_busy" in functions
+
+
+def test_same_phase_spans_merge():
+    profiler = PhaseProfiler()
+    with telemetry_session(trace_memory=True) as obs:
+        obs.tracer.profiler = profiler
+        for _ in range(3):
+            with obs.tracer.span("pool.task"):
+                _busy()
+    report = profiler.report()
+    assert report["phases"]["pool.task"]["spans"] == 3
+
+
+def test_campaign_run_is_passthrough():
+    profiler = PhaseProfiler()
+    with telemetry_session(trace_memory=True) as obs:
+        obs.tracer.profiler = profiler
+        with obs.tracer.span("campaign.run"):
+            with obs.tracer.span("campaign.fuzz"):
+                _busy()
+    assert profiler.phases == ("campaign.fuzz",)
+
+
+def test_profile_session_over_a_real_campaign():
+    machine = build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=31)
+    config = tuned_config_for("comet_lake")
+    with telemetry_session(profile=True) as obs:
+        FuzzingCampaign(
+            machine=machine, config=config, scale=QUICK_SCALE
+        ).execute(RunBudget(max_trials=2))
+        profiler = obs.tracer.profiler
+        assert profiler is not None
+        report = profiler.report()
+    assert "fuzz.campaign" in report["phases"]
+    text = format_profile(report)
+    assert "fuzz.campaign" in text
+    assert not OBS.enabled  # session restored the disabled state
+    assert OBS.tracer.profiler is None
+
+
+def test_cli_profile_writes_report(tmp_path, capsys):
+    profile_path = tmp_path / "profile.json"
+    assert main([
+        "fuzz", "--platform", "comet_lake", "--patterns", "3",
+        "--profile", str(profile_path),
+    ]) == 0
+    capsys.readouterr()
+    report = json.loads(profile_path.read_text())
+    assert report["schema"] == "rhohammer-profile/v1"
+    assert "fuzz.campaign" in report["phases"]
+    assert all(
+        not name.startswith("cli.") for name in report["phases"]
+    ), "wrapper spans must not swallow the per-phase breakdown"
+    top = report["phases"]["fuzz.campaign"]["hotspots"][0]
+    assert {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(top)

@@ -144,3 +144,27 @@ def test_shutdown_disables_and_clears():
     tracer.shutdown()
     assert not tracer.enabled
     assert tracer.span("b") is NOOP_SPAN
+
+
+def test_read_trace_strict_raises_on_corrupt_line(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"ev": "point", "name": "ok"}\n{"ev": "span", "ph"\n')
+    with pytest.raises(json.JSONDecodeError):
+        list(read_trace(path))
+
+
+def test_read_trace_tolerant_skips_and_reports(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text(
+        '{"ev": "point", "name": "first"}\n'
+        '{"ev": "span", "ph": "B", "id":\n'  # truncated mid-write
+        '["json", "but", "not", "an", "object"]\n'
+        '\n'  # blank lines are not corruption
+        '{"ev": "point", "name": "second"}\n'
+    )
+    skips = []
+    records = list(
+        read_trace(path, strict=False, on_skip=lambda n, line: skips.append(n))
+    )
+    assert [r["name"] for r in records] == ["first", "second"]
+    assert skips == [2, 3]
