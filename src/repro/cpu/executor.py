@@ -14,6 +14,8 @@ configuration, it produces:
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +26,13 @@ from repro.cpu.platform import PlatformSpec
 from repro.cpu.speculation import DisorderModel, revisit_distances
 from repro.cpu.timing import ThroughputModel
 from repro.dram.timing import DdrTiming
+from repro.obs import OBS
+
+#: Default capacity of the per-executor result memo (distinct
+#: (stream, kernel) pairs).  Sweeps replay one pattern at many base rows
+#: and fuzzing re-evaluates survivors, so a small LRU captures nearly all
+#: repeats; 0 disables memoisation entirely.
+DEFAULT_EXECUTE_CACHE = 64
 
 
 @dataclass(frozen=True)
@@ -49,18 +58,32 @@ class ExecutionResult:
 
 
 class HammerExecutor:
-    """Executes hammer kernels for one platform."""
+    """Executes hammer kernels for one platform.
+
+    :meth:`execute` is memoised behind a bounded LRU keyed by (stream
+    fingerprint, kernel config): the realised stream is a pure function of
+    the intended id sequence and the kernel (every random draw comes from
+    an RNG child derived only from ``(n, config)``), and sweeping replays
+    the same pattern at many base rows, so each repeat would redo an
+    identical drop/shuffle/timing computation.  Cached results are
+    returned with read-only arrays; set ``cache_size=0`` to disable.
+    """
 
     def __init__(
         self,
         platform: PlatformSpec,
         timing: DdrTiming | None = None,
         rng: RngStream | None = None,
+        cache_size: int = DEFAULT_EXECUTE_CACHE,
     ) -> None:
         self.platform = platform
         self.disorder = DisorderModel(platform)
         self.throughput = ThroughputModel(platform, timing)
         self.rng = rng or RngStream(0xC0DE, f"executor/{platform.name}")
+        self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: OrderedDict[tuple, ExecutionResult] = OrderedDict()
 
     def execute(
         self,
@@ -68,7 +91,7 @@ class HammerExecutor:
         config: HammerKernelConfig,
     ) -> ExecutionResult:
         """Run one kernel over the intended program-order access stream."""
-        ids = np.asarray(intended_ids, dtype=np.int64)
+        ids = np.ascontiguousarray(intended_ids, dtype=np.int64)
         n = int(ids.size)
         if n == 0:
             return ExecutionResult(
@@ -79,6 +102,34 @@ class HammerExecutor:
                 issued=0,
                 window=0.0,
             )
+        key = None
+        if self.cache_size > 0:
+            fingerprint = hashlib.blake2b(
+                ids.tobytes(), digest_size=16
+            ).digest()
+            key = (fingerprint, n, config)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                if OBS.enabled:
+                    OBS.metrics.counter("cpu.executor.cache_hits").inc()
+                return cached
+        result = self._execute(ids, n, config)
+        if key is not None:
+            self.cache_misses += 1
+            result.times_ns.setflags(write=False)
+            result.address_ids.setflags(write=False)
+            self._cache[key] = result
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            if OBS.enabled:
+                OBS.metrics.counter("cpu.executor.cache_misses").inc()
+        return result
+
+    def _execute(
+        self, ids: np.ndarray, n: int, config: HammerKernelConfig
+    ) -> ExecutionResult:
         profile = self.disorder.profile(config)
         rng = self.rng.child("run", n, config.describe())
 

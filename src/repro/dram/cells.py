@@ -14,11 +14,13 @@ population seeded by (dimm_uid, bank, row) so that:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.rng import derive_seed
+from repro.obs import OBS
 
 #: Cells modelled per row.  Real rows have 65536 bits; we model only the
 #: weak tail (the cells that could plausibly flip), scaled by density.
@@ -51,6 +53,14 @@ class CellPopulation:
     effective same-bank activations between victim refreshes.
     ``weak_cell_density`` in [0, 1] scales how many of the candidate cells
     per row are weak at all; 0 models an invulnerable DIMM (Table 2's M1).
+
+    Profiles are deterministic functions of (dimm_uid, bank, row), so the
+    cache is purely an optimisation; it is LRU-bounded at
+    ``max_cached_profiles`` so large sweeps cannot grow it without limit.
+    ``profiles_cached`` / ``profile_evictions`` (also exported as the
+    ``dram.cells.profiles_cached`` gauge and
+    ``dram.cells.profile_evictions`` counter when telemetry is on) make
+    the cache behaviour observable.
     """
 
     def __init__(
@@ -59,25 +69,43 @@ class CellPopulation:
         median_threshold: float,
         weak_cell_density: float,
         threshold_sigma: float = 0.30,
+        max_cached_profiles: int = 8192,
     ) -> None:
         if median_threshold <= 0:
             raise ValueError("median_threshold must be positive")
         if not 0.0 <= weak_cell_density <= 1.0:
             raise ValueError("weak_cell_density must be in [0, 1]")
+        if max_cached_profiles < 1:
+            raise ValueError("max_cached_profiles must be >= 1")
         self.dimm_uid = dimm_uid
         self.median_threshold = median_threshold
         self.weak_cell_density = weak_cell_density
         self.threshold_sigma = threshold_sigma
-        self._cache: dict[tuple[int, int], CellProfile] = {}
+        self.max_cached_profiles = max_cached_profiles
+        self.profile_evictions = 0
+        self._cache: OrderedDict[tuple[int, int], CellProfile] = OrderedDict()
+
+    @property
+    def profiles_cached(self) -> int:
+        return len(self._cache)
 
     def profile(self, bank: int, row: int) -> CellProfile:
-        """Weak-cell profile of one row (deterministic, cached)."""
+        """Weak-cell profile of one row (deterministic, LRU-cached)."""
         key = (bank, row)
-        cached = self._cache.get(key)
+        cache = self._cache
+        cached = cache.get(key)
         if cached is not None:
+            cache.move_to_end(key)
             return cached
         profile = self._materialise(bank, row)
-        self._cache[key] = profile
+        cache[key] = profile
+        if len(cache) > self.max_cached_profiles:
+            cache.popitem(last=False)
+            self.profile_evictions += 1
+            if OBS.enabled:
+                OBS.metrics.counter("dram.cells.profile_evictions").inc()
+        if OBS.enabled:
+            OBS.metrics.gauge("dram.cells.profiles_cached").set(len(cache))
         return profile
 
     def _materialise(self, bank: int, row: int) -> CellProfile:
@@ -111,8 +139,39 @@ class CellPopulation:
         ]
 
     def flip_count_for(self, bank: int, row: int, peak_disturbance: float) -> int:
-        """Number of flips without materialising the events (hot path)."""
+        """Number of flips without materialising the events."""
         if peak_disturbance <= 0:
             return 0
         prof = self.profile(bank, row)
         return int(np.searchsorted(prof.thresholds, peak_disturbance, side="right"))
+
+    def flip_counts_for(
+        self, bank: int, rows: np.ndarray, peaks: np.ndarray
+    ) -> np.ndarray:
+        """Flip counts for many victims of one bank, in one vectorised pass.
+
+        Equivalent to ``[flip_count_for(bank, r, p) for r, p in ...]``:
+        per-row profiles are materialised (and LRU-cached) in bulk, their
+        threshold arrays concatenated, and every victim's count read off a
+        single prefix-sum of ``threshold <= peak`` — which equals the
+        per-row ``searchsorted(..., side="right")`` since thresholds are
+        sorted.  This is the device hot path's flip accounting.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        peaks = np.asarray(peaks, dtype=np.float64)
+        counts = np.zeros(rows.size, dtype=np.int64)
+        active = np.nonzero(peaks > 0.0)[0]
+        if active.size == 0:
+            return counts
+        profiles = [self.profile(bank, int(rows[i])) for i in active.tolist()]
+        sizes = np.array([p.thresholds.size for p in profiles], dtype=np.int64)
+        if not sizes.any():
+            return counts
+        flat = np.concatenate(
+            [p.thresholds for p in profiles if p.thresholds.size]
+        )
+        hits = np.zeros(flat.size + 1, dtype=np.int64)
+        np.cumsum(flat <= np.repeat(peaks[active], sizes), out=hits[1:])
+        ends = np.cumsum(sizes)
+        counts[active] = hits[ends] - hits[ends - sizes]
+        return counts

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.common.units import US
 from repro.dram.timing import DdrTiming
 
@@ -67,6 +69,43 @@ class RaaCounter:
         targets = ranked[: self.rows_refreshed_per_rfm]
         self._since_rfm.clear()
         return targets
+
+    def observe_chunk(self, rows: np.ndarray) -> np.ndarray:
+        """Batched :meth:`observe`: all mitigation targets of one chunk.
+
+        Splits the chunk at RFM trip points and merges each segment's
+        activation counts into the rolling table via ``np.unique``,
+        preserving the first-occurrence dict insertion order the per-ACT
+        loop produces (the stable tiebreak of the count ranking).  Returns
+        the concatenated targets of every RFM tripped inside the chunk —
+        identical, in order, to issuing :meth:`observe` per ACT.
+        """
+        targets: list[int] = []
+        table = self._since_rfm
+        position = 0
+        remaining = int(rows.size)
+        while remaining > 0:
+            take = min(self.threshold - self._count, remaining)
+            segment = rows[position:position + take]
+            unique, first_pos, occ = np.unique(
+                segment, return_index=True, return_counts=True
+            )
+            if unique.size > 1:
+                order = np.argsort(first_pos, kind="stable")
+                unique = unique[order]
+                occ = occ[order]
+            for seg_row, n in zip(unique.tolist(), occ.tolist()):
+                table[seg_row] = table.get(seg_row, 0) + n
+            self._count += take
+            position += take
+            remaining -= take
+            if self._count >= self.threshold:
+                self._count = 0
+                self.rfm_commands += 1
+                ranked = sorted(table, key=table.get, reverse=True)
+                targets.extend(ranked[: self.rows_refreshed_per_rfm])
+                table.clear()
+        return np.asarray(targets, dtype=np.int64)
 
 
 def ddr5_timing(refresh_window_ns: float | None = None) -> DdrTiming:

@@ -11,11 +11,35 @@ refresh interval (tREFI) at a time:
 3. rows whose periodic-refresh slot falls in this interval are reset,
 4. before any reset, the running peak unrefreshed disturbance per victim is
    recorded; at the end the cell population converts peaks into flips.
+
+This is the simulated gate every fuzz/sweep/exploit trial funnels through,
+so the inner loop is array code: per-bank state lives in flat NumPy arrays
+over the compact victim window (:class:`_BankWindow`), disturbance lands
+via shifted slice adds over the per-interval activation histogram, TRR and
+refresh bookkeeping is batched, and flips are counted in one vectorised
+pass (:meth:`~repro.dram.cells.CellPopulation.flip_counts_for`).  The
+original per-row sequential loop survives in :mod:`repro.dram.reference`
+and :mod:`repro.dram.equivalence` proves the two paths bit-identical
+(flips, TRR refreshes and OBS metrics) across patterns, TRR vendor
+profiles, pTRR and RFM.
+
+Vectorisation invariants the array code relies on (documented in
+``docs/PERFORMANCE.md``):
+
+* all disturbance couplings are positive, so within one interval a
+  victim's level is monotone and its peak is the end-of-interval value;
+* per victim, contributions arrive in ascending-aggressor order
+  (a = v-2, v-1, v+1, v+2), which the ordered slice adds reproduce so
+  float accumulation order matches the reference exactly;
+* refreshes only zero disturbance (idempotent), so batching a chunk's TRR
+  / pTRR / RFM target refreshes cannot change the final state;
+* every disturbed row lies within +/-2 of some aggressor, so the compact
+  window [min(rows)-2, max(rows)+2] covers all state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -31,6 +55,14 @@ from repro.obs import OBS
 #: Disturbance coupling per activation, by |victim - aggressor| distance.
 #: +/-2 coupling reflects the Half-Double style far-aggressor effect.
 NEIGHBOUR_WEIGHTS = {1: 1.0, 2: 0.18}
+
+#: Neighbour distances, largest first / smallest first.  Per victim v the
+#: reference loop applies contributions in ascending-aggressor order
+#: (v-2, v-1, v+1, v+2); the vectorised slice adds iterate below-victim
+#: aggressors by descending distance and above-victim ones by ascending
+#: distance to reproduce that float accumulation order bit-for-bit.
+_DISTANCES_DESC = tuple(sorted(NEIGHBOUR_WEIGHTS, reverse=True))
+_DISTANCES_ASC = tuple(sorted(NEIGHBOUR_WEIGHTS))
 
 
 @dataclass(frozen=True)
@@ -62,7 +94,8 @@ class HammerResult:
 
     ``flips`` carries the individual events only when the caller asked for
     them (templating needs locations; fuzzing only needs counts), while
-    ``flip_count`` is always populated.
+    ``flip_count`` is always populated.  Events are ordered by ascending
+    (bank-iteration, row).
     """
 
     flips: tuple[FlipEvent, ...]
@@ -72,31 +105,80 @@ class HammerResult:
     trr_refreshes: int
 
 
-@dataclass
-class _BankState:
-    """Mutable per-bank hammer bookkeeping.
+class _BankWindow:
+    """Flat per-bank hammer state over the compact victim window.
 
-    ``peak_window`` records, per victim, the refresh-window index in which
-    the running peak was attained — only when ``track_windows`` is set
-    (telemetry enabled), so the disabled path pays a single branch on the
-    rare peak-improvement updates.
+    Arrays are indexed by ``row - lo`` where ``lo`` is the lowest device
+    row any aggressor in the stream can disturb.  ``peak_window`` (the
+    refresh-window index where each victim's running peak was attained)
+    is materialised only when telemetry is enabled.
     """
 
-    disturbance: dict[int, float] = field(default_factory=dict)
-    peak: dict[int, float] = field(default_factory=dict)
-    peak_window: dict[int, int] = field(default_factory=dict)
-    track_windows: bool = False
+    __slots__ = ("lo", "disturbance", "peak", "peak_window")
 
-    def add(self, victim: int, amount: float, window: int = 0) -> None:
-        level = self.disturbance.get(victim, 0.0) + amount
-        self.disturbance[victim] = level
-        if level > self.peak.get(victim, 0.0):
-            self.peak[victim] = level
-            if self.track_windows:
-                self.peak_window[victim] = window
+    def __init__(self, lo: int, span: int, track_windows: bool) -> None:
+        self.lo = lo
+        self.disturbance = np.zeros(span, dtype=np.float64)
+        self.peak = np.zeros(span, dtype=np.float64)
+        self.peak_window = (
+            np.zeros(span, dtype=np.int64) if track_windows else None
+        )
 
-    def refresh_row(self, row: int) -> None:
-        self.disturbance.pop(row, None)
+    # ------------------------------------------------------------------
+    def apply_disturbance(
+        self, acts: np.ndarray, gain: float, window: int
+    ) -> None:
+        """Deposit one interval's activation histogram onto the victims.
+
+        ``acts[i]`` is the ACT count of window row ``i`` this interval.
+        The shifted slice adds below replicate the reference loop's
+        per-victim accumulation order exactly (see module docstring), and
+        adding ``(weight * 0) * gain == 0.0`` for absent aggressors is a
+        bitwise no-op on non-negative disturbance values.
+        """
+        d = self.disturbance
+        span = d.size
+        for distance in _DISTANCES_DESC:  # aggressor below: a = v - distance
+            if span > distance:
+                weight = NEIGHBOUR_WEIGHTS[distance]
+                d[distance:] += (weight * acts[:-distance]) * gain
+        for distance in _DISTANCES_ASC:  # aggressor above: a = v + distance
+            if span > distance:
+                weight = NEIGHBOUR_WEIGHTS[distance]
+                d[:-distance] += (weight * acts[distance:]) * gain
+        improved = d > self.peak
+        if improved.any():
+            self.peak[improved] = d[improved]
+            if self.peak_window is not None:
+                self.peak_window[improved] = window
+
+    def refresh_neighbours(self, aggressors: np.ndarray) -> None:
+        """Zero the +/-1 and +/-2 victims of the given aggressor rows.
+
+        ``aggressors`` is in window coordinates; out-of-window victims are
+        out-of-device by construction and dropped, matching the reference
+        path's ``contains_row`` guard.
+        """
+        span = self.disturbance.size
+        for distance in NEIGHBOUR_WEIGHTS:
+            for offset in (-distance, distance):
+                victims = aggressors + offset
+                victims = victims[(victims >= 0) & (victims < span)]
+                if victims.size:
+                    self.disturbance[victims] = 0.0
+
+    def periodic_refresh(self, slot: int, rows_per_ref: int) -> None:
+        """Reset rows whose staggered refresh slot is this REF.
+
+        Device row r is refreshed when ``r // rows_per_ref == slot``;
+        those rows form one contiguous range, intersected with the window.
+        """
+        start = slot * rows_per_ref - self.lo
+        stop = min(start + rows_per_ref, self.disturbance.size)
+        if start < 0:
+            start = 0
+        if start < stop:
+            self.disturbance[start:stop] = 0.0
 
 
 class Dimm:
@@ -196,7 +278,6 @@ class Dimm:
         sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
         telemetry = OBS.enabled
         trace_windows = OBS.tracer.enabled and OBS.tracer.detail == "window"
-        state = _BankState(track_windows=telemetry)
         geometry = self.spec.geometry
         ptrr_rng = self.rng.child("ptrr", bank)
         raa: RaaCounter | None = None
@@ -211,39 +292,48 @@ class Dimm:
         refs_per_window = timing.refs_per_window
         rows_per_ref = max(1, geometry.rows // refs_per_window)
 
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        # Compact victim window: every disturbed row is within +/-2 of an
+        # aggressor, so state arrays only span [min-2, max+2] (clamped).
+        lo = max(0, int(rows.min()) - 2)
+        hi = min(geometry.rows - 1, int(rows.max()) + 2)
+        span = hi - lo + 1
+        state = _BankWindow(lo, span, track_windows=telemetry)
+        win_rows = rows - lo
+
         n_intervals = int(times[-1] // t_refi) + 1
-        boundaries = np.searchsorted(times, np.arange(1, n_intervals + 1) * t_refi)
+        boundaries = np.searchsorted(
+            times, np.arange(1, n_intervals + 1) * t_refi
+        )
         start = 0
         trr_refreshes = 0
         for interval in range(n_intervals):
             stop = int(boundaries[interval])
-            chunk = rows[start:stop]
+            chunk = win_rows[start:stop]
+            device_chunk = rows[start:stop]
             start = stop
             if chunk.size:
-                self._apply_disturbance(
-                    state, chunk, geometry, disturbance_gain, interval
-                )
+                acts = np.bincount(chunk, minlength=span)
+                state.apply_disturbance(acts, disturbance_gain, interval)
                 if self.ptrr.enabled:
                     mask = self.ptrr.refresh_mask(chunk.size, ptrr_rng)
-                    for aggressor in chunk[mask].tolist():
-                        self._refresh_neighbours(state, aggressor, geometry)
+                    if mask.any():
+                        state.refresh_neighbours(chunk[mask])
                 if raa is not None:
-                    for row in chunk.tolist():
-                        targets = raa.observe(row)
-                        if targets:
-                            for aggressor in targets:
-                                trr_refreshes += 1
-                                self._refresh_neighbours(
-                                    state, aggressor, geometry
-                                )
-                sampler.observe(chunk)
+                    targets = raa.observe_chunk(device_chunk)
+                    if targets.size:
+                        trr_refreshes += int(targets.size)
+                        state.refresh_neighbours(targets - lo)
+                sampler.observe(device_chunk)
             # REF at the interval end: TRR targeted refreshes...
             ref_targets = sampler.on_ref()
-            for aggressor in ref_targets:
-                trr_refreshes += 1
-                self._refresh_neighbours(state, aggressor, geometry)
+            if ref_targets:
+                trr_refreshes += len(ref_targets)
+                state.refresh_neighbours(
+                    np.asarray(ref_targets, dtype=np.int64) - lo
+                )
             # ... plus this interval's share of the periodic refresh.
-            self._periodic_refresh(state, interval, rows_per_ref, refs_per_window)
+            state.periodic_refresh(interval % refs_per_window, rows_per_ref)
             if telemetry:
                 OBS.metrics.counter("dram.windows_total").inc()
                 OBS.metrics.histogram("dram.acts_per_window").observe(
@@ -259,24 +349,35 @@ class Dimm:
                         virtual_ns=t_refi,
                     )
 
-        if collect_events:
-            flips: list[FlipEvent] | int = []
-            for victim, peak in state.peak.items():
-                events = self.cells.flips_for(bank, victim, peak)
-                flips.extend(events)
-                if telemetry and events:
-                    self._flip_metrics(
-                        len(events), state.peak_window.get(victim, 0)
-                    )
-        else:
-            flips = 0
-            for victim, peak in state.peak.items():
-                count = self.cells.flip_count_for(bank, victim, peak)
-                flips += count
-                if telemetry and count:
-                    self._flip_metrics(
-                        count, state.peak_window.get(victim, 0)
-                    )
+        # Peak disturbance -> flips, in one vectorised pass over victims.
+        touched = np.nonzero(state.peak > 0.0)[0]
+        victims = touched + lo
+        peaks = state.peak[touched]
+        counts = self.cells.flip_counts_for(bank, victims, peaks)
+        if telemetry:
+            flipped = np.nonzero(counts)[0]
+            windows = (
+                state.peak_window[touched]
+                if state.peak_window is not None
+                else np.zeros(touched.size, dtype=np.int64)
+            )
+            for i in flipped.tolist():
+                self._flip_metrics(int(counts[i]), int(windows[i]))
+        if not collect_events:
+            return int(counts.sum()), trr_refreshes
+        flips: list[FlipEvent] = []
+        for i in np.nonzero(counts)[0].tolist():
+            victim = int(victims[i])
+            prof = self.cells.profile(bank, victim)
+            flips.extend(
+                FlipEvent(
+                    bank=bank,
+                    row=victim,
+                    bit_index=int(prof.bit_indices[j]),
+                    direction=int(prof.directions[j]),
+                )
+                for j in range(int(counts[i]))
+            )
         return flips, trr_refreshes
 
     @staticmethod
@@ -284,45 +385,3 @@ class Dimm:
         """Attribute flips to the refresh window where the peak was hit."""
         OBS.metrics.counter("dram.flips_total").inc(count)
         OBS.metrics.counter("dram.flips_by_window", window=window).inc(count)
-
-    @staticmethod
-    def _apply_disturbance(
-        state: _BankState,
-        chunk: np.ndarray,
-        geometry: DramGeometry,
-        gain: float,
-        window: int = 0,
-    ) -> None:
-        aggressors, counts = np.unique(chunk, return_counts=True)
-        for aggressor, count in zip(aggressors.tolist(), counts.tolist()):
-            for distance, weight in NEIGHBOUR_WEIGHTS.items():
-                for victim in (aggressor - distance, aggressor + distance):
-                    if geometry.contains_row(victim):
-                        state.add(victim, weight * count * gain, window)
-
-    @staticmethod
-    def _refresh_neighbours(
-        state: _BankState, aggressor: int, geometry: DramGeometry
-    ) -> None:
-        for distance in NEIGHBOUR_WEIGHTS:
-            for victim in (aggressor - distance, aggressor + distance):
-                if geometry.contains_row(victim):
-                    state.refresh_row(victim)
-
-    @staticmethod
-    def _periodic_refresh(
-        state: _BankState, interval: int, rows_per_ref: int, refs_per_window: int
-    ) -> None:
-        """Reset rows whose staggered refresh slot is this REF.
-
-        Row r is refreshed when ``interval % refs_per_window`` equals
-        ``r // rows_per_ref``; only tracked victims need checking.
-        """
-        slot = interval % refs_per_window
-        if not state.disturbance:
-            return
-        stale = [
-            row for row in state.disturbance if (row // rows_per_ref) == slot
-        ]
-        for row in stale:
-            state.refresh_row(row)

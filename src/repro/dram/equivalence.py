@@ -1,0 +1,235 @@
+"""Cross-checking the vectorised DRAM hot path against the reference.
+
+:class:`~repro.dram.device.Dimm` runs a fully vectorised bank loop;
+:class:`~repro.dram.reference.ReferenceDimm` preserves the original
+per-row / per-ACT implementation.  This module runs the *same* workload
+through both on freshly-built twins and demands bit-identical outcomes:
+
+* the flip-event multiset (compared as sorted ``(bank, row, bit,
+  direction)`` keys — the two paths emit events in different but
+  documented orders),
+* ``flip_count``, ``trr_refreshes``, ``acts_executed``, ``duration_ns``,
+* and the full OBS metrics snapshot (counters, gauges and histograms
+  recorded while telemetry is enabled), which pins down the shared
+  telemetry semantics — e.g. the TRR sampler's inserted/hit/escaped
+  accounting — not just the end result.
+
+``cross_check`` is used by the equivalence test suite
+(``tests/test_dram_equivalence.py``) across patterns x TRR vendor
+profiles x pTRR x RFM, and by the ``dram`` microbench in
+:mod:`repro.obs.bench`, which times both paths on one workload and gates
+the recorded speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import RngStream, derive_seed
+from repro.dram.device import Dimm
+from repro.dram.reference import ReferenceDimm, reference_twin
+from repro.obs import OBS, telemetry_session
+
+#: Sorted flip-event key: the event multiset modulo emission order.
+FlipKey = tuple[int, int, int, int]
+
+
+def vector_twin(dimm: Dimm) -> Dimm:
+    """A fresh vectorised :class:`Dimm` with ``dimm``'s configuration.
+
+    Like :func:`~repro.dram.reference.reference_twin` the twin gets its
+    own RNG (rebuilt from the same root) and cell-profile cache, so a
+    cross-check never perturbs — and is never perturbed by — prior use
+    of ``dimm``.
+    """
+    return Dimm(
+        spec=dimm.spec,
+        timing=dimm.timing,
+        trr_config=dimm.trr_config,
+        ptrr=dimm.ptrr,
+        rng=RngStream(dimm.rng.seed, dimm.rng.name),
+        rfm=dimm.rfm,
+        rfm_threshold_acts=dimm._rfm_threshold,
+    )
+
+
+@dataclass(frozen=True)
+class PathTrace:
+    """Everything one path's run observably produced."""
+
+    flip_count: int
+    flip_keys: tuple[FlipKey, ...]
+    trr_refreshes: int
+    acts_executed: int
+    duration_ns: float
+    metrics: dict
+    elapsed_s: float  # host wall time, for speedup accounting only
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    """Outcome of one vectorised-vs-reference comparison."""
+
+    vectorised: PathTrace
+    reference: PathTrace
+    mismatches: tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorised.elapsed_s <= 0:
+            return 0.0
+        return self.reference.elapsed_s / self.vectorised.elapsed_s
+
+
+def run_path(
+    device: Dimm,
+    bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+    disturbance_gain: float = 1.0,
+    collect_events: bool = True,
+) -> PathTrace:
+    """Hammer ``bank_streams`` under a fresh metrics session and record all.
+
+    The caller must pass a freshly-built device (see :func:`vector_twin` /
+    :func:`~repro.dram.reference.reference_twin`): a warm cell-profile
+    cache would not change results, but a consumed RNG stream would.
+    """
+    with telemetry_session(metrics=True):
+        start = time.perf_counter()
+        result = device.hammer(
+            bank_streams,
+            collect_events=collect_events,
+            disturbance_gain=disturbance_gain,
+        )
+        elapsed = time.perf_counter() - start
+        snapshot = OBS.metrics.snapshot()
+    keys = tuple(
+        sorted(
+            (f.bank, f.row, f.bit_index, f.direction) for f in result.flips
+        )
+    )
+    return PathTrace(
+        flip_count=result.flip_count,
+        flip_keys=keys,
+        trr_refreshes=result.trr_refreshes,
+        acts_executed=result.acts_executed,
+        duration_ns=result.duration_ns,
+        metrics=snapshot,
+        elapsed_s=elapsed,
+    )
+
+
+def cross_check(
+    dimm: Dimm,
+    bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+    disturbance_gain: float = 1.0,
+    collect_events: bool = True,
+) -> CrossCheck:
+    """Run one workload through both paths and diff every observable."""
+    vec = run_path(
+        vector_twin(dimm), bank_streams, disturbance_gain, collect_events
+    )
+    ref = run_path(
+        reference_twin(dimm), bank_streams, disturbance_gain, collect_events
+    )
+    mismatches: list[str] = []
+    for field_name in (
+        "flip_count",
+        "flip_keys",
+        "trr_refreshes",
+        "acts_executed",
+        "duration_ns",
+    ):
+        a, b = getattr(vec, field_name), getattr(ref, field_name)
+        if a != b:
+            mismatches.append(f"{field_name}: vectorised={a!r} reference={b!r}")
+    if vec.metrics != ref.metrics:
+        mismatches.extend(_diff_metrics(vec.metrics, ref.metrics))
+    return CrossCheck(
+        vectorised=vec, reference=ref, mismatches=tuple(mismatches)
+    )
+
+
+def _diff_metrics(vec: dict, ref: dict) -> list[str]:
+    """Per-instrument diff of two metric snapshots, for readable failures."""
+    out: list[str] = []
+    for section in ("counters", "gauges", "histograms"):
+        a, b = vec.get(section, {}), ref.get(section, {})
+        for key in sorted(set(a) | set(b)):
+            if a.get(key) != b.get(key):
+                out.append(
+                    f"metrics.{section}[{key}]: "
+                    f"vectorised={a.get(key)!r} reference={b.get(key)!r}"
+                )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Workload synthesis shared by the equivalence tests and the dram bench.
+
+def synthetic_workload(
+    dimm: Dimm,
+    acts_per_bank: int,
+    banks: int = 2,
+    seed: int = 0,
+    kind: str = "mixed",
+    act_spacing_ns: float = 9.0,
+    region_rows: int = 4096,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """A deterministic multi-bank hammer stream exercising every code path.
+
+    ``kind`` picks the aggressor-row distribution:
+
+    * ``"double_sided"`` — two aggressors sandwiching one victim, the
+      classic pattern (tiny victim window, heavy per-row repetition);
+    * ``"many_sided"`` — a 12-row aggressor comb (TRR-capacity pressure);
+    * ``"random"`` — uniform rows over a ``region_rows``-row region
+      (sparse window, cold cell-profile cache, RFM table churn);
+    * ``"mixed"`` — interleaves all three regimes in one stream.
+
+    Activations are evenly spaced ``act_spacing_ns`` apart so a stream of
+    ``acts_per_bank`` ACTs spans multiple refresh intervals.
+    """
+    geometry_rows = dimm.spec.geometry.rows
+    streams: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for bank in range(banks):
+        rng = np.random.default_rng(
+            derive_seed(0xE0, "equivalence", kind, seed, bank)
+        )
+        base = 512 + int(rng.integers(0, geometry_rows // 2))
+        double = np.array([base, base + 2], dtype=np.int64)
+        comb = base + 64 + 2 * np.arange(12, dtype=np.int64)
+        region = np.arange(
+            base, min(base + region_rows, geometry_rows - 4), dtype=np.int64
+        )
+        if kind == "double_sided":
+            rows = double[rng.integers(0, double.size, acts_per_bank)]
+        elif kind == "many_sided":
+            rows = comb[rng.integers(0, comb.size, acts_per_bank)]
+        elif kind == "random":
+            rows = region[rng.integers(0, region.size, acts_per_bank)]
+        elif kind == "mixed":
+            thirds = acts_per_bank // 3
+            rows = np.concatenate(
+                [
+                    double[rng.integers(0, double.size, thirds)],
+                    comb[rng.integers(0, comb.size, thirds)],
+                    region[
+                        rng.integers(0, region.size, acts_per_bank - 2 * thirds)
+                    ],
+                ]
+            )
+            rng.shuffle(rows)
+        else:
+            raise ValueError(f"unknown workload kind: {kind!r}")
+        times = (np.arange(acts_per_bank, dtype=np.float64) + 1.0) * (
+            act_spacing_ns
+        )
+        streams[bank] = (times, rows)
+    return streams

@@ -80,7 +80,18 @@ class TrrSampler:
     _refs_since_flush: int = 0
 
     def observe(self, rows: np.ndarray) -> None:
-        """Feed the activations of one refresh interval, in issue order."""
+        """Feed the activations of one refresh interval, in issue order.
+
+        Vectorised: because the table only ever *grows* within an interval
+        (entries are cleared at REFs, never mid-stream), the sequential
+        fill-and-shield loop reduces exactly to first-occurrence ordering
+        over the distinct rows — already-tracked rows bump by their
+        occurrence count, the first ``capacity - len(table)`` new rows in
+        first-appearance order insert with their full occurrence count,
+        and every later new row escapes entirely.  The remaining Python
+        loop is per *distinct* row, not per ACT, and dict insertion order
+        (the :meth:`on_ref` ranking tiebreak) is preserved.
+        """
         if rows.size == 0:
             return
         observed = rows
@@ -94,28 +105,56 @@ class TrrSampler:
             if observed.size == 0:
                 return
         counts = self._counts
-        capacity = self.config.capacity
-        telemetry = OBS.enabled
-        if telemetry:
-            size_before = len(counts)
-            total_before = sum(counts.values())
-        for row in observed.tolist():
-            if row in counts:
-                counts[row] += 1
-            elif len(counts) < capacity:
-                counts[row] = 1
-            # else: table full -> activation escapes the sampler entirely.
-        if telemetry:
-            # The three outcome classes fall out of two dict aggregates,
-            # so the hot loop itself stays untouched.
-            inserted = len(counts) - size_before
-            bumped = (sum(counts.values()) - total_before) - inserted
-            escaped = int(observed.size) - inserted - bumped
+        free = self.config.capacity - len(counts)
+        inserted = 0
+        tracked_acts = 0
+        # Tally per-row occurrences against one sort instead of a full
+        # np.unique: the table holds at most ``capacity`` rows, so only
+        # those (plus the first ``free`` new distinct rows) ever matter.
+        sorted_obs = np.sort(observed)
+        tracked_present = 0
+        if counts:
+            tracked = np.fromiter(counts, dtype=np.int64, count=len(counts))
+            occ = np.searchsorted(
+                sorted_obs, tracked, side="right"
+            ) - np.searchsorted(sorted_obs, tracked, side="left")
+            tracked_present = int(np.count_nonzero(occ))
+            for row, n in zip(tracked.tolist(), occ.tolist()):
+                if n:
+                    counts[row] += n
+                    tracked_acts += n
+        if free > 0:
+            # First ``free`` distinct untracked rows, in first-occurrence
+            # order (the order the sequential fill loop inserts them).
+            # Each inserts with its whole-interval occurrence count; the
+            # scan stops once the table fills or no new rows remain, so
+            # it rarely advances past the first few ACTs.
+            distinct = int(np.count_nonzero(np.diff(sorted_obs))) + 1
+            remaining_new = distinct - tracked_present
+            if remaining_new > 0:
+                for row in observed.tolist():
+                    if row in counts:
+                        continue
+                    n = int(
+                        np.searchsorted(sorted_obs, row, side="right")
+                        - np.searchsorted(sorted_obs, row, side="left")
+                    )
+                    counts[row] = n
+                    tracked_acts += n
+                    inserted += 1
+                    free -= 1
+                    remaining_new -= 1
+                    if free == 0 or remaining_new == 0:
+                        break
+        # Every other activation escapes the sampler entirely.
+        if OBS.enabled:
             metrics = OBS.metrics
             metrics.counter("dram.trr.acts_observed").inc(int(observed.size))
             metrics.counter("dram.trr.rows_inserted").inc(inserted)
-            metrics.counter("dram.trr.tracked_hits").inc(bumped)
-            metrics.counter("dram.trr.acts_escaped").inc(escaped)
+            metrics.counter("dram.trr.tracked_hits").inc(tracked_acts - inserted)
+            metrics.counter("dram.trr.acts_escaped").inc(
+                int(observed.size) - tracked_acts
+            )
 
     def on_ref(self) -> list[int]:
         """REF arrived: return aggressor rows whose neighbours get refreshed."""

@@ -185,9 +185,16 @@ class TaskPool:
         tasks: Sequence[Any],
         init: Callable[[], Any] | None = None,
     ) -> PoolReport:
-        """Run ``fn`` over every task and gather ordered results."""
+        """Run ``fn`` over every task and gather ordered results.
+
+        The effective worker count is capped at the host's usable CPUs
+        (:func:`default_workers`): oversubscribing forked workers onto
+        fewer cores only adds fork/IPC overhead, and on a single-core
+        host the batch degrades straight to the serial in-process path —
+        results are bit-identical either way.
+        """
         tasks = list(tasks)
-        workers = min(self.workers, max(1, len(tasks)))
+        workers = min(self.workers, max(1, len(tasks)), default_workers())
         if not OBS.enabled:
             return self._dispatch(fn, tasks, init, workers)
         OBS.metrics.counter("pool.batches").inc()

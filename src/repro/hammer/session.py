@@ -12,7 +12,7 @@ The composition point of the whole simulator.  For each trial:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -61,6 +61,11 @@ class HammerSession:
     #: accumulation horizon (a fixed activation count would hand slower
     #: kernels more windows and bias comparisons).
     min_refresh_windows: float = 2.2
+    #: Memo of expanded intended streams: the combined (aggressor x bank)
+    #: id stream depends only on (pattern layout, iterations, banks) — not
+    #: on the base row — so sweep/fuzz trials that replay one pattern at
+    #: many locations reuse it instead of re-tiling and re-interleaving.
+    _stream_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.config.num_banks != len(self.default_banks):
@@ -104,6 +109,48 @@ class HammerSession:
         ).observe(outcome.cache_miss_rate)
         return outcome
 
+    def prepare_stream(
+        self,
+        pattern: NonUniformPattern,
+        activations: int,
+        banks: tuple[int, ...] | None = None,
+    ) -> tuple[np.ndarray, list[int]]:
+        """Expand a pattern into its combined intended id stream (memoised).
+
+        Returns ``(combined_ids, target_banks)``.  The stream is
+        independent of the base row, so every trial of the same (pattern,
+        activation budget, banks) triple shares one read-only array — and,
+        downstream, one memoised :meth:`HammerExecutor.execute` result.
+        """
+        target_banks = list(banks if banks is not None else self.default_banks)
+        est_cost = self.machine.executor.throughput.iteration_cost(
+            self.config, miss_rate=0.7
+        ).total_ns
+        window_ns = self.machine.dimm.timing.refresh_window
+        needed = int(self.min_refresh_windows * window_ns / est_cost)
+        activations = max(activations, needed)
+        n_banks = len(target_banks)
+        iterations = max(1, activations // (pattern.base_period * n_banks))
+        key = (
+            pattern.slots.tobytes(),
+            int(pattern.base_period),
+            iterations,
+            n_banks,
+        )
+        combined = self._stream_cache.get(key)
+        if combined is None:
+            slot_ids = pattern.intended_stream(iterations)
+            flat_ids, flat_banks = interleave_stream(slot_ids, n_banks)
+            # Combined id: aggressor id x bank lane, so the executor's
+            # revisit distances see each (row, bank) line as a distinct
+            # cache line.
+            combined = flat_ids.astype(np.int64) * n_banks + flat_banks
+            combined.setflags(write=False)
+            if len(self._stream_cache) >= 8:
+                self._stream_cache.clear()
+            self._stream_cache[key] = combined
+        return combined, target_banks
+
     def _run_pattern(
         self,
         pattern: NonUniformPattern,
@@ -112,22 +159,9 @@ class HammerSession:
         banks: tuple[int, ...] | None,
         collect_events: bool,
     ) -> PatternOutcome:
-        target_banks = list(banks if banks is not None else self.default_banks)
-        est_cost = self.machine.executor.throughput.iteration_cost(
-            self.config, miss_rate=0.7
-        ).total_ns
-        window_ns = self.machine.dimm.timing.refresh_window
-        needed = int(self.min_refresh_windows * window_ns / est_cost)
-        activations = max(activations, needed)
-        iterations = max(
-            1, activations // (pattern.base_period * len(target_banks))
+        combined, target_banks = self.prepare_stream(
+            pattern, activations, banks
         )
-        slot_ids = pattern.intended_stream(iterations)
-        flat_ids, flat_banks = interleave_stream(slot_ids, len(target_banks))
-        # Combined id: aggressor id x bank lane, so the executor's revisit
-        # distances see each (row, bank) line as a distinct cache line.
-        n_banks = len(target_banks)
-        combined = flat_ids.astype(np.int64) * n_banks + flat_banks
 
         execution = self.machine.executor.execute(combined, self.config)
 

@@ -38,6 +38,12 @@ from repro import (
     TimingOracle,
     build_machine,
 )
+from repro.dram.equivalence import (
+    cross_check,
+    reference_twin,
+    synthetic_workload,
+    vector_twin,
+)
 from repro.engine import default_workers
 from repro.exploit import EndToEndAttack
 from repro.exploit.endtoend import canonical_compact_pattern
@@ -65,6 +71,8 @@ def _suite_params(suite: str) -> dict[str, Any]:
             "engine_patterns": 6,
             "workers": 2,
             "reveng_fraction": 0.4,
+            "dram_acts": 90_000,
+            "dram_banks": 2,
         }
     return {
         "scale": BENCH_SCALE,
@@ -73,6 +81,8 @@ def _suite_params(suite: str) -> dict[str, Any]:
         "engine_patterns": 24,
         "workers": 4,
         "reveng_fraction": 0.5,
+        "dram_acts": 150_000,
+        "dram_banks": 4,
     }
 
 
@@ -222,7 +232,81 @@ def bench_exploit(params) -> dict[str, Any]:
     }
 
 
+def bench_dram(params) -> dict[str, Any]:
+    """Vectorised DRAM hammer loop vs the sequential reference path.
+
+    The cold first run on each fresh twin doubles as the bit-identity
+    check (flips, TRR refreshes *and* OBS metric snapshots, via
+    :func:`~repro.dram.equivalence.cross_check`).  The timed runs then
+    repeat the identical workload on the now-warm twins — cell profiles
+    are deterministic and cached, so the second pass isolates the hammer
+    loop itself, which is the code the vectorisation targets (in sweeps
+    and fuzzing the profile cache is warm for the same reason).
+    """
+    machine = build_machine(
+        "raptor_lake", "S3", scale=params["scale"], seed=606
+    )
+    dimm = machine.dimm
+    gain = params["scale"].disturbance_gain
+    # The region is sized so every touched row's cell profile fits the
+    # LRU cache at once: the timed warm runs then measure the hammer
+    # loop, not (deterministic, path-independent) profile generation.
+    workload = synthetic_workload(
+        dimm,
+        acts_per_bank=params["dram_acts"],
+        banks=params["dram_banks"],
+        seed=606,
+        kind="mixed",
+        region_rows=1024,
+        act_spacing_ns=3.0,
+    )
+    check = cross_check(dimm, workload, disturbance_gain=gain)
+
+    # Timed runs use collect_events=False — the fuzzing hot
+    # configuration — so both sides time flip *counting*, not event
+    # materialisation.
+    def best_of(device, repeats: int = 3):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = device.hammer(
+                workload, collect_events=False, disturbance_gain=gain
+            )
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    vec, ref = vector_twin(dimm), reference_twin(dimm)
+    vec_warm = vec.hammer(workload, disturbance_gain=gain)  # warm caches
+    ref_warm = ref.hammer(workload, disturbance_gain=gain)
+    vectorised_s, vec_result = best_of(vec)
+    reference_s, ref_result = best_of(ref)
+    repeat_stable = bool(
+        vec_result.flip_count
+        == ref_result.flip_count
+        == vec_warm.flip_count
+        == ref_warm.flip_count
+        == check.vectorised.flip_count
+    )
+    return {
+        "checks": {
+            "total_flips": vec_result.flip_count,
+            "trr_refreshes": vec_result.trr_refreshes,
+            "acts_executed": vec_result.acts_executed,
+            "bit_identical_to_reference": check.identical,
+            "repeat_stable": repeat_stable,
+        },
+        "timings": {
+            "vectorised_s": round(vectorised_s, 4),
+            "reference_s": round(reference_s, 4),
+            "speedup": round(reference_s / vectorised_s, 2)
+            if vectorised_s > 0
+            else None,
+        },
+    }
+
+
 BENCHES: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
+    "dram": bench_dram,
     "engine": bench_engine,
     "obs": bench_obs,
     "fuzz": bench_fuzz,

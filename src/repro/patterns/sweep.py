@@ -108,6 +108,15 @@ def sweep_pattern(
 
     acts = scale.acts_per_pattern
 
+    # The intended access stream is base-row independent, so all
+    # locations replay one (stream, kernel) pair through the executor.
+    # Running it once in the parent fills the shared executor's memo
+    # before the pool forks: serial sweeps and every forked worker alike
+    # then see pure cache hits, which also keeps the cache-hit/-miss
+    # telemetry identical across worker counts.
+    combined, _ = spec.session().prepare_stream(pattern, acts)
+    machine.executor.execute(combined, config)
+
     def run_location(session, base_row: int) -> _LocationResult:
         outcome = session.run_pattern(pattern, base_row, activations=acts)
         return _LocationResult(outcome.flip_count, outcome.duration_ns)

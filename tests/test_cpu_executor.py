@@ -110,3 +110,61 @@ def test_activation_rate_property(raptor_executor):
     result = raptor_executor.execute(stream(), rhohammer_config(nop_count=300))
     expected = result.survivors / (result.duration_ns * 1e-9)
     assert result.activation_rate_per_sec == pytest.approx(expected)
+
+
+def test_execute_memo_hits_on_repeat():
+    ex = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(7))
+    config = HammerKernelConfig()
+    first = ex.execute(stream(), config)
+    second = ex.execute(stream(), config)
+    assert second is first
+    assert (ex.cache_hits, ex.cache_misses) == (1, 1)
+    # A copy of the stream (different object, same bytes) also hits.
+    ex.execute(stream().copy(), config)
+    assert ex.cache_hits == 2
+
+
+def test_execute_memo_distinguishes_stream_and_config():
+    ex = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(7))
+    ex.execute(stream(), HammerKernelConfig())
+    ex.execute(stream(n_addresses=6), HammerKernelConfig())
+    ex.execute(stream(), HammerKernelConfig(nop_count=10))
+    assert ex.cache_misses == 3
+    assert ex.cache_hits == 0
+
+
+def test_execute_memo_matches_uncached_results():
+    cached = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(9))
+    uncached = HammerExecutor(
+        platform_by_name("raptor_lake"), rng=RngStream(9), cache_size=0
+    )
+    config = rhohammer_config(nop_count=40)
+    for _ in range(3):
+        a = cached.execute(stream(), config)
+        b = uncached.execute(stream(), config)
+        assert np.array_equal(a.times_ns, b.times_ns)
+        assert np.array_equal(a.address_ids, b.address_ids)
+        assert a.miss_rate == b.miss_rate
+        assert a.duration_ns == b.duration_ns
+    assert uncached.cache_hits == uncached.cache_misses == 0
+
+
+def test_execute_memo_is_lru_bounded():
+    ex = HammerExecutor(
+        platform_by_name("raptor_lake"), rng=RngStream(7), cache_size=2
+    )
+    config = HammerKernelConfig()
+    for n in (4, 5, 6):  # third distinct stream evicts the first
+        ex.execute(stream(n_addresses=n), config)
+    assert len(ex._cache) == 2
+    ex.execute(stream(n_addresses=4), config)  # evicted: recomputed
+    assert ex.cache_misses == 4
+
+
+def test_execute_memo_returns_readonly_arrays():
+    ex = HammerExecutor(platform_by_name("raptor_lake"), rng=RngStream(7))
+    result = ex.execute(stream(), HammerKernelConfig())
+    with pytest.raises(ValueError):
+        result.times_ns[0] = 0.0
+    with pytest.raises(ValueError):
+        result.address_ids[0] = 0

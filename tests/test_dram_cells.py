@@ -97,3 +97,59 @@ def test_cache_reuses_profiles():
     pop = make_population()
     first = pop.profile(0, 1)
     assert pop.profile(0, 1) is first
+
+
+def test_cache_is_lru_bounded():
+    pop = make_population(max_cached_profiles=4)
+    for row in range(6):
+        pop.profile(0, row)
+    assert pop.profiles_cached == 4
+    assert pop.profile_evictions == 2
+
+
+def test_cache_evicts_least_recently_used():
+    pop = make_population(max_cached_profiles=2)
+    a = pop.profile(0, 1)
+    pop.profile(0, 2)
+    assert pop.profile(0, 1) is a  # touch: row 1 becomes most recent
+    pop.profile(0, 3)  # evicts row 2, not row 1
+    assert pop.profile(0, 1) is a
+    assert pop.profile_evictions == 1
+
+
+def test_eviction_never_changes_profiles():
+    bounded = make_population(max_cached_profiles=1)
+    unbounded = make_population()
+    for row in (5, 6, 5, 7, 5):
+        got = bounded.profile(0, row)
+        want = unbounded.profile(0, row)
+        assert np.array_equal(got.thresholds, want.thresholds)
+        assert np.array_equal(got.bit_indices, want.bit_indices)
+
+
+def test_invalid_cache_bound_rejected():
+    with pytest.raises(ValueError):
+        make_population(max_cached_profiles=0)
+
+
+def test_batched_flip_counts_match_scalar_path():
+    pop = make_population()
+    rng = np.random.default_rng(31)
+    rows = rng.integers(0, 5000, size=200)
+    peaks = np.where(
+        rng.random(200) < 0.3, 0.0, rng.uniform(0.0, 2e5, size=200)
+    )
+    batched = pop.flip_counts_for(4, rows, peaks)
+    scalar = [
+        pop.flip_count_for(4, int(r), float(p))
+        for r, p in zip(rows, peaks)
+    ]
+    assert batched.tolist() == scalar
+
+
+def test_batched_flip_counts_empty_and_all_zero():
+    pop = make_population()
+    empty = pop.flip_counts_for(0, np.array([], dtype=np.int64), np.array([]))
+    assert empty.size == 0
+    zeros = pop.flip_counts_for(0, np.arange(5), np.zeros(5))
+    assert zeros.tolist() == [0, 0, 0, 0, 0]

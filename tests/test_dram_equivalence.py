@@ -1,0 +1,149 @@
+"""Vectorised DRAM hot path vs the sequential reference (bit-identical).
+
+The contract under test (see ``src/repro/dram/equivalence.py``): for any
+workload, the vectorised :class:`~repro.dram.device.Dimm` and the
+preserved :class:`~repro.dram.reference.ReferenceDimm` produce identical
+flip-event multisets, counts, TRR refresh totals, durations *and* OBS
+metric snapshots — across patterns, TRR vendor profiles, pTRR and RFM.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.dram.ddr5 import RfmConfig
+from repro.dram.device import Dimm, DimmSpec
+from repro.dram.equivalence import cross_check, synthetic_workload
+from repro.dram.geometry import DramGeometry
+from repro.dram.trr import VENDOR_TRR_PROFILES, PtrrShield, TrrConfig
+
+
+def make_dimm(
+    trr: TrrConfig | None = None,
+    ptrr: PtrrShield | None = None,
+    rfm: RfmConfig | None = None,
+    rfm_threshold: int | None = None,
+    density: float = 0.25,
+    median: float = 30_000.0,
+    seed: int = 11,
+) -> Dimm:
+    spec = DimmSpec(
+        dimm_id="EQV",
+        vendor="T",
+        production_week="W01-2026",
+        freq_mhz=3200,
+        size_gib=16,
+        geometry=DramGeometry(ranks=1, banks=16, rows=1 << 16),
+        median_flip_threshold=median,
+        weak_cell_density=density,
+    )
+    return Dimm(
+        spec=spec,
+        trr_config=trr or TrrConfig(),
+        ptrr=ptrr,
+        rng=RngStream(seed, "equivalence-test"),
+        rfm=rfm,
+        rfm_threshold_acts=rfm_threshold,
+    )
+
+
+KINDS = ("double_sided", "many_sided", "random", "mixed")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("profile", sorted(VENDOR_TRR_PROFILES))
+def test_vendor_profiles_bit_identical(kind, profile):
+    dimm = make_dimm(trr=VENDOR_TRR_PROFILES[profile])
+    workload = synthetic_workload(
+        dimm, acts_per_bank=4000, banks=2, seed=5, kind=kind
+    )
+    check = cross_check(dimm, workload, disturbance_gain=24.0)
+    assert check.identical, check.mismatches[:5]
+    # The workload must actually exercise the paths being compared.
+    assert check.vectorised.acts_executed == 8000
+
+
+@pytest.mark.parametrize("kind", ("double_sided", "mixed"))
+def test_ptrr_and_rfm_bit_identical(kind):
+    dimm = make_dimm(
+        ptrr=PtrrShield(enabled=True, para_prob=0.02),
+        rfm=RfmConfig(enabled=True),
+        rfm_threshold=40,
+    )
+    workload = synthetic_workload(
+        dimm, acts_per_bank=4000, banks=2, seed=7, kind=kind
+    )
+    check = cross_check(dimm, workload, disturbance_gain=24.0)
+    assert check.identical, check.mismatches[:5]
+    assert check.vectorised.trr_refreshes > 0
+
+
+def test_randomized_streams_bit_identical():
+    """Property-style fuzz: random configs x random raw streams."""
+    master = np.random.default_rng(0xF00D)
+    for trial in range(6):
+        dimm = make_dimm(
+            trr=TrrConfig(
+                capacity=int(master.integers(1, 9)),
+                sample_prob=float(master.choice([0.3, 0.7, 1.0])),
+            ),
+            ptrr=PtrrShield(
+                enabled=bool(master.integers(0, 2)), para_prob=0.03
+            ),
+            rfm=RfmConfig(enabled=bool(master.integers(0, 2))),
+            rfm_threshold=int(master.integers(20, 90)),
+            density=float(master.choice([0.0, 0.2, 0.6])),
+            seed=int(master.integers(0, 2**31)),
+        )
+        streams = {}
+        for bank in range(int(master.integers(1, 4))):
+            n = int(master.integers(500, 5000))
+            rows = master.integers(100, 60_000, size=n).astype(np.int64)
+            times = np.cumsum(master.uniform(2.0, 20.0, size=n))
+            streams[bank] = (times, rows)
+        check = cross_check(dimm, streams, disturbance_gain=48.0)
+        assert check.identical, (trial, check.mismatches[:5])
+
+
+def test_flip_events_match_when_collected():
+    """collect_events=True events agree as multisets (order documented)."""
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-9))
+    workload = synthetic_workload(
+        dimm, acts_per_bank=6000, banks=1, seed=3, kind="double_sided"
+    )
+    check = cross_check(
+        dimm, workload, disturbance_gain=24.0, collect_events=True
+    )
+    assert check.identical, check.mismatches[:5]
+    assert check.vectorised.flip_count > 0
+    assert len(check.vectorised.flip_keys) == check.vectorised.flip_count
+
+
+def test_metric_snapshots_compared_not_just_counts():
+    """A cross-check must cover OBS telemetry, not only end results."""
+    dimm = make_dimm()
+    workload = synthetic_workload(
+        dimm, acts_per_bank=2000, banks=1, seed=1, kind="mixed"
+    )
+    check = cross_check(dimm, workload, disturbance_gain=24.0)
+    assert check.identical
+    counters = check.vectorised.metrics["counters"]
+    assert counters["dram.trr.acts_observed"] > 0
+    # Satellite regression guard: tracked_hits counts *activations* that
+    # bumped an existing entry, so inserted + hits + escaped == observed.
+    assert (
+        counters["dram.trr.rows_inserted"]
+        + counters["dram.trr.tracked_hits"]
+        + counters["dram.trr.acts_escaped"]
+        == counters["dram.trr.acts_observed"]
+    )
+
+
+def test_invulnerable_dimm_yields_zero_flips_both_paths():
+    dimm = make_dimm(density=0.0)
+    workload = synthetic_workload(
+        dimm, acts_per_bank=3000, banks=1, seed=2, kind="double_sided"
+    )
+    check = cross_check(dimm, workload, disturbance_gain=48.0)
+    assert check.identical
+    assert check.vectorised.flip_count == 0

@@ -91,10 +91,28 @@ def test_pool_degrades_to_serial_when_fork_machinery_breaks(monkeypatch):
     monkeypatch.setattr(
         pool_module.multiprocessing, "get_context", broken_context
     )
+    # Pretend the host has cores to spare so the CPU cap does not route
+    # the batch straight to the serial path before fork is attempted.
+    monkeypatch.setattr(pool_module, "default_workers", lambda: 8)
     report = TaskPool(workers=4).map(_square, range(6))
     assert report.degraded
     assert report.results == [t * t for t in range(6)]
     assert any("degraded" in note for note in report.notes())
+
+
+def test_pool_caps_workers_to_host_cpus(monkeypatch):
+    monkeypatch.setattr(pool_module, "default_workers", lambda: 1)
+
+    def no_fork(method):  # the cap must prevent us from ever forking
+        raise AssertionError("single-core host must not fork")
+
+    monkeypatch.setattr(
+        pool_module.multiprocessing, "get_context", no_fork
+    )
+    report = TaskPool(workers=16).map(_square, range(6))
+    assert not report.degraded
+    assert report.workers == 1
+    assert report.results == [t * t for t in range(6)]
 
 
 def test_pool_init_builds_context_once_per_process():

@@ -21,7 +21,16 @@ FUZZ_ARGS = (
 
 @pytest.fixture(scope="module")
 def fuzz_run(recorded_runs):
-    return recorded_runs("analyze-fuzz", *FUZZ_ARGS)
+    # The utilization assertions need a genuinely forked 2-worker pool;
+    # lift the host-CPU cap so the recording forks even on 1-CPU CI.
+    from repro.engine import pool as pool_module
+
+    mp = pytest.MonkeyPatch()
+    mp.setattr(pool_module, "default_workers", lambda: 8)
+    try:
+        return recorded_runs("analyze-fuzz", *FUZZ_ARGS)
+    finally:
+        mp.undo()
 
 
 def test_phase_rollups_cover_the_span_hierarchy(fuzz_run):

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro import QUICK_SCALE, RunBudget, rhohammer_config, sweep_pattern
+from repro import (
+    QUICK_SCALE,
+    RunBudget,
+    build_machine,
+    rhohammer_config,
+    sweep_pattern,
+)
 from repro.exploit.endtoend import canonical_compact_pattern
 
 
@@ -66,3 +72,37 @@ def test_legacy_num_locations_shim_matches_budget(comet_machine, comet_sweep):
         assert (
             legacy.flips_per_location == comet_sweep.flips_per_location
         ).all()
+
+
+def _sweep_with(cache_size: int, workers: int):
+    machine = build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=7)
+    machine.executor.cache_size = cache_size
+    report = sweep_pattern(
+        machine,
+        rhohammer_config(nop_count=60, num_banks=3),
+        canonical_compact_pattern(),
+        RunBudget.trials(8, workers=workers),
+        scale=QUICK_SCALE,
+    )
+    return machine, report
+
+
+def test_executor_memo_never_changes_sweep_results():
+    """Memoisation is an optimisation only: cache on == cache off."""
+    cached_machine, cached = _sweep_with(cache_size=64, workers=1)
+    _, uncached = _sweep_with(cache_size=0, workers=1)
+    assert cached.base_rows == uncached.base_rows
+    assert (cached.flips_per_location == uncached.flips_per_location).all()
+    assert (cached.virtual_minutes == uncached.virtual_minutes).all()
+    # All locations replay one (stream, kernel) pair: the prewarm is the
+    # only real execution, every trial afterwards hits the memo.
+    assert cached_machine.executor.cache_misses == 1
+    assert cached_machine.executor.cache_hits >= 8
+
+
+def test_sweep_workers_bit_identical_with_memoisation():
+    _, serial = _sweep_with(cache_size=64, workers=1)
+    _, parallel = _sweep_with(cache_size=64, workers=2)
+    assert serial.base_rows == parallel.base_rows
+    assert (serial.flips_per_location == parallel.flips_per_location).all()
+    assert (serial.virtual_minutes == parallel.virtual_minutes).all()
