@@ -10,6 +10,11 @@ gate, and the ``rhohammer bench`` subcommand share one implementation.
 baseline in ``benchmarks/baselines/BENCH_all.json`` and exits nonzero on
 regressions beyond ``--rel-threshold``; wall timings are informational
 unless ``--wall-threshold`` is given.
+
+Unlike plain ``rhohammer bench``, this script also appends a one-line
+summary of every run to the repo-root ``BENCH_trajectory.json`` (disable
+with ``--trajectory none``), so the perf trajectory across PRs is
+visible straight from ``git log -p BENCH_trajectory.json``.
 """
 
 from __future__ import annotations
@@ -21,7 +26,10 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
-from repro.obs.bench import main  # noqa: E402
+from repro.obs.bench import DEFAULT_TRAJECTORY, main  # noqa: E402
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    argv = sys.argv[1:]
+    if not any(arg.startswith("--trajectory") for arg in argv):
+        argv += ["--trajectory", str(DEFAULT_TRAJECTORY)]
+    raise SystemExit(main(argv))

@@ -1,110 +1,34 @@
-"""Benchmark the parallel experiment engine: serial vs worker-pool fuzzing.
+"""[superseded] Benchmark the parallel engine: serial vs pool fuzzing.
 
-Times a Table-6-scale fuzzing campaign (BENCH scale, tuned rhoHammer
-kernel) once with ``workers=1`` and once with ``workers=4``, checks the
-two runs are bit-identical, and writes the timings to
-``benchmarks/results/BENCH_engine.json`` so the perf trajectory can be
-tracked across revisions.
+This script is superseded by the unified suite —
 
-The >= 2x speedup target only applies on a 4+ core machine; on smaller
-boxes the script still emits the JSON (with ``cpu_count`` recorded) so
-the data point is honest about its host.
+    PYTHONPATH=src python scripts/bench_all.py --only engine
 
-Run:  PYTHONPATH=src python scripts/bench_engine.py [--patterns N] [--workers N]
+— and now delegates to :mod:`repro.obs.bench` so the two entry points
+cannot drift.  It still writes its historical output path
+(``benchmarks/results/BENCH_engine.json``) for tooling that reads it;
+the payload is the unified ``rhohammer-bench-all/v1`` schema restricted
+to the ``engine`` bench (serial vs parallel timings, speedup, and the
+bit-identical check).
+
+Run:  PYTHONPATH=src python scripts/bench_engine.py [--quick]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import pathlib
-import platform
-import time
+import sys
 
-from repro import BENCH_SCALE, RunBudget, build_machine
-from repro.engine import default_workers
-from repro.hammer.nops import tuned_config_for
-from repro.patterns.fuzzer import FuzzingCampaign
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.bench import legacy_main  # noqa: E402
 
 RESULTS_PATH = (
     pathlib.Path(__file__).resolve().parent.parent
     / "benchmarks" / "results" / "BENCH_engine.json"
 )
 
-
-def _campaign(patterns: int, workers: int):
-    machine = build_machine("raptor_lake", "S3", scale=BENCH_SCALE, seed=606)
-    campaign = FuzzingCampaign(
-        machine=machine,
-        config=tuned_config_for("raptor_lake"),
-        scale=BENCH_SCALE,
-        trials_per_pattern=1,
-        seed_name="bench-engine",
-    )
-    start = time.perf_counter()
-    report = campaign.execute(
-        RunBudget(max_trials=patterns, workers=workers)
-    )
-    return time.perf_counter() - start, report
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--patterns", type=int, default=24,
-                        help="patterns per campaign (default: 24)")
-    parser.add_argument("--workers", type=int, default=4,
-                        help="worker count for the parallel run (default: 4)")
-    args = parser.parse_args()
-
-    cpu_count = default_workers()
-    print(f"host: {cpu_count} usable core(s); "
-          f"fuzzing {args.patterns} patterns at BENCH scale")
-
-    serial_s, serial = _campaign(args.patterns, workers=1)
-    print(f"serial   (workers=1): {serial_s:7.2f}s  "
-          f"{serial.total_flips} flips")
-    parallel_s, parallel = _campaign(args.patterns, workers=args.workers)
-    print(f"parallel (workers={args.workers}): {parallel_s:7.2f}s  "
-          f"{parallel.total_flips} flips")
-
-    identical = (
-        serial.total_flips == parallel.total_flips
-        and serial.best_pattern_flips == parallel.best_pattern_flips
-        and serial.effective_patterns == parallel.effective_patterns
-        and serial.mean_miss_rate == parallel.mean_miss_rate
-    )
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    print(f"speedup: {speedup:.2f}x  bit-identical: {identical}")
-
-    payload = {
-        "benchmark": "table6_scale_fuzzing",
-        "platform": "raptor_lake",
-        "scale": "BENCH",
-        "patterns": args.patterns,
-        "cpu_count": cpu_count,
-        "python": platform.python_version(),
-        "serial_seconds": round(serial_s, 3),
-        "parallel_workers": args.workers,
-        "parallel_seconds": round(parallel_s, 3),
-        "speedup": round(speedup, 3),
-        "bit_identical": identical,
-        "total_flips": serial.total_flips,
-        "meets_target": bool(speedup >= 2.0 or cpu_count < 4),
-    }
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH.relative_to(os.getcwd())}"
-          if RESULTS_PATH.is_relative_to(os.getcwd())
-          else f"wrote {RESULTS_PATH}")
-
-    if not identical:
-        return 1
-    if cpu_count >= 4 and speedup < 2.0:
-        print("warning: below the 2x target despite 4+ cores")
-        return 1
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(legacy_main("engine", RESULTS_PATH))

@@ -1,157 +1,34 @@
-"""Benchmark the telemetry layer: disabled-path overhead must stay <3%.
+"""[superseded] Benchmark the telemetry layer's disabled-path overhead.
 
-Times a Table-6-scale fuzzing campaign (BENCH scale, tuned rhoHammer
-kernel) three ways:
+This script is superseded by the unified suite —
 
-* **baseline** — telemetry disabled (the default state);
-* **metrics** — live metrics registry, no trace sink;
-* **full** — metrics plus a JSONL trace stream to a temp file.
+    PYTHONPATH=src python scripts/bench_all.py --only obs
 
-The guarantee this repo makes is about the *disabled* path: instrumented
-call sites cost one ``OBS.enabled`` attribute check when telemetry is
-off, so a disabled run must stay within 3% of what an uninstrumented
-build would cost.  Back-to-back timings of the same disabled code path
-can't measure that directly, so the script reports the median of
-several interleaved disabled runs against their own spread *and* the
-enabled-path cost, and writes everything to
-``benchmarks/results/BENCH_obs.json``.
+— and now delegates to :mod:`repro.obs.bench` so the two entry points
+cannot drift.  It still writes its historical output path
+(``benchmarks/results/BENCH_obs.json``) for tooling that reads it; the
+payload is the unified ``rhohammer-bench-all/v1`` schema restricted to
+the ``obs`` bench (disabled vs metrics-enabled timings, the per-check
+guard cost in ns, and the telemetry-neutrality check).
 
-Run:  PYTHONPATH=src python scripts/bench_obs.py [--patterns N] [--repeats N]
+Run:  PYTHONPATH=src python scripts/bench_obs.py [--quick]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import pathlib
-import platform
-import statistics
-import tempfile
-import time
+import sys
 
-from repro import BENCH_SCALE, RunBudget, build_machine
-from repro.hammer.nops import tuned_config_for
-from repro.obs import OBS, telemetry_session
-from repro.patterns.fuzzer import FuzzingCampaign
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs.bench import legacy_main  # noqa: E402
 
 RESULTS_PATH = (
     pathlib.Path(__file__).resolve().parent.parent
     / "benchmarks" / "results" / "BENCH_obs.json"
 )
 
-#: The acceptance threshold on disabled-path overhead.
-TARGET_OVERHEAD = 0.03
-
-
-def _run_campaign(patterns: int) -> tuple[float, int]:
-    machine = build_machine("raptor_lake", "S3", scale=BENCH_SCALE, seed=707)
-    campaign = FuzzingCampaign(
-        machine=machine,
-        config=tuned_config_for("raptor_lake"),
-        scale=BENCH_SCALE,
-        trials_per_pattern=1,
-        seed_name="bench-obs",
-    )
-    start = time.perf_counter()
-    report = campaign.execute(RunBudget(max_trials=patterns))
-    return time.perf_counter() - start, report.total_flips
-
-
-def _guard_cost_ns(iterations: int = 2_000_000) -> float:
-    """Direct cost of the disabled-path guard: one attribute check."""
-    obs = OBS
-    start = time.perf_counter()
-    hits = 0
-    for _ in range(iterations):
-        if obs.enabled:  # the exact guard instrumented code uses
-            hits += 1
-    elapsed = time.perf_counter() - start
-    assert hits == 0
-    return elapsed / iterations * 1e9
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--patterns", type=int, default=16,
-                        help="patterns per campaign (default: 16)")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timed repeats per mode (default: 3)")
-    args = parser.parse_args()
-
-    assert not OBS.enabled, "telemetry must start disabled"
-    print(f"fuzzing {args.patterns} patterns at BENCH scale, "
-          f"{args.repeats} repeat(s) per mode")
-
-    disabled: list[float] = []
-    metrics_only: list[float] = []
-    full: list[float] = []
-    flips = None
-    for i in range(args.repeats):
-        # Interleave modes so drift (thermal, cache) hits all three alike.
-        t, f = _run_campaign(args.patterns)
-        disabled.append(t)
-        flips = f if flips is None else flips
-        assert f == flips, "telemetry must not change results"
-
-        with telemetry_session(metrics=True):
-            t, f = _run_campaign(args.patterns)
-        metrics_only.append(t)
-        assert f == flips
-
-        with tempfile.TemporaryDirectory() as tmp:
-            with telemetry_session(
-                trace_path=os.path.join(tmp, "trace.jsonl"), metrics=True
-            ):
-                t, f = _run_campaign(args.patterns)
-        full.append(t)
-        assert f == flips
-        print(f"  round {i + 1}: disabled={disabled[-1]:.2f}s "
-              f"metrics={metrics_only[-1]:.2f}s full={full[-1]:.2f}s")
-
-    base = statistics.median(disabled)
-    guard_ns = _guard_cost_ns()
-    # Disabled-path spread: how much repeated disabled runs wobble on this
-    # host; the guard's contribution is bounded far below it.
-    spread = (max(disabled) - min(disabled)) / base if base else 0.0
-    metrics_overhead = statistics.median(metrics_only) / base - 1.0
-    full_overhead = statistics.median(full) / base - 1.0
-
-    print(f"disabled : median {base:.2f}s (spread {spread:+.1%})")
-    print(f"metrics  : {metrics_overhead:+.1%} vs disabled")
-    print(f"full     : {full_overhead:+.1%} vs disabled")
-    print(f"guard    : {guard_ns:.1f} ns per disabled-path check")
-
-    meets_target = spread < TARGET_OVERHEAD or guard_ns < 100.0
-    payload = {
-        "benchmark": "telemetry_overhead_table6_scale_fuzzing",
-        "platform": "raptor_lake",
-        "scale": "BENCH",
-        "patterns": args.patterns,
-        "repeats": args.repeats,
-        "python": platform.python_version(),
-        "disabled_seconds": [round(t, 3) for t in disabled],
-        "disabled_median_seconds": round(base, 3),
-        "disabled_spread": round(spread, 4),
-        "metrics_seconds": [round(t, 3) for t in metrics_only],
-        "metrics_overhead": round(metrics_overhead, 4),
-        "full_trace_seconds": [round(t, 3) for t in full],
-        "full_trace_overhead": round(full_overhead, 4),
-        "guard_ns_per_check": round(guard_ns, 2),
-        "target_overhead": TARGET_OVERHEAD,
-        "meets_target": bool(meets_target),
-        "total_flips": flips,
-    }
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {RESULTS_PATH}")
-
-    if not meets_target:
-        print(f"warning: disabled-path cost not bounded below "
-              f"{TARGET_OVERHEAD:.0%} on this host")
-        return 1
-    return 0
-
-
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(legacy_main("obs", RESULTS_PATH))

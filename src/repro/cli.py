@@ -31,6 +31,15 @@ per-phase rollups / critical path / worker utilization for one run,
 ``compare`` diffs two runs and exits nonzero on regressions, and
 ``bench`` runs the unified benchmark suite with an optional
 baseline-gated ``--check``.
+
+Registry & friends: every instrumented run and ``bench`` invocation
+auto-records into a SQLite run registry (``--registry`` / the
+``RHOHAMMER_REGISTRY`` env var; default ``registry.sqlite`` next to the
+run directory).  ``history`` lists recorded runs, ``trends`` gates a
+metric's latest value against the rolling median of past runs
+(``--check`` for CI), ``export`` converts a run to Chrome Trace Event
+JSON for Perfetto or OpenMetrics text, and ``follow`` tails an
+in-flight run's trace live (pair with ``--heartbeat SECS`` on the run).
 """
 
 from __future__ import annotations
@@ -115,6 +124,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--profile", metavar="PATH", default=None,
         help="wrap each top-level phase span in cProfile and write the "
              "merged per-phase hotspot report (JSON) to PATH",
+    )
+    parser.add_argument(
+        "--registry", metavar="PATH", default=None,
+        help="run registry database to record this run into (default "
+             "with --out: registry.sqlite next to the run directory, so "
+             "sibling runs share one DB; 'none' disables; the "
+             "RHOHAMMER_REGISTRY env var overrides the default)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECS",
+        help="emit liveness heartbeat records into the trace at most "
+             "every SECS seconds so `rhohammer follow` can watch the run "
+             "(off by default: heartbeats are nondeterministic in count)",
     )
 
 
@@ -448,6 +470,143 @@ def cmd_bench(args) -> int:
     return run_from_args(args)
 
 
+def _registry_for_read(registry_arg: str | None) -> str | None:
+    """Resolve the registry DB an analytics subcommand should query.
+
+    Explicit ``--registry`` wins (``none`` disables), else the
+    ``RHOHAMMER_REGISTRY`` environment variable; there is no positional
+    fallback — reading needs a concrete database.
+    """
+    from repro.obs.registry import default_registry_path
+
+    if registry_arg is not None:
+        registry_arg = registry_arg.strip()
+        if not registry_arg or registry_arg.lower() == "none":
+            return None
+        return registry_arg
+    return default_registry_path(None)
+
+
+def _run_filters(args) -> dict[str, Any]:
+    """The identity filters shared by ``history`` and ``trends``."""
+    return {
+        "kind": args.kind,
+        "command": args.filter_command,
+        "platform": args.platform,
+        "dimm": args.dimm,
+        "seed": args.seed,
+        "scale": args.scale,
+        "git": args.git,
+        "suite": args.suite,
+    }
+
+
+def cmd_history(args) -> int:
+    from repro.obs.registry import (
+        RegistryError,
+        RunRegistry,
+        format_history,
+    )
+
+    db = _registry_for_read(args.registry)
+    if db is None:
+        print(
+            "error: no registry — pass --registry PATH or set "
+            "RHOHAMMER_REGISTRY",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(db):
+        print(f"error: no registry database at {db}", file=sys.stderr)
+        return 2
+    try:
+        with RunRegistry(db) as registry:
+            records = registry.runs(**_run_filters(args), limit=args.limit)
+            if args.json:
+                _print_json(
+                    {
+                        "registry": db,
+                        "runs": [record.to_dict() for record in records],
+                    }
+                )
+            else:
+                print(format_history(records, registry))
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_trends(args) -> int:
+    from repro.obs.registry import (
+        RegistryError,
+        RunRegistry,
+        compute_trends,
+        format_trends,
+    )
+
+    db = _registry_for_read(args.registry)
+    if db is None:
+        print(
+            "error: no registry — pass --registry PATH or set "
+            "RHOHAMMER_REGISTRY",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(db):
+        print(f"error: no registry database at {db}", file=sys.stderr)
+        return 2
+    try:
+        with RunRegistry(db) as registry:
+            trends = compute_trends(
+                registry,
+                args.metrics,
+                window=args.window,
+                threshold=args.threshold,
+                wall_threshold=args.wall_threshold,
+                gate_wall=args.gate_wall,
+                **_run_filters(args),
+            )
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json(
+            {"registry": db, "trends": [t.to_dict() for t in trends]}
+        )
+    else:
+        print(format_trends(trends))
+    if args.check and any(t.regressed for t in trends):
+        return 1
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.obs.export import export_run
+
+    try:
+        text = export_run(args.run, args.format)
+    except (RunLoadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({args.format})")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_follow(args) -> int:
+    from repro.obs.live import follow
+
+    timeout = args.timeout if args.timeout > 0 else None
+    return follow(
+        args.run, interval=args.interval, timeout=timeout, once=args.once
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rhohammer",
@@ -560,6 +719,96 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_args(p)
     p.set_defaults(func=cmd_bench)
+
+    def _add_registry_filters(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--registry", metavar="PATH", default=None,
+            help="registry database to query (default: the "
+                 "RHOHAMMER_REGISTRY env var)",
+        )
+        p.add_argument("--kind", choices=("run", "bench"), default=None,
+                       help="only instrumented runs or only bench suites")
+        p.add_argument("--command", dest="filter_command", default=None,
+                       metavar="CMD", help="filter by subcommand (fuzz, ...)")
+        p.add_argument("--platform", default=None, metavar="NAME")
+        p.add_argument("--dimm", default=None, metavar="ID")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--scale", default=None, metavar="NAME")
+        p.add_argument("--git", default=None, metavar="SUBSTR",
+                       help="substring match on the recorded git describe")
+        p.add_argument("--suite", default=None, metavar="NAME",
+                       help="bench suite filter (quick/full)")
+
+    p = sub.add_parser(
+        "history",
+        help="list runs recorded in a run registry, newest last",
+    )
+    _add_registry_filters(p)
+    p.add_argument("--limit", type=int, default=20, metavar="N",
+                   help="keep only the newest N matching runs (default 20)")
+    _add_json(p)
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser(
+        "trends",
+        help="cross-run metric time series with rolling-median "
+             "regression detection",
+    )
+    p.add_argument(
+        "metrics", nargs="+", metavar="METRIC",
+        help="flattened sample keys or globs, e.g. "
+             "'counters.dram.flips_total', 'phases.*.wall_s', "
+             "'bench.fuzz.checks.total_flips'",
+    )
+    _add_registry_filters(p)
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="rolling-median window over preceding runs "
+                        "(default 5)")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="relative threshold for deterministic metrics "
+                        "(default 0.05)")
+    p.add_argument("--wall-threshold", type=float,
+                   default=DEFAULT_WALL_THRESHOLD,
+                   help="relative threshold for wall-clock metrics "
+                        "(default 0.30)")
+    p.add_argument("--gate-wall", action="store_true",
+                   help="let wall-clock regressions fail --check (off by "
+                        "default: wall times are host-dependent)")
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 when any gated metric regresses against "
+                        "its rolling median")
+    _add_json(p)
+    p.set_defaults(func=cmd_trends)
+
+    p = sub.add_parser(
+        "export",
+        help="convert a recorded run to a standard format "
+             "(Chrome Trace Event JSON for Perfetto, or OpenMetrics text)",
+    )
+    p.add_argument("run", help="run directory (--out) or artifact file")
+    from repro.obs.export import FORMATS
+
+    p.add_argument("--format", choices=FORMATS, default="chrome",
+                   help="chrome: trace.jsonl -> Trace Event JSON; "
+                        "openmetrics: metrics.json -> exposition text")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write to PATH instead of stdout")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "follow",
+        help="tail an in-flight run's trace stream and render live "
+             "phase progress",
+    )
+    p.add_argument("run", help="run directory (--out) or trace .jsonl path")
+    p.add_argument("--interval", type=float, default=0.5, metavar="SECS",
+                   help="poll interval (default 0.5s)")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="SECS",
+                   help="exit 1 after this much silence; <= 0 waits "
+                        "forever (default 30s)")
+    p.add_argument("--once", action="store_true",
+                   help="process what exists and exit immediately")
+    p.set_defaults(func=cmd_follow)
     return parser
 
 
@@ -573,6 +822,51 @@ def _budget_dict(args) -> dict[str, Any]:
         for name in ("patterns", "locations", "workers", "fraction")
         if hasattr(args, name)
     }
+
+
+def _register_run(
+    args,
+    manifest: RunManifest | None,
+    out_dir: str | None,
+    trace_path: str | None,
+) -> None:
+    """Auto-record one finished instrumented run into the run registry.
+
+    Resolution: explicit ``--registry`` wins (``none`` disables), else
+    :func:`~repro.obs.registry.default_registry_path` (``RHOHAMMER_REGISTRY``
+    env var, or ``registry.sqlite`` next to the ``--out`` directory).
+    Recording is strictly best-effort — a registry problem warns on
+    stderr and never alters the run's exit code.
+    """
+    if manifest is None:
+        return
+    from repro.obs.registry import RunRegistry, default_registry_path
+
+    registry_arg = getattr(args, "registry", None)
+    if registry_arg is not None:
+        registry_arg = registry_arg.strip()
+        if not registry_arg or registry_arg.lower() == "none":
+            return
+        db_path = registry_arg
+    else:
+        db_path = default_registry_path(out_dir)
+    if db_path is None:
+        return
+    phases = None
+    if trace_path:
+        try:
+            analysis = analyze_run(trace_path)
+            phases = {
+                name: rollup.to_dict()
+                for name, rollup in analysis.phases.items()
+            }
+        except Exception:
+            phases = None  # a truncated/empty trace still registers
+    try:
+        with RunRegistry(db_path) as registry:
+            registry.record_run(manifest.to_dict(), phases=phases)
+    except Exception as exc:
+        print(f"warning: run registry {db_path}: {exc}", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -596,6 +890,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             trace_detail=getattr(args, "trace_detail", "phase"),
             metrics=True,
             profile=bool(profile_out),
+            heartbeat_s=getattr(args, "heartbeat", None),
         )
         manifest = RunManifest.collect(
             command=args.command,
@@ -622,9 +917,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return code
     finally:
         if telemetry_on:
+            manifest.metrics = OBS.metrics.snapshot()
+            manifest.exit_code = code
             if metrics_out:
-                manifest.metrics = OBS.metrics.snapshot()
-                manifest.exit_code = code
                 manifest.write(metrics_out)
             if profile_out and OBS.tracer.profiler is not None:
                 with open(profile_out, "w", encoding="utf-8") as fh:
@@ -632,6 +927,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                         OBS.tracer.profiler.report(), fh, indent=2
                     )
                     fh.write("\n")
+            _register_run(args, manifest, out_dir, trace_path)
             OBS.shutdown()
 
 

@@ -301,6 +301,13 @@ class TaskPool:
                     done += 1
                     if self.progress is not None:
                         self.progress(done, len(tasks))
+                    # Liveness for `rhohammer follow`: worker trace spans
+                    # only reach the file at batch end (parent-side
+                    # replay), so an opted-in tracer emits rate-limited
+                    # heartbeats with batch progress in the meantime.
+                    OBS.tracer.heartbeat(
+                        phase="pool.batch", done=done, tasks=len(tasks)
+                    )
         except Exception:  # noqa: BLE001 - pool machinery failure
             # Per-task errors and finished results gathered so far are
             # kept; only the unsettled remainder re-runs in-process.

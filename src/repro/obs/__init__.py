@@ -48,7 +48,9 @@ from repro.obs.compare import (
     compare_runs,
     format_comparison,
 )
-from repro.obs.manifest import RunManifest, git_describe
+from repro.obs.export import chrome_trace, export_run, openmetrics_text
+from repro.obs.live import TraceFollower, follow
+from repro.obs.manifest import RUN_SCHEMA, RunManifest, git_describe
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -58,6 +60,14 @@ from repro.obs.metrics import (
     metric_key,
 )
 from repro.obs.profile import PhaseProfiler, format_profile
+from repro.obs.registry import (
+    MetricTrend,
+    RegistryError,
+    RunRecord,
+    RunRegistry,
+    compute_trends,
+    default_registry_path,
+)
 from repro.obs.trace import (
     DETAIL_LEVELS,
     WALL_KEY,
@@ -87,6 +97,7 @@ class Telemetry:
         trace_detail: str = "phase",
         metrics: bool = False,
         profile: bool = False,
+        heartbeat_s: float | None = None,
     ) -> None:
         """Turn telemetry on: any of a trace sink, live metrics, and/or
         the per-phase CPU profiler (see :mod:`repro.obs.profile`)."""
@@ -96,7 +107,10 @@ class Telemetry:
             trace_memory = True
         if trace_path is not None or trace_memory:
             self.tracer.configure(
-                path=trace_path, memory=trace_memory, detail=trace_detail
+                path=trace_path,
+                memory=trace_memory,
+                detail=trace_detail,
+                heartbeat_s=heartbeat_s,
             )
         if profile:
             self.tracer.profiler = PhaseProfiler()
@@ -124,6 +138,7 @@ def telemetry_session(
     trace_detail: str = "phase",
     metrics: bool = False,
     profile: bool = False,
+    heartbeat_s: float | None = None,
 ) -> Iterator[Telemetry]:
     """Enable :data:`OBS` for a block, restoring the disabled state after.
 
@@ -137,6 +152,7 @@ def telemetry_session(
         trace_detail=trace_detail,
         metrics=metrics,
         profile=profile,
+        heartbeat_s=heartbeat_s,
     )
     try:
         yield OBS
@@ -150,26 +166,38 @@ __all__ = [
     "DETAIL_LEVELS",
     "Gauge",
     "Histogram",
+    "MetricTrend",
     "MetricsRegistry",
     "OBS",
     "PhaseProfiler",
     "PhaseRollup",
+    "RUN_SCHEMA",
+    "RegistryError",
     "RunArtifacts",
     "RunComparison",
     "RunLoadError",
     "RunManifest",
+    "RunRecord",
+    "RunRegistry",
     "Span",
     "SpanTracer",
     "Telemetry",
     "TraceAnalysis",
+    "TraceFollower",
     "WALL_KEY",
     "analyze_run",
+    "chrome_trace",
     "compare_runs",
+    "compute_trends",
+    "default_registry_path",
+    "export_run",
+    "follow",
     "format_analysis",
     "format_comparison",
     "format_profile",
     "git_describe",
     "metric_key",
+    "openmetrics_text",
     "read_trace",
     "strip_wall",
     "telemetry_session",

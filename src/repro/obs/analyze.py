@@ -20,11 +20,18 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.manifest import RUN_SCHEMA
 from repro.obs.trace import read_trace
 
 #: Conventional artifact names inside a run directory (see ``--out``).
 TRACE_FILENAME = "trace.jsonl"
 METRICS_FILENAME = "metrics.json"
+
+#: ``metrics.json`` schema tags this loader understands.  Files written
+#: before the tag existed carry none and are accepted as-is; a *present
+#: but unknown* tag means the file comes from a newer (or foreign) writer
+#: and refusing it beats silently misreading it.
+KNOWN_RUN_SCHEMAS = frozenset({RUN_SCHEMA})
 
 
 class RunLoadError(ValueError):
@@ -80,6 +87,13 @@ class RunArtifacts:
                 raise RunLoadError(f"{manifest_path}: {exc}") from exc
             if not isinstance(manifest, dict):
                 raise RunLoadError(f"{manifest_path}: not a JSON object")
+            schema = manifest.get("schema")
+            if schema is not None and schema not in KNOWN_RUN_SCHEMAS:
+                raise RunLoadError(
+                    f"{manifest_path}: unknown run manifest schema "
+                    f"{schema!r} (supported: "
+                    f"{', '.join(sorted(KNOWN_RUN_SCHEMAS))})"
+                )
             metrics = manifest.get("metrics")
         return cls(
             path=str(p),

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform as _platform
 import time
@@ -53,10 +54,14 @@ from repro.obs.manifest import git_describe
 from repro.reveng import compare_mappings
 
 SCHEMA = "rhohammer-bench-all/v1"
+TRAJECTORY_SCHEMA = "rhohammer-bench-trajectory/v1"
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 DEFAULT_RESULTS = _REPO_ROOT / "benchmarks" / "results" / "BENCH_all.json"
 DEFAULT_BASELINE = _REPO_ROOT / "benchmarks" / "baselines" / "BENCH_all.json"
+#: The repo-root perf trajectory (``scripts/bench_all.py`` appends here;
+#: plain ``rhohammer bench`` leaves it alone unless ``--trajectory``).
+DEFAULT_TRAJECTORY = _REPO_ROOT / "BENCH_trajectory.json"
 
 #: Default relative tolerance on deterministic ``checks``.
 DEFAULT_REL_THRESHOLD = 0.05
@@ -411,6 +416,62 @@ def check_payload(
 
 
 # ----------------------------------------------------------------------
+# Cross-PR perf trajectory (repo-root BENCH_trajectory.json)
+# ----------------------------------------------------------------------
+def trajectory_entry(payload: dict[str, Any]) -> dict[str, Any]:
+    """One compact per-run summary line: identity + headline timings."""
+    timings: dict[str, Any] = {}
+    for name, bench in payload.get("benches", {}).items():
+        for key, value in bench.get("timings", {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                timings[f"{name}.{key}"] = value
+    wall = payload.get("wall", {})
+    return {
+        "git": payload.get("git"),
+        "recorded": wall.get("recorded"),
+        "suite": payload.get("suite"),
+        "scale": payload.get("scale"),
+        "host": wall.get("host"),
+        "timings": timings,
+    }
+
+
+def append_trajectory(
+    payload: dict[str, Any], path: str | os.PathLike[str]
+) -> dict[str, Any]:
+    """Append one run's summary to the trajectory file; returns the entry.
+
+    The file is valid JSON but formatted one entry per line, so each
+    bench run is one added line in a diff and the perf trajectory across
+    PRs reads straight off ``git log -p BENCH_trajectory.json``.  An
+    unreadable or foreign-schema file is restarted rather than corrupted
+    further (the old content only mattered if it matched the schema).
+    """
+    p = pathlib.Path(path)
+    entries: list[dict[str, Any]] = []
+    if p.is_file():
+        try:
+            loaded = json.loads(p.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if (
+            isinstance(loaded, dict)
+            and loaded.get("schema") == TRAJECTORY_SCHEMA
+            and isinstance(loaded.get("entries"), list)
+        ):
+            entries = [e for e in loaded["entries"] if isinstance(e, dict)]
+    entry = trajectory_entry(payload)
+    entries.append(entry)
+    lines = ["{", f'  "schema": {json.dumps(TRAJECTORY_SCHEMA)},', '  "entries": [']
+    for i, e in enumerate(entries):
+        comma = "," if i < len(entries) - 1 else ""
+        lines.append("    " + json.dumps(e, separators=(", ", ": ")) + comma)
+    lines += ["  ]", "}", ""]
+    p.write_text("\n".join(lines), encoding="utf-8")
+    return entry
+
+
+# ----------------------------------------------------------------------
 # Shared argparse surface (scripts/bench_all.py and `rhohammer bench`)
 # ----------------------------------------------------------------------
 def add_bench_args(parser: argparse.ArgumentParser) -> None:
@@ -452,6 +513,18 @@ def add_bench_args(parser: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="print the payload as JSON instead of the summary",
     )
+    parser.add_argument(
+        "--registry", metavar="PATH", default=None,
+        help="run registry database to record the suite into (default: "
+             "registry.sqlite next to the results file; 'none' disables; "
+             "the RHOHAMMER_REGISTRY env var overrides the default)",
+    )
+    parser.add_argument(
+        "--trajectory", metavar="PATH", default=None,
+        help="append a one-line summary entry to this trajectory JSON "
+             "(default: off; scripts/bench_all.py targets the repo-root "
+             "BENCH_trajectory.json; 'none' disables explicitly)",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -464,6 +537,12 @@ def run_from_args(args: argparse.Namespace) -> int:
     out_path = pathlib.Path(args.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    registry_note = _record_into_registry(payload, args.registry, out_path)
+    trajectory = getattr(args, "trajectory", None)
+    if trajectory and trajectory.lower() != "none":
+        append_trajectory(payload, trajectory)
+        registry_note.append(f"trajectory: appended entry to {trajectory}")
 
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -478,6 +557,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"  {name:<8} {checks}")
             print(f"  {'':<8} {timings}")
         print(f"wrote {out_path}")
+        for note in registry_note:
+            print(note)
 
     if not args.check:
         return 0
@@ -500,6 +581,81 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 1
     print(f"bench gate ok against {baseline_path} "
           f"(±{args.rel_threshold:.0%} on checks)")
+    return 0
+
+
+def _record_into_registry(
+    payload: dict[str, Any],
+    registry_arg: str | None,
+    out_path: pathlib.Path,
+) -> list[str]:
+    """Record the suite into the run registry; never fails the bench.
+
+    Returns human-readable notes for the summary output.  Resolution:
+    an explicit ``--registry`` wins (``none`` disables), else the shared
+    :func:`~repro.obs.registry.default_registry_path` rules apply with
+    the results file's directory as the anchor.
+    """
+    from repro.obs.registry import RunRegistry, default_registry_path
+
+    if registry_arg is not None:
+        registry_arg = registry_arg.strip()
+        if not registry_arg or registry_arg.lower() == "none":
+            return []
+        db_path = registry_arg
+    else:
+        db_path = default_registry_path(out_path)
+    if db_path is None:
+        return []
+    try:
+        with RunRegistry(db_path) as registry:
+            run_id = registry.record_bench(payload)
+    except Exception as exc:  # registry trouble must not fail the bench
+        return [f"warning: could not record into registry {db_path}: {exc}"]
+    return [f"registry: recorded run #{run_id} into {db_path}"]
+
+
+def legacy_main(
+    bench: str,
+    results_path: str | os.PathLike[str],
+    argv: list[str] | None = None,
+) -> int:
+    """Body of the superseded single-bench scripts (bench_engine/bench_obs).
+
+    Runs exactly one bench of the unified suite at full scale and writes
+    its payload to the script's historical output path, so pre-existing
+    tooling keeps finding a file there while the implementation cannot
+    drift from ``rhohammer bench`` anymore.
+    """
+    parser = argparse.ArgumentParser(
+        description=f"[deprecated] single-bench wrapper for '{bench}'"
+    )
+    parser.add_argument(
+        "--suite", choices=("quick", "full"), default="full",
+        help="workload size (default: full)",
+    )
+    parser.add_argument("--quick", action="store_const", dest="suite",
+                        const="quick", help="shorthand for --suite quick")
+    args = parser.parse_args(argv)
+
+    print(
+        f"note: this script is superseded by "
+        f"'PYTHONPATH=src python scripts/bench_all.py --only {bench}' "
+        f"(or 'rhohammer bench --only {bench}') and now delegates to it"
+    )
+    payload = run_suite(
+        suite=args.suite,
+        only=[bench],
+        progress=lambda name: print(f"bench: {name} ..."),
+    )
+    out = pathlib.Path(results_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    result = payload["benches"][bench]
+    for section in ("checks", "timings"):
+        line = " ".join(f"{k}={v}" for k, v in result[section].items())
+        print(f"  {section}: {line}")
+    print(f"wrote {out}")
     return 0
 
 

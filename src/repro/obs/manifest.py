@@ -19,6 +19,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
+#: Schema tag stamped into every ``metrics.json``; loaders accept files
+#: without the tag (pre-tag runs) but reject an unknown value.
+RUN_SCHEMA = "rhohammer-run-manifest/v1"
+
 
 def git_describe(cwd: str | os.PathLike[str] | None = None) -> str:
     """``git describe --always --dirty`` of the source tree, or ``unknown``."""
@@ -115,7 +119,8 @@ class RunManifest:
         }
 
     def to_dict(self) -> dict[str, Any]:
-        out: dict[str, Any] = self.header_dict()
+        out: dict[str, Any] = {"schema": RUN_SCHEMA}
+        out.update(self.header_dict())
         out["exit_code"] = self.exit_code
         if self.result is not None:
             out["result"] = self.result

@@ -1,0 +1,721 @@
+"""Persistent run registry: a fleet of runs in one SQLite database.
+
+PRs 2–3 made a single run observable (``trace.jsonl``, ``metrics.json``,
+``rhohammer analyze``/``compare``), but ρHammer's headline claims are
+longitudinal — flip yields and attack times tracked across platforms,
+DIMMs, and code revisions.  The registry is the layer that makes those
+trajectories queryable: every instrumented CLI run (``--out`` /
+``--registry``) and every ``rhohammer bench`` invocation records one row
+— its manifest identity, the final metric snapshot, per-phase rollups,
+and bench suite numbers — into a dependency-free SQLite database, and
+``rhohammer history`` / ``rhohammer trends`` answer questions no single
+run directory can: *what did this metric do over the last N runs, and is
+the latest one a regression?*
+
+Design constraints, mirroring the rest of :mod:`repro.obs`:
+
+* **stdlib only** — ``sqlite3`` ships with CPython; no ORM, no client.
+* **never take the run down** — CLI recording wraps every registry write
+  in a guard; a broken/locked/read-only database degrades to a warning.
+* **concurrent-writer safe** — multiple simultaneous runs (e.g. a CI
+  matrix sharing a workspace) may record into one database; writes are
+  short ``BEGIN IMMEDIATE`` transactions behind SQLite's own locking
+  with a generous busy timeout.
+* **versioned schema** — ``PRAGMA user_version`` tracks the schema;
+  opening an older database migrates it in place, opening a *newer* one
+  (written by a future revision) refuses with :class:`RegistryError`
+  instead of corrupting it.
+
+Every numeric fact of a run is flattened into one ``samples`` table of
+``(run_id, key, value)`` rows under dotted keys::
+
+    counters.fuzz.flips_total        gauges.dram.trr.last_occupancy
+    histograms.hammer.cache_miss_rate.p90
+    phases.fuzz.campaign.wall_s      phases.pool.batch.count
+    bench.dram.timings.vectorised_s  bench.engine.checks.total_flips
+
+so ``trends`` is a single indexed query regardless of where a number
+came from.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.compare import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WALL_THRESHOLD,
+    direction_for,
+    is_wall_key,
+)
+
+#: Current registry schema version (``PRAGMA user_version``).
+SCHEMA_VERSION = 2
+
+#: Conventional database filename next to a family of run directories.
+REGISTRY_FILENAME = "registry.sqlite"
+
+#: Environment variable naming the default registry database.
+REGISTRY_ENV = "RHOHAMMER_REGISTRY"
+
+#: Histogram summary stats worth tracking across runs.
+_HISTOGRAM_STATS = ("count", "sum", "mean", "p50", "p90", "p99")
+
+#: Phase rollup stats worth tracking across runs.
+_PHASE_STATS = ("count", "wall_s", "self_wall_s", "virtual_s")
+
+
+class RegistryError(RuntimeError):
+    """The registry database cannot be opened, migrated, or queried."""
+
+
+#: Schema migrations, applied in version order inside one transaction
+#: each.  Version N's statements bring a version N-1 database to N; a
+#: fresh database replays all of them.  Never edit an entry after it has
+#: shipped — append a new version instead.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        """
+        CREATE TABLE runs (
+            id          INTEGER PRIMARY KEY AUTOINCREMENT,
+            recorded_at TEXT NOT NULL,
+            kind        TEXT NOT NULL,
+            command     TEXT,
+            platform    TEXT,
+            dimm        TEXT,
+            seed        INTEGER,
+            scale       TEXT,
+            git         TEXT,
+            exit_code   INTEGER
+        )
+        """,
+        """
+        CREATE TABLE samples (
+            run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+            key    TEXT NOT NULL,
+            value  REAL NOT NULL,
+            PRIMARY KEY (run_id, key)
+        )
+        """,
+    ),
+    2: (
+        # v2: bench rows carry their suite so quick/full series never mix,
+        # and the cross-run series query gets a covering index.
+        "ALTER TABLE runs ADD COLUMN suite TEXT",
+        "CREATE INDEX idx_samples_key ON samples(key, run_id)",
+    ),
+}
+
+
+def default_registry_path(out_dir: str | os.PathLike[str] | None = None) -> str | None:
+    """Resolve the registry database a run should record into.
+
+    Resolution order: the :data:`REGISTRY_ENV` environment variable (the
+    value ``none`` disables recording), else — when the run writes a
+    ``--out`` directory — ``registry.sqlite`` next to that directory, so
+    sibling runs under one parent (``runs/A``, ``runs/B``, …) naturally
+    share one database.  ``None`` means "do not record".
+    """
+    env = os.environ.get(REGISTRY_ENV)
+    if env is not None:
+        env = env.strip()
+        if not env or env.lower() == "none":
+            return None
+        return env
+    if out_dir is not None:
+        parent = os.path.dirname(os.path.abspath(os.fspath(out_dir)))
+        return os.path.join(parent, REGISTRY_FILENAME)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclass
+class RunRecord:
+    """One registered run (without its samples; see ``samples_for``)."""
+
+    run_id: int
+    recorded_at: str
+    kind: str
+    command: str | None
+    platform: str | None
+    dimm: str | None
+    seed: int | None
+    scale: str | None
+    git: str | None
+    suite: str | None
+    exit_code: int | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.run_id,
+            "recorded_at": self.recorded_at,
+            "kind": self.kind,
+            "command": self.command,
+            "platform": self.platform,
+            "dimm": self.dimm,
+            "seed": self.seed,
+            "scale": self.scale,
+            "git": self.git,
+            "suite": self.suite,
+            "exit_code": self.exit_code,
+        }
+
+
+@dataclass
+class TrendPoint:
+    """One run's value of one metric."""
+
+    run_id: int
+    recorded_at: str
+    git: str | None
+    value: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run": self.run_id,
+            "recorded_at": self.recorded_at,
+            "git": self.git,
+            "value": self.value,
+        }
+
+
+@dataclass
+class MetricTrend:
+    """One metric's cross-run series plus the regression verdict.
+
+    The verdict mirrors ``rhohammer compare``'s semantics: the latest
+    value is judged against the **rolling median** of the ``window``
+    preceding values; deterministic quantities gate at ±``threshold``
+    (default 5%), wall-clock quantities use the laxer
+    ``wall_threshold`` and are ungated unless ``gate_wall``.
+    """
+
+    metric: str
+    points: list[TrendPoint] = field(default_factory=list)
+    direction: str = "none"
+    wall: bool = False
+    baseline: float | None = None
+    latest: float | None = None
+    rel: float | None = None
+    classification: str = "insufficient"
+    gated: bool = False
+
+    @property
+    def regressed(self) -> bool:
+        return self.classification == "regression" and self.gated
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "wall": self.wall,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "rel": round(self.rel, 6) if self.rel is not None else None,
+            "classification": self.classification,
+            "gated": self.gated,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+# ----------------------------------------------------------------------
+# Flattening run artifacts into samples
+# ----------------------------------------------------------------------
+def _numeric(value: Any) -> float | None:
+    """Booleans become 0/1; other numbers pass through; rest drop."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def flatten_metrics(metrics: Mapping[str, Any] | None) -> dict[str, float]:
+    """A metrics snapshot as flat ``counters.* / gauges.* / histograms.*`` keys."""
+    out: dict[str, float] = {}
+    if not metrics:
+        return out
+    for section in ("counters", "gauges"):
+        for key, value in (metrics.get(section) or {}).items():
+            num = _numeric(value)
+            if num is not None:
+                out[f"{section}.{key}"] = num
+    for key, hist in (metrics.get("histograms") or {}).items():
+        if not isinstance(hist, Mapping):
+            continue
+        for stat in _HISTOGRAM_STATS:
+            num = _numeric(hist.get(stat))
+            if num is not None:
+                out[f"histograms.{key}.{stat}"] = num
+    return out
+
+
+def flatten_phases(phases: Mapping[str, Any] | None) -> dict[str, float]:
+    """Per-phase rollups (``TraceAnalysis.phases`` dicts) as flat keys."""
+    out: dict[str, float] = {}
+    for name, rollup in (phases or {}).items():
+        payload = rollup.to_dict() if hasattr(rollup, "to_dict") else rollup
+        if not isinstance(payload, Mapping):
+            continue
+        for stat in _PHASE_STATS:
+            num = _numeric(payload.get(stat))
+            if num is not None:
+                out[f"phases.{name}.{stat}"] = num
+    return out
+
+
+def flatten_bench(payload: Mapping[str, Any]) -> dict[str, float]:
+    """A ``BENCH_all.json`` payload as flat ``bench.*`` keys."""
+    out: dict[str, float] = {}
+    for name, bench in (payload.get("benches") or {}).items():
+        if not isinstance(bench, Mapping):
+            continue
+        for section in ("checks", "timings"):
+            for key, value in (bench.get(section) or {}).items():
+                num = _numeric(value)
+                if num is not None:
+                    out[f"bench.{name}.{section}.{key}"] = num
+    return out
+
+
+def _timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+
+# ----------------------------------------------------------------------
+# The registry itself
+# ----------------------------------------------------------------------
+class RunRegistry:
+    """One SQLite-backed registry of runs; usable as a context manager."""
+
+    def __init__(self, path: str | os.PathLike[str], timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=timeout)
+        except sqlite3.Error as exc:  # e.g. unreadable parent directory
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        self._conn.row_factory = sqlite3.Row
+        # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
+        # blocks so writers serialise cleanly under concurrency.
+        self._conn.isolation_level = None
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            pass  # e.g. read-only media: rollback journal still works
+        self._migrate()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def schema_version(self) -> int:
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def _migrate(self) -> None:
+        try:
+            version = self.schema_version
+            if version > SCHEMA_VERSION:
+                raise RegistryError(
+                    f"{self.path}: schema version {version} is newer than "
+                    f"this build supports ({SCHEMA_VERSION}) — update the "
+                    "code or use a fresh database"
+                )
+            if version == SCHEMA_VERSION:
+                return
+            # One writer migrates; concurrent openers queue on the lock
+            # and re-check the version once they acquire it.
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                version = self.schema_version
+                for target in range(version + 1, SCHEMA_VERSION + 1):
+                    for statement in _MIGRATIONS[target]:
+                        self._conn.execute(statement)
+                    self._conn.execute(f"PRAGMA user_version = {target:d}")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+
+    # -- recording -----------------------------------------------------
+    def _insert(
+        self,
+        *,
+        kind: str,
+        command: str | None,
+        platform: str | None,
+        dimm: str | None,
+        seed: int | None,
+        scale: str | None,
+        git: str | None,
+        suite: str | None,
+        exit_code: int | None,
+        samples: Mapping[str, float],
+        recorded_at: str | None,
+    ) -> int:
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = self._conn.execute(
+                    "INSERT INTO runs (recorded_at, kind, command, platform,"
+                    " dimm, seed, scale, git, suite, exit_code)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        recorded_at or _timestamp(),
+                        kind,
+                        command,
+                        platform,
+                        dimm,
+                        seed,
+                        scale,
+                        git,
+                        suite,
+                        exit_code,
+                    ),
+                )
+                run_id = int(cursor.lastrowid)
+                self._conn.executemany(
+                    "INSERT INTO samples (run_id, key, value) VALUES (?, ?, ?)",
+                    [(run_id, key, value) for key, value in sorted(samples.items())],
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return run_id
+
+    def record_run(
+        self,
+        manifest: Mapping[str, Any],
+        phases: Mapping[str, Any] | None = None,
+        extra_samples: Mapping[str, float] | None = None,
+        recorded_at: str | None = None,
+    ) -> int:
+        """Register one instrumented run from its manifest dict.
+
+        ``manifest`` is a :meth:`repro.obs.manifest.RunManifest.to_dict`
+        payload (or the trace stream's header); ``phases`` is the
+        ``phases`` mapping of a :class:`~repro.obs.analyze.TraceAnalysis`
+        (rollup objects or their dicts).  Returns the new run's id.
+        """
+        budget = manifest.get("budget") or {}
+        samples = flatten_metrics(manifest.get("metrics"))
+        samples.update(flatten_phases(phases))
+        for key, value in budget.items():
+            num = _numeric(value)
+            if num is not None:
+                samples[f"budget.{key}"] = num
+        if extra_samples:
+            samples.update(extra_samples)
+        return self._insert(
+            kind="run",
+            command=manifest.get("command"),
+            platform=manifest.get("platform"),
+            dimm=manifest.get("dimm"),
+            seed=manifest.get("seed"),
+            scale=manifest.get("scale"),
+            git=manifest.get("git"),
+            suite=None,
+            exit_code=manifest.get("exit_code"),
+            samples=samples,
+            recorded_at=recorded_at,
+        )
+
+    def record_bench(
+        self,
+        payload: Mapping[str, Any],
+        recorded_at: str | None = None,
+    ) -> int:
+        """Register one ``BENCH_all.json`` payload (``rhohammer bench``)."""
+        return self._insert(
+            kind="bench",
+            command="bench",
+            platform=None,
+            dimm=None,
+            seed=None,
+            scale=payload.get("scale"),
+            git=payload.get("git"),
+            suite=payload.get("suite"),
+            exit_code=None,
+            samples=flatten_bench(payload),
+            recorded_at=recorded_at,
+        )
+
+    # -- querying ------------------------------------------------------
+    def runs(
+        self,
+        *,
+        kind: str | None = None,
+        command: str | None = None,
+        platform: str | None = None,
+        dimm: str | None = None,
+        seed: int | None = None,
+        scale: str | None = None,
+        git: str | None = None,
+        suite: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunRecord]:
+        """Registered runs, oldest first, filtered by identity fields.
+
+        ``git`` matches as a substring (describe outputs carry hashes);
+        every other filter is exact.  ``limit`` keeps the *newest* N.
+        """
+        clauses: list[str] = []
+        params: list[Any] = []
+        for column, value in (
+            ("kind", kind),
+            ("command", command),
+            ("platform", platform),
+            ("dimm", dimm),
+            ("seed", seed),
+            ("scale", scale),
+            ("suite", suite),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if git is not None:
+            clauses.append("git LIKE ?")
+            params.append(f"%{git}%")
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        try:
+            rows = self._conn.execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        rows.reverse()  # oldest first, newest-N kept by the LIMIT above
+        return [self._record(row) for row in rows]
+
+    @staticmethod
+    def _record(row: sqlite3.Row) -> RunRecord:
+        return RunRecord(
+            run_id=row["id"],
+            recorded_at=row["recorded_at"],
+            kind=row["kind"],
+            command=row["command"],
+            platform=row["platform"],
+            dimm=row["dimm"],
+            seed=row["seed"],
+            scale=row["scale"],
+            git=row["git"],
+            suite=row["suite"],
+            exit_code=row["exit_code"],
+        )
+
+    def samples_for(self, run_id: int) -> dict[str, float]:
+        """Every flattened sample of one run, key-sorted."""
+        rows = self._conn.execute(
+            "SELECT key, value FROM samples WHERE run_id = ? ORDER BY key",
+            (run_id,),
+        ).fetchall()
+        return {row["key"]: row["value"] for row in rows}
+
+    def metric_keys(self, pattern: str | None = None) -> list[str]:
+        """Distinct sample keys, optionally filtered by a glob pattern."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT key FROM samples ORDER BY key"
+        ).fetchall()
+        keys = [row["key"] for row in rows]
+        if pattern is None:
+            return keys
+        return [k for k in keys if fnmatch.fnmatchcase(k, pattern)]
+
+    def series(self, metric: str, **filters: Any) -> list[TrendPoint]:
+        """One metric's value across matching runs, oldest first."""
+        points: list[TrendPoint] = []
+        for record in self.runs(**filters):
+            row = self._conn.execute(
+                "SELECT value FROM samples WHERE run_id = ? AND key = ?",
+                (record.run_id, metric),
+            ).fetchone()
+            if row is None:
+                continue
+            points.append(
+                TrendPoint(
+                    run_id=record.run_id,
+                    recorded_at=record.recorded_at,
+                    git=record.git,
+                    value=float(row["value"]),
+                )
+            )
+        return points
+
+
+# ----------------------------------------------------------------------
+# Trends: cross-run series + rolling-median regression detection
+# ----------------------------------------------------------------------
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compute_trend(
+    metric: str,
+    points: list[TrendPoint],
+    window: int = 5,
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    gate_wall: bool = False,
+) -> MetricTrend:
+    """Judge the latest point of one series against its rolling median.
+
+    Classification follows :mod:`repro.obs.compare` exactly — the rolling
+    median of up to ``window`` preceding values stands in for "run A".
+    A series with fewer than two points classifies as ``insufficient``
+    (never gated); a metric with no goodness direction classifies as
+    ``changed`` when it moves (reported, never gated).
+    """
+    trend = MetricTrend(
+        metric=metric,
+        points=points,
+        direction=direction_for(metric),
+        wall=is_wall_key(metric),
+    )
+    trend.gated = not trend.wall or gate_wall
+    if not points:
+        return trend
+    trend.latest = points[-1].value
+    history = [p.value for p in points[:-1]]
+    if not history:
+        return trend
+    baseline = _median(history[-window:])
+    trend.baseline = baseline
+    limit = wall_threshold if trend.wall else threshold
+    latest = trend.latest
+    if baseline == latest == 0:
+        trend.classification = "neutral"
+        return trend
+    trend.rel = (latest - baseline) / abs(baseline) if baseline != 0 else None
+    moved = abs(trend.rel) > limit if trend.rel is not None else True
+    if not moved:
+        trend.classification = "neutral"
+    elif trend.direction == "none":
+        trend.classification = "changed"
+    else:
+        worse = (
+            (latest < baseline)
+            if trend.direction == "higher"
+            else (latest > baseline)
+        )
+        trend.classification = "regression" if worse else "improvement"
+    return trend
+
+
+def compute_trends(
+    registry: RunRegistry,
+    metrics: Iterable[str],
+    window: int = 5,
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+    gate_wall: bool = False,
+    **filters: Any,
+) -> list[MetricTrend]:
+    """Resolve metric names/globs and compute each one's trend.
+
+    A ``metric`` containing glob characters (``*?[``) expands against the
+    registry's distinct sample keys; an exact name that matches no data
+    still yields an (empty, ``insufficient``) trend so callers can see
+    the miss.
+    """
+    resolved: list[str] = []
+    seen: set[str] = set()
+    for metric in metrics:
+        if any(ch in metric for ch in "*?["):
+            names = registry.metric_keys(metric)
+        else:
+            names = [metric]
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                resolved.append(name)
+    return [
+        compute_trend(
+            metric,
+            registry.series(metric, **filters),
+            window=window,
+            threshold=threshold,
+            wall_threshold=wall_threshold,
+            gate_wall=gate_wall,
+        )
+        for metric in resolved
+    ]
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_history(records: list[RunRecord], registry: RunRegistry) -> str:
+    """Human-readable table for ``rhohammer history``."""
+    if not records:
+        return "registry is empty (no matching runs)"
+    lines = [
+        f"  {'id':>4} {'kind':<6} {'command':<10} {'target':<22} "
+        f"{'scale':<6} {'git':<18} {'exit':>4}  recorded"
+    ]
+    for rec in records:
+        if rec.kind == "bench":
+            target = f"suite={rec.suite or '?'}"
+        else:
+            target = f"{rec.platform}/{rec.dimm} seed={rec.seed}"
+        exit_txt = "-" if rec.exit_code is None else str(rec.exit_code)
+        lines.append(
+            f"  {rec.run_id:>4} {rec.kind:<6} {rec.command or '?':<10} "
+            f"{target:<22} {rec.scale or '?':<6} "
+            f"{(rec.git or '?')[:18]:<18} {exit_txt:>4}  {rec.recorded_at}"
+        )
+    lines.append(f"{len(records)} run(s)")
+    return "\n".join(lines)
+
+
+def format_trends(trends: list[MetricTrend]) -> str:
+    """Human-readable report for ``rhohammer trends``."""
+    if not trends:
+        return "no metrics matched"
+    lines: list[str] = []
+    for trend in trends:
+        n = len(trend.points)
+        if trend.latest is None:
+            lines.append(f"  {trend.metric}: no data")
+            continue
+        rel = f"{trend.rel:+.1%}" if trend.rel is not None else "n/a"
+        base = (
+            f"{trend.baseline:.6g}" if trend.baseline is not None else "n/a"
+        )
+        gate = " (ungated wall)" if trend.wall and not trend.gated else ""
+        lines.append(
+            f"  {trend.classification:<12} {trend.metric}  "
+            f"median={base} latest={trend.latest:.6g}  "
+            f"{rel} over {n} run(s){gate}"
+        )
+        spark = " ".join(f"{p.value:.6g}" for p in trend.points[-8:])
+        lines.append(f"      series: {spark}")
+    regressions = sum(1 for t in trends if t.regressed)
+    lines.append(f"verdict: {regressions} gated regression(s) across "
+                 f"{len(trends)} metric(s)")
+    return "\n".join(lines)

@@ -8,7 +8,13 @@ Every record is one JSON object per line.  Three event kinds:
   closes it — end attrs carry the *virtual simulated* durations
   (``virtual_ns`` / ``virtual_s``) and outcome counts;
 * ``{"ev": "point", ...}`` / ``{"ev": "manifest", ...}`` are single
-  instantaneous records.
+  instantaneous records;
+* ``{"ev": "heartbeat", "wall": {...}}`` is an opt-in liveness record for
+  ``rhohammer follow`` (see :mod:`repro.obs.live`).  Heartbeats carry no
+  ``id`` — the deterministic id sequence is untouched — and every field
+  lives under ``wall``, so :func:`strip_wall` reduces each one to
+  ``{"ev": "heartbeat"}`` and same-seed streams only differ in how many
+  of those lines appear, which analytics readers ignore.
 
 **Determinism contract:** every nondeterministic value — wall-clock
 timestamps, wall durations, worker pids — lives under the record's
@@ -98,6 +104,8 @@ class SpanTracer:
         #: Optional :class:`repro.obs.profile.PhaseProfiler`; when set,
         #: every span begin/end is offered to it (it decides ownership).
         self.profiler: Any | None = None
+        #: Minimum seconds between heartbeat records; ``None`` disables.
+        self.heartbeat_s: float | None = None
         self._sink: IO[str] | None = None
         self._owns_sink = False
         self._memory: list[dict[str, Any]] | None = None
@@ -105,6 +113,8 @@ class SpanTracer:
         self._child_events: list[dict[str, Any]] = []
         self._next_id = 1
         self._stack: list[int] = []
+        self._stack_names: list[str] = []
+        self._last_heartbeat = 0.0
 
     # -- lifecycle -----------------------------------------------------
     def configure(
@@ -112,10 +122,18 @@ class SpanTracer:
         path: str | os.PathLike[str] | None = None,
         memory: bool = False,
         detail: str = "phase",
+        heartbeat_s: float | None = None,
     ) -> None:
-        """Start a fresh stream to ``path`` (or an in-memory list)."""
+        """Start a fresh stream to ``path`` (or an in-memory list).
+
+        ``heartbeat_s`` opts into liveness records at most every that
+        many seconds (off by default — heartbeats are nondeterministic
+        in count, so only follow-minded runs enable them).
+        """
         if detail not in DETAIL_LEVELS:
             raise ValueError(f"trace detail must be one of {DETAIL_LEVELS}")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
         self.shutdown()
         if path is not None:
             self._sink = open(path, "w", encoding="utf-8")
@@ -126,10 +144,13 @@ class SpanTracer:
             return
         self.enabled = True
         self.detail = detail
+        self.heartbeat_s = heartbeat_s
         self._pid = os.getpid()
         self._child_events = []
         self._next_id = 1
         self._stack = []
+        self._stack_names = []
+        self._last_heartbeat = time.monotonic()
 
     def shutdown(self) -> None:
         """Close the stream and return to the disabled state."""
@@ -141,7 +162,9 @@ class SpanTracer:
         self.enabled = False
         self.detail = "phase"
         self.profiler = None
+        self.heartbeat_s = None
         self._stack = []
+        self._stack_names = []
         self._child_events = []
 
     @property
@@ -156,11 +179,43 @@ class SpanTracer:
             # pool to ship back (see module docstring).
             self._child_events.append(record)
             return
+        self._write(record)
+        if self.heartbeat_s is not None:
+            self.heartbeat()
+
+    def _write(self, record: dict[str, Any]) -> None:
         if self._memory is not None:
             self._memory.append(record)
         if self._sink is not None:
             self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
             self._sink.flush()  # keeps fork children's inherited buffer empty
+
+    def heartbeat(self, **wall: Any) -> None:
+        """Emit an id-free liveness record (rate-limited, parent-only).
+
+        Hot paths may call this freely: it is a no-op unless heartbeats
+        were opted into via ``configure(heartbeat_s=...)``, at least that
+        interval has elapsed, and we are the parent process (children
+        drop heartbeats rather than buffering nondeterministic noise for
+        replay).  Extra keyword values land under ``wall`` alongside the
+        current open-span stack.
+        """
+        if not self.enabled or self.heartbeat_s is None:
+            return
+        if os.getpid() != self._pid:
+            return
+        now = time.monotonic()
+        if now - self._last_heartbeat < self.heartbeat_s:
+            return
+        self._last_heartbeat = now
+        payload: dict[str, Any] = {
+            "t": time.time(),
+            "stack": list(self._stack_names),
+            **wall,
+        }
+        if self._stack_names:
+            payload.setdefault("phase", self._stack_names[-1])
+        self._write({"ev": "heartbeat", WALL_KEY: payload})
 
     def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
         """Open a nested span; close it by leaving the ``with`` block."""
@@ -170,6 +225,7 @@ class SpanTracer:
         self._next_id += 1
         parent = self._stack[-1] if self._stack else None
         self._stack.append(span_id)
+        self._stack_names.append(name)
         if self.profiler is not None:
             self.profiler.on_span_begin(span_id, name)
         self._emit(
@@ -192,8 +248,11 @@ class SpanTracer:
             self.profiler.on_span_end(span.span_id)
         if self._stack and self._stack[-1] == span.span_id:
             self._stack.pop()
+            self._stack_names.pop()
         elif span.span_id in self._stack:  # tolerate out-of-order exits
-            self._stack.remove(span.span_id)
+            idx = self._stack.index(span.span_id)
+            del self._stack[idx]
+            del self._stack_names[idx]
         self._emit(
             {
                 "ev": "span",

@@ -6,7 +6,16 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.obs.bench import SCHEMA, check_payload, run_suite
+from repro.obs.bench import (
+    SCHEMA,
+    TRAJECTORY_SCHEMA,
+    append_trajectory,
+    check_payload,
+    legacy_main,
+    run_suite,
+    trajectory_entry,
+)
+from repro.obs.registry import RunRegistry
 
 
 @pytest.fixture(scope="module")
@@ -154,3 +163,107 @@ def test_bench_json_output(tmp_path, capsys):
     printed = json.loads(capsys.readouterr().out)
     assert printed["schema"] == SCHEMA
     assert printed["benches"]["reveng"]["checks"]["fully_correct"] is True
+
+
+def _full_payload():
+    payload = _synthetic_payload()
+    payload.update({
+        "scale": "QUICK", "git": "abc1234",
+        "wall": {"recorded": "2026-01-01T00:00:00+0000", "host": "ci"},
+    })
+    return payload
+
+
+def test_trajectory_entry_keeps_numeric_timings_only():
+    payload = _full_payload()
+    payload["benches"]["fuzz"]["timings"]["converged"] = True
+    entry = trajectory_entry(payload)
+    assert entry == {
+        "git": "abc1234", "recorded": "2026-01-01T00:00:00+0000",
+        "suite": "quick", "scale": "QUICK", "host": "ci",
+        "timings": {"fuzz.wall_s": 2.0, "fuzz.speedup": 1.8},
+    }
+
+
+def test_append_trajectory_one_line_per_entry(tmp_path):
+    traj = tmp_path / "BENCH_trajectory.json"
+    append_trajectory(_full_payload(), traj)
+    append_trajectory(_full_payload(), traj)
+    loaded = json.loads(traj.read_text())
+    assert loaded["schema"] == TRAJECTORY_SCHEMA
+    assert len(loaded["entries"]) == 2
+    # diff-friendly: exactly one line per entry
+    entry_lines = [
+        line for line in traj.read_text().splitlines()
+        if '"git"' in line
+    ]
+    assert len(entry_lines) == 2
+
+    # a foreign-schema file is restarted, not corrupted further
+    traj.write_text('{"schema": "something/else", "entries": [1, 2, 3]}')
+    append_trajectory(_full_payload(), traj)
+    loaded = json.loads(traj.read_text())
+    assert loaded["schema"] == TRAJECTORY_SCHEMA
+    assert len(loaded["entries"]) == 1
+
+
+def test_cli_bench_registry_and_trajectory_wiring(
+    tmp_path, capsys, monkeypatch
+):
+    import repro.obs.bench as bench_mod
+
+    monkeypatch.setattr(
+        bench_mod, "run_suite", lambda suite, only=None, progress=None:
+        _full_payload()
+    )
+    out = tmp_path / "results" / "BENCH_all.json"
+    db = tmp_path / "bench-registry.sqlite"
+    traj = tmp_path / "traj.json"
+    assert main([
+        "bench", "--quick", "--out", str(out),
+        "--registry", str(db), "--trajectory", str(traj),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "registry: recorded run #1" in printed
+    assert "trajectory: appended entry" in printed
+    with RunRegistry(db) as reg:
+        records = reg.runs(kind="bench")
+        assert len(records) == 1
+        assert records[0].suite == "quick"
+        samples = reg.samples_for(records[0].run_id)
+        assert samples["bench.fuzz.checks.total_flips"] == 100.0
+    assert len(json.loads(traj.read_text())["entries"]) == 1
+    # default (no --registry): a registry.sqlite lands next to the results
+    assert main(["bench", "--quick", "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert (out.parent / "registry.sqlite").is_file()
+    # and 'none' disables both explicitly
+    clean = tmp_path / "clean" / "BENCH_all.json"
+    assert main([
+        "bench", "--quick", "--out", str(clean), "--registry", "none",
+    ]) == 0
+    capsys.readouterr()
+    assert not (clean.parent / "registry.sqlite").exists()
+
+
+def test_legacy_main_delegates_to_the_suite(tmp_path, capsys, monkeypatch):
+    import repro.obs.bench as bench_mod
+
+    seen = {}
+
+    def fake_run_suite(suite, only=None, progress=None):
+        seen["suite"], seen["only"] = suite, only
+        payload = _full_payload()
+        payload["benches"] = {"engine": payload["benches"].pop("fuzz")}
+        return payload
+
+    monkeypatch.setattr(bench_mod, "run_suite", fake_run_suite)
+    results = tmp_path / "BENCH_engine.json"
+    assert legacy_main("engine", results, argv=["--quick"]) == 0
+    assert seen == {"suite": "quick", "only": ["engine"]}
+    printed = capsys.readouterr().out
+    assert "superseded by" in printed
+    assert "bench_all.py --only engine" in printed
+    payload = json.loads(results.read_text())
+    assert payload["schema"] == SCHEMA
+    assert set(payload["benches"]) == {"engine"}

@@ -145,3 +145,24 @@ def test_cli_compare_json(run_a, run_b, capsys):
     assert payload["ok"] is True
     assert payload["regressions"] == []
     assert isinstance(payload["deltas"], list)
+
+
+def test_cli_compare_unknown_manifest_schema_is_exit_2(
+    run_a, tmp_path, capsys
+):
+    """A future metrics.json schema fails cleanly, not with a traceback."""
+    future = tmp_path / "future-run"
+    shutil.copytree(run_a, future)
+    manifest_path = future / "metrics.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema"] = "rhohammer-run-manifest/v99"
+    manifest_path.write_text(json.dumps(manifest))
+    assert main(["compare", str(run_a), str(future)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown run manifest schema" in err
+    assert "rhohammer-run-manifest/v99" in err
+    # a schema-free manifest (pre-tagging fixture) still loads fine
+    del manifest["schema"]
+    manifest_path.write_text(json.dumps(manifest))
+    assert main(["compare", str(run_a), str(future)]) == 0
+    capsys.readouterr()
