@@ -29,7 +29,13 @@ Quickstart::
 """
 
 from repro.campaign import CampaignReport, RhoHammerCampaign
-from repro.engine import ExperimentSpec, RunBudget, TaskPool
+from repro.engine import (
+    ExecutorBackend,
+    ExperimentSpec,
+    RunBudget,
+    TaskPool,
+    create_backend,
+)
 from repro.cpu.isa import (
     AddressingMode,
     Barrier,
@@ -65,6 +71,7 @@ __all__ = [
     "BENCH_SCALE",
     "BankFunction",
     "Barrier",
+    "ExecutorBackend",
     "ExperimentSpec",
     "FINE_SCALE",
     "FuzzingCampaign",
@@ -86,6 +93,7 @@ __all__ = [
     "TimingOracle",
     "baseline_load_config",
     "build_machine",
+    "create_backend",
     "mapping_for",
     "rhohammer_config",
     "sweep_pattern",

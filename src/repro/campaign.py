@@ -122,6 +122,10 @@ class RhoHammerCampaign:
     #: Worker-pool width for the fuzzing and sweeping phases; results are
     #: bit-identical for any value (see :mod:`repro.engine`).
     workers: int = 1
+    #: Executor backend for those phases (``auto``/``serial``/``fork``/
+    #: ``persistent``); ``auto`` picks the persistent pool when the host
+    #: has cores to spare.
+    backend: str = "auto"
 
     def run(self) -> CampaignReport:
         report = CampaignReport()
@@ -191,7 +195,11 @@ class RhoHammerCampaign:
             trials_per_pattern=2,
             seed_name="campaign-fuzz",
         ).execute(
-            RunBudget(max_trials=self.fuzz_patterns, workers=self.workers)
+            RunBudget(
+                max_trials=self.fuzz_patterns,
+                workers=self.workers,
+                backend=self.backend,
+            )
         )
         report.fuzzing = fuzzing
         report.best_pattern = fuzzing.best_pattern
@@ -219,7 +227,11 @@ class RhoHammerCampaign:
             self.machine,
             report.kernel,
             report.best_pattern,
-            RunBudget(max_trials=self.sweep_locations, workers=self.workers),
+            RunBudget(
+                max_trials=self.sweep_locations,
+                workers=self.workers,
+                backend=self.backend,
+            ),
             scale=self.scale,
             seed_name="campaign-sweep",
         )

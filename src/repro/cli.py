@@ -66,6 +66,7 @@ from repro import (
     sweep_pattern,
 )
 from repro.common.errors import ReproError
+from repro.engine import BACKEND_CHOICES
 from repro.exploit import EndToEndAttack
 from repro.exploit.endtoend import canonical_compact_pattern
 from repro.hammer.nops import tune_nop_count, tuned_config_for
@@ -146,6 +147,12 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent trials (results are "
              "bit-identical to --workers 1)",
     )
+    parser.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default="auto",
+        help="executor backend for the worker pool: auto picks the "
+             "persistent pool when the host has spare cores, serial "
+             "otherwise; fork is the legacy pool-per-batch strategy",
+    )
 
 
 def _add_json(parser: argparse.ArgumentParser) -> None:
@@ -211,7 +218,11 @@ def cmd_fuzz(args) -> int:
         print(f"kernel : {config.describe()}")
     campaign = FuzzingCampaign(machine=machine, config=config, scale=scale)
     report = campaign.execute(
-        RunBudget(max_trials=args.patterns, workers=args.workers)
+        RunBudget(
+            max_trials=args.patterns,
+            workers=args.workers,
+            backend=args.backend,
+        )
     )
     if args.json:
         _print_json({
@@ -243,7 +254,11 @@ def cmd_sweep(args) -> int:
     config = _tuned_config(args, scale)
     report = sweep_pattern(
         machine, config, canonical_compact_pattern(),
-        RunBudget(max_trials=args.locations, workers=args.workers), scale,
+        RunBudget(
+            max_trials=args.locations,
+            workers=args.workers,
+            backend=args.backend,
+        ), scale,
     )
     if args.json:
         _print_json({
@@ -320,6 +335,7 @@ def cmd_campaign(args) -> int:
         sweep_locations=args.locations,
         run_exploit=not args.no_exploit,
         workers=args.workers,
+        backend=args.backend,
     )
     report = campaign.run()
     if args.json:
@@ -819,7 +835,9 @@ def _budget_dict(args) -> dict[str, Any]:
     """The budget knobs this subcommand was invoked with (for the manifest)."""
     return {
         name: getattr(args, name)
-        for name in ("patterns", "locations", "workers", "fraction")
+        for name in (
+            "patterns", "locations", "workers", "backend", "fraction"
+        )
         if hasattr(args, name)
     }
 

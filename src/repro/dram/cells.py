@@ -122,6 +122,77 @@ class CellPopulation:
         directions = (rng.random(n_weak) < 0.5).astype(np.int8)
         return CellProfile(thresholds, bit_indices, directions)
 
+    # -- profile export/adoption (persistent-pool shared memory) -------
+    def export_profiles(
+        self, limit: int | None = None
+    ) -> tuple[
+        list[tuple[int, int, int, int]], np.ndarray, np.ndarray, np.ndarray
+    ] | None:
+        """Cached profiles flattened for shared-memory shipping.
+
+        Returns ``(index, thresholds, bit_indices, directions)`` where
+        ``index`` lists ``(bank, row, start, size)`` slices into the
+        concatenated arrays, or ``None`` when nothing is cached.  With
+        ``limit`` set, only the most recently used profiles are exported.
+        """
+        items = list(self._cache.items())
+        if limit is not None and len(items) > limit:
+            items = items[-limit:]
+        if not items:
+            return None
+        index: list[tuple[int, int, int, int]] = []
+        start = 0
+        for (bank, row), prof in items:
+            size = int(prof.thresholds.size)
+            index.append((bank, row, start, size))
+            start += size
+        if start == 0:
+            thresholds = np.empty(0, dtype=np.float64)
+            bits = np.empty(0, dtype=np.int64)
+            dirs = np.empty(0, dtype=np.int8)
+        else:
+            thresholds = np.concatenate(
+                [p.thresholds for _, p in items if p.thresholds.size]
+            )
+            bits = np.concatenate(
+                [p.bit_indices for _, p in items if p.bit_indices.size]
+            )
+            dirs = np.concatenate(
+                [p.directions for _, p in items if p.directions.size]
+            )
+        return index, thresholds, bits, dirs
+
+    def seed_profiles(
+        self,
+        index: list[tuple[int, int, int, int]],
+        thresholds: np.ndarray,
+        bit_indices: np.ndarray,
+        directions: np.ndarray,
+    ) -> int:
+        """Pre-populate the cache from an :meth:`export_profiles` payload.
+
+        Profiles are deterministic functions of their location, so a
+        seeded entry is bit-identical to one the worker would have
+        materialised itself — adoption is purely an optimisation.  Slices
+        of read-only shared arrays stay read-only.  Existing entries win,
+        the LRU bound is respected (seeding never evicts), and no metrics
+        are emitted so parallel snapshots match serial ones.
+        """
+        added = 0
+        for bank, row, start, size in index:
+            key = (bank, row)
+            if key in self._cache:
+                continue
+            if len(self._cache) >= self.max_cached_profiles:
+                break
+            self._cache[key] = CellProfile(
+                thresholds[start:start + size],
+                bit_indices[start:start + size],
+                directions[start:start + size],
+            )
+            added += 1
+        return added
+
     def flips_for(self, bank: int, row: int, peak_disturbance: float) -> list[FlipEvent]:
         """Flip events for a row given its peak unrefreshed disturbance."""
         if peak_disturbance <= 0:

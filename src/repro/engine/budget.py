@@ -11,8 +11,8 @@ questions into two small dataclasses shared by all of them:
   configuration, one simulation scale, and the seed name that roots the
   experiment's RNG tree.
 * :class:`RunBudget` bounds the workload: virtual campaign hours and/or a
-  hard trial cap, plus the worker count handed to
-  :class:`repro.engine.TaskPool`.
+  hard trial cap, plus the worker count and executor backend handed to
+  :func:`repro.engine.create_backend`.
 
 The pair replaces ``FuzzingCampaign.run(hours, max_patterns)``,
 ``sweep_pattern(..., num_locations, ...)`` and friends; the old spellings
@@ -29,6 +29,11 @@ from repro.cpu.isa import HammerKernelConfig
 from repro.system.calibration import SimulationScale
 from repro.system.machine import Machine
 
+#: Executor backend names :func:`repro.engine.create_backend` accepts.
+#: ``auto`` picks the persistent pool when the host has cores to spare
+#: and serial otherwise; the explicit names are honoured verbatim.
+BACKEND_CHOICES: tuple[str, ...] = ("auto", "serial", "fork", "persistent")
+
 
 @dataclass(frozen=True)
 class RunBudget:
@@ -38,14 +43,16 @@ class RunBudget:
     :class:`SimulationScale`, like the paper's 2-hour fuzzing budget);
     ``max_trials`` is a hard cap on trials (patterns, locations or seeds,
     depending on the experiment).  Either may be ``None``; when both are
-    given the cap wins.  ``workers`` > 1 fans trials out over a
-    :class:`repro.engine.TaskPool` — results are bit-identical to serial
-    execution by construction.
+    given the cap wins.  ``workers`` > 1 fans trials out over the
+    executor backend named by ``backend`` (see
+    :func:`repro.engine.create_backend`) — results are bit-identical to
+    serial execution by construction.
     """
 
     hours: float | None = None
     max_trials: int | None = None
     workers: int = 1
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.hours is not None and self.hours <= 0:
@@ -54,11 +61,18 @@ class RunBudget:
             raise CalibrationError("RunBudget.max_trials must be positive")
         if self.workers < 1:
             raise CalibrationError("RunBudget.workers must be >= 1")
+        if self.backend not in BACKEND_CHOICES:
+            raise CalibrationError(
+                "RunBudget.backend must be one of "
+                + ", ".join(BACKEND_CHOICES)
+            )
 
     @classmethod
-    def trials(cls, count: int, workers: int = 1) -> "RunBudget":
+    def trials(
+        cls, count: int, workers: int = 1, backend: str = "auto"
+    ) -> "RunBudget":
         """A budget of exactly ``count`` trials (the common spelling)."""
-        return cls(max_trials=count, workers=workers)
+        return cls(max_trials=count, workers=workers, backend=backend)
 
     def resolve_trials(
         self,

@@ -1,0 +1,39 @@
+"""Pluggable execution backends for the deterministic experiment engine.
+
+Public surface (re-exported from :mod:`repro.engine`):
+
+* :class:`ExecutorBackend` — the protocol every backend satisfies,
+* :class:`SerialBackend` / :class:`ForkBatchBackend` /
+  :class:`PersistentPoolBackend` — the three implementations,
+* :func:`create_backend` — the selection policy (``auto`` routing, host
+  CPU capping, shared-machine wiring),
+* :class:`PoolReport` / :class:`TaskError` and the
+  :func:`default_workers` / :func:`fork_available` host probes.
+"""
+
+from repro.engine.executor.base import (
+    ExecutorBackend,
+    PoolReport,
+    TaskError,
+    default_workers,
+    fork_available,
+)
+from repro.engine.executor.factory import create_backend
+from repro.engine.executor.forkbatch import ForkBatchBackend
+from repro.engine.executor.persistent import PersistentPoolBackend
+from repro.engine.executor.serial import SerialBackend
+from repro.engine.executor.sharedmem import SEGMENT_PREFIX, SharedArrayPack
+
+__all__ = [
+    "ExecutorBackend",
+    "ForkBatchBackend",
+    "PersistentPoolBackend",
+    "PoolReport",
+    "SEGMENT_PREFIX",
+    "SerialBackend",
+    "SharedArrayPack",
+    "TaskError",
+    "create_backend",
+    "default_workers",
+    "fork_available",
+]

@@ -1,0 +1,169 @@
+"""The legacy fork-per-batch backend (one ``fork`` pool per ``map`` call).
+
+This is the engine's original parallel strategy, kept as an explicit
+backend (``--backend fork``): every :meth:`ForkBatchBackend.map` call
+forks a fresh ``multiprocessing`` pool, fans the indexed tasks out with
+``imap_unordered``, and tears the pool down again.  Fork inheritance lets
+task functions close over live objects (machines, sessions) that never
+have to cross a pipe — but the fork/teardown cost is paid per batch,
+which is why :class:`~repro.engine.executor.persistent.
+PersistentPoolBackend` replaced it as the default for multi-worker runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable, Sequence
+
+from repro.engine.executor.base import (
+    PoolReport,
+    TaskError,
+    absorb_worker_telemetry,
+    fork_available,
+    run_serial_tasks,
+    run_with_batch_span,
+)
+from repro.obs import OBS
+
+#: Parent-side state inherited by forked workers.  Set immediately before
+#: the pool forks and cleared afterwards; fork inheritance lets task
+#: functions close over live objects that never have to cross a pipe.
+_FORK_STATE: dict[str, Any] = {}
+
+
+def _fork_entry(
+    indexed_task: tuple[int, Any],
+) -> tuple[int, bool, Any, dict[str, Any]]:
+    """Worker-side trampoline: run one task against the inherited closure.
+
+    Besides the result, each task ships a ``meta`` dict back to the
+    parent: wall duration and worker pid always, plus — when telemetry is
+    enabled — the task's metric delta and buffered trace events, which
+    the parent merges/replays in task order so parallel telemetry stays
+    deterministic (see :mod:`repro.obs`).
+    """
+    index, task = indexed_task
+    state = _FORK_STATE
+    start = time.perf_counter()
+    mark = OBS.metrics.mark() if OBS.metrics.enabled else None
+    try:
+        if state.get("init") is not None and "ctx" not in state:
+            state["ctx"] = state["init"]()
+        result = state["fn"](state.get("ctx"), task)
+        ok, payload = True, result
+    except Exception:  # noqa: BLE001 - captured and surfaced to the caller
+        ok, payload = False, traceback.format_exc(limit=8)
+    meta: dict[str, Any] = {
+        "dur_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+    if mark is not None:
+        meta["metrics"] = OBS.metrics.delta_since(mark)
+    if OBS.tracer.enabled:
+        meta["events"] = OBS.tracer.take_child_events()
+    return index, ok, payload, meta
+
+
+class ForkBatchBackend:
+    """Fans each batch out over a freshly forked pool, deterministically."""
+
+    name = "fork"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("ForkBatchBackend needs at least one worker")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        init: Callable[[], Any] | None = None,
+    ) -> PoolReport:
+        tasks = list(tasks)
+        workers = min(self.workers, max(1, len(tasks)))
+        if workers <= 1 or not fork_available():
+            return run_with_batch_span(
+                lambda: run_serial_tasks(
+                    fn, tasks, init, progress=self.progress
+                ),
+                len(tasks),
+                workers,
+            )
+        return run_with_batch_span(
+            lambda: self._run_parallel(fn, tasks, init, workers),
+            len(tasks),
+            workers,
+        )
+
+    def close(self) -> None:
+        pass  # nothing persists between batches
+
+    def __enter__(self) -> "ForkBatchBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        init: Callable[[], Any] | None,
+        workers: int,
+    ) -> PoolReport:
+        report = PoolReport(
+            results=[None] * len(tasks), workers=workers, backend=self.name
+        )
+        metas: list[dict[str, Any] | None] = [None] * len(tasks)
+        chunk = self.chunk_size or max(1, len(tasks) // (workers * 4))
+        _FORK_STATE.clear()
+        _FORK_STATE.update(fn=fn, init=init)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                done = 0
+                for index, ok, payload, meta in pool.imap_unordered(
+                    _fork_entry, list(enumerate(tasks)), chunksize=chunk
+                ):
+                    metas[index] = meta
+                    if ok:
+                        report.results[index] = payload
+                    else:
+                        report.errors.append(TaskError(index, payload))
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(tasks))
+                    # Liveness for `rhohammer follow`: worker trace spans
+                    # only reach the file at batch end (parent-side
+                    # replay), so an opted-in tracer emits rate-limited
+                    # heartbeats with batch progress in the meantime.
+                    OBS.tracer.heartbeat(
+                        phase="pool.batch", done=done, tasks=len(tasks)
+                    )
+        except Exception:  # noqa: BLE001 - pool machinery failure
+            # Per-task errors and finished results gathered so far are
+            # kept; only the unsettled remainder re-runs in-process.
+            report.degraded = True
+            _FORK_STATE.clear()
+            absorb_worker_telemetry(report, metas)
+            return run_serial_tasks(
+                fn, tasks, init, into=report, progress=self.progress
+            )
+        finally:
+            _FORK_STATE.clear()
+        report.errors.sort(key=lambda err: err.index)
+        absorb_worker_telemetry(report, metas)
+        return report

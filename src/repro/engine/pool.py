@@ -1,169 +1,39 @@
-"""Deterministic multiprocess fan-out for embarrassingly parallel trials.
+"""Deprecated fork-per-batch pool, kept as a thin shim for one release.
 
-The simulator's trial primitives are pure functions of their inputs: a
-:meth:`~repro.hammer.session.HammerSession.run_pattern` call derives every
-random stream it needs from stable names (never from shared stateful
-draws), so trial outcomes do not depend on execution order.  That property
-makes parallelism free of modelling risk — :class:`TaskPool` exploits it
-by fanning an indexed task list out over ``fork``-ed workers and
-reassembling results **in task order**, so ``workers=N`` is bit-identical
-to ``workers=1``.
-
-Failure semantics: an exception inside one task is captured (with its
-traceback) and recorded as a :class:`TaskError` while the other tasks'
-results are preserved; a failure of the pool machinery itself (broken
-worker, unpicklable payload) degrades the remaining tasks to in-process
-serial execution rather than losing the batch.
+:class:`TaskPool` predates the pluggable executor API: it forked a fresh
+``multiprocessing`` pool on every ``map`` call and capped workers at the
+host's CPUs.  The engine now routes everything through
+:func:`repro.engine.create_backend`, which adds a persistent worker pool,
+shared-memory state publication, worker-death retry and an explicit
+``--backend`` selector — so this module only re-exports the shared types
+and wraps the old behaviour (host-CPU cap + fork-per-batch dispatch)
+around the new backends, warning once on construction.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import time
-import traceback
-from dataclasses import dataclass, field
+import warnings
 from typing import Any, Callable, Sequence
 
-from repro.obs import OBS
+from repro.engine.executor.base import (  # noqa: F401 - legacy re-exports
+    PoolReport,
+    TaskError,
+    default_workers,
+    fork_available,
+)
+from repro.engine.executor.forkbatch import ForkBatchBackend
+from repro.engine.executor.serial import SerialBackend
 
-#: Parent-side state inherited by forked workers.  Set immediately before
-#: the pool forks and cleared afterwards; fork inheritance lets task
-#: functions close over live objects (machines, sessions) that never have
-#: to cross a pipe.
-_FORK_STATE: dict[str, Any] = {}
-
-
-def _fork_entry(
-    indexed_task: tuple[int, Any],
-) -> tuple[int, bool, Any, dict[str, Any]]:
-    """Worker-side trampoline: run one task against the inherited closure.
-
-    Besides the result, each task ships a ``meta`` dict back to the
-    parent: wall duration and worker pid always, plus — when telemetry is
-    enabled — the task's metric delta and buffered trace events, which
-    the parent merges/replays in task order so parallel telemetry stays
-    deterministic (see :mod:`repro.obs`).
-    """
-    index, task = indexed_task
-    state = _FORK_STATE
-    start = time.perf_counter()
-    mark = OBS.metrics.mark() if OBS.metrics.enabled else None
-    try:
-        if state.get("init") is not None and "ctx" not in state:
-            state["ctx"] = state["init"]()
-        result = state["fn"](state.get("ctx"), task)
-        ok, payload = True, result
-    except Exception:  # noqa: BLE001 - captured and surfaced to the caller
-        ok, payload = False, traceback.format_exc(limit=8)
-    meta: dict[str, Any] = {
-        "dur_s": time.perf_counter() - start,
-        "worker": os.getpid(),
-    }
-    if mark is not None:
-        meta["metrics"] = OBS.metrics.delta_since(mark)
-    if OBS.tracer.enabled:
-        meta["events"] = OBS.tracer.take_child_events()
-    return index, ok, payload, meta
-
-
-@dataclass(frozen=True)
-class TaskError:
-    """One task that raised; ``detail`` carries the formatted traceback."""
-
-    index: int
-    detail: str
-
-    @property
-    def exception_line(self) -> str:
-        """The ``ExcType: message`` line of the captured traceback.
-
-        Robust against trailing blank lines and multi-line exception
-        messages: the exception line is the first non-indented line after
-        the traceback's last ``File`` frame (Python's own format), with a
-        last-non-blank-line fallback for free-form detail strings.
-        """
-        lines = self.detail.splitlines()
-        last_frame = -1
-        for i, line in enumerate(lines):
-            if line.startswith("  File "):
-                last_frame = i
-        if last_frame >= 0:
-            for line in lines[last_frame + 1:]:
-                if line.strip() and not line.startswith(" "):
-                    return line.strip()
-        for line in reversed(lines):
-            if line.strip():
-                return line.strip()
-        return "unknown error"
-
-    @property
-    def summary(self) -> str:
-        return f"task {self.index}: {self.exception_line}"
-
-
-@dataclass
-class PoolReport:
-    """Ordered results of one :meth:`TaskPool.map` call.
-
-    ``results[i]`` is task *i*'s return value, or ``None`` if it failed
-    (its error is in ``errors``).  ``degraded`` marks batches where the
-    pool machinery failed and remaining tasks fell back to serial
-    in-process execution.
-    """
-
-    results: list[Any]
-    errors: list[TaskError] = field(default_factory=list)
-    workers: int = 1
-    degraded: bool = False
-
-    @property
-    def ok(self) -> bool:
-        return not self.errors
-
-    @property
-    def completed(self) -> int:
-        return sum(1 for r in self.results if r is not None)
-
-    def notes(self, label: str = "task") -> tuple[str, ...]:
-        """Human-readable failure notes for embedding in reports."""
-        notes = [
-            f"{label} {err.index} failed: {err.exception_line}"
-            for err in self.errors
-        ]
-        if self.degraded:
-            notes.append(
-                "worker pool degraded to serial execution mid-batch"
-            )
-        return tuple(notes)
-
-
-def fork_available() -> bool:
-    """Can this platform fan out via ``fork``? (Linux/macOS: yes.)"""
-    return "fork" in multiprocessing.get_all_start_methods()
-
-
-def default_workers() -> int:
-    """A sensible worker count for this host (respects CPU affinity)."""
-    try:
-        return max(1, len(os.sched_getaffinity(0)))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return max(1, os.cpu_count() or 1)
+_warned = False
 
 
 class TaskPool:
-    """Fans an indexed task list out over a worker pool, deterministically.
+    """Deprecated: use ``repro.engine.create_backend`` instead.
 
-    ``fn(ctx, task)`` is invoked once per task; ``init()`` (optional)
-    builds a per-process context lazily on each worker's first task — use
-    it for expensive per-process setup like a
-    :class:`~repro.hammer.session.HammerSession`.  Results come back in
-    task order regardless of completion order, so aggregation downstream
-    is order-stable.
-
-    ``workers <= 1``, a single-task batch, or a platform without ``fork``
-    all degrade to plain in-process serial execution with identical
-    results and error handling.
+    Preserves the legacy contract exactly — worker count capped at
+    ``min(workers, len(tasks), default_workers())``, one forked pool per
+    batch — by delegating to :class:`SerialBackend` /
+    :class:`ForkBatchBackend`.
     """
 
     def __init__(
@@ -172,183 +42,36 @@ class TaskPool:
         chunk_size: int | None = None,
         progress: Callable[[int, int], None] | None = None,
     ) -> None:
+        global _warned
+        if not _warned:
+            warnings.warn(
+                "TaskPool is deprecated; build an executor with "
+                "repro.engine.create_backend(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _warned = True
         if workers < 1:
             raise ValueError("TaskPool needs at least one worker")
         self.workers = workers
         self.chunk_size = chunk_size
         self.progress = progress
 
-    # ------------------------------------------------------------------
     def map(
         self,
         fn: Callable[[Any, Any], Any],
         tasks: Sequence[Any],
         init: Callable[[], Any] | None = None,
     ) -> PoolReport:
-        """Run ``fn`` over every task and gather ordered results.
-
-        The effective worker count is capped at the host's usable CPUs
-        (:func:`default_workers`): oversubscribing forked workers onto
-        fewer cores only adds fork/IPC overhead, and on a single-core
-        host the batch degrades straight to the serial in-process path —
-        results are bit-identical either way.
-        """
         tasks = list(tasks)
         workers = min(self.workers, max(1, len(tasks)), default_workers())
-        if not OBS.enabled:
-            return self._dispatch(fn, tasks, init, workers)
-        OBS.metrics.counter("pool.batches").inc()
-        # The batch span is what per-worker utilization is measured
-        # against: its wall duration times the configured worker count is
-        # the pool's capacity, and each child pool.task's wall duration
-        # (attributed to its worker pid) is the busy time inside it.
-        with OBS.tracer.span(
-            "pool.batch", tasks=len(tasks), workers=workers
-        ) as span:
-            report = self._dispatch(fn, tasks, init, workers)
-            span.set(
-                completed=report.completed,
-                failed=len(report.errors),
-                degraded=report.degraded,
+        if workers <= 1:
+            backend: Any = SerialBackend(progress=self.progress)
+        else:
+            backend = ForkBatchBackend(
+                workers=workers,
+                chunk_size=self.chunk_size,
+                progress=self.progress,
             )
-        if report.degraded:
-            OBS.metrics.counter("pool.degraded_batches").inc()
-        return report
-
-    def _dispatch(
-        self,
-        fn: Callable[[Any, Any], Any],
-        tasks: list[Any],
-        init: Callable[[], Any] | None,
-        workers: int,
-    ) -> PoolReport:
-        if workers <= 1 or not fork_available():
-            return self._run_serial(fn, tasks, init)
-        return self._run_parallel(fn, tasks, init, workers)
-
-    # ------------------------------------------------------------------
-    def _run_serial(
-        self,
-        fn: Callable[[Any, Any], Any],
-        tasks: list[Any],
-        init: Callable[[], Any] | None,
-        into: PoolReport | None = None,
-    ) -> PoolReport:
-        """In-process execution; also the degradation path (``into``)."""
-        report = into or PoolReport(results=[None] * len(tasks), workers=1)
-        ctx = init() if init is not None else None
-        settled = {err.index for err in report.errors}
-        settled.update(
-            i for i, res in enumerate(report.results) if res is not None
-        )
-        done = len(settled)
-        for index, task in enumerate(tasks):
-            if index in settled:
-                continue  # preserved from before the pool broke
-            start = time.perf_counter()
-            with OBS.tracer.span("pool.task", index=index) as span:
-                status = "ok"
-                try:
-                    report.results[index] = fn(ctx, task)
-                except Exception:  # noqa: BLE001 - surfaced via TaskError
-                    report.errors.append(
-                        TaskError(index, traceback.format_exc(limit=8))
-                    )
-                    status = "failed"
-                span.set(status=status)
-                span.set_wall(worker=os.getpid())
-            if OBS.metrics.enabled:
-                self._task_metrics(status, time.perf_counter() - start)
-            done += 1
-            if self.progress is not None:
-                self.progress(done, len(tasks))
-        report.errors.sort(key=lambda err: err.index)
-        return report
-
-    @staticmethod
-    def _task_metrics(status: str, dur_s: float) -> None:
-        """Parent-side per-task counters (``*_wall_*`` = nondeterministic)."""
-        metrics = OBS.metrics
-        metrics.counter("pool.tasks_total").inc()
-        if status == "failed":
-            metrics.counter("pool.tasks_failed").inc()
-        metrics.histogram("pool.task_wall_seconds").observe(dur_s)
-
-    def _run_parallel(
-        self,
-        fn: Callable[[Any, Any], Any],
-        tasks: list[Any],
-        init: Callable[[], Any] | None,
-        workers: int,
-    ) -> PoolReport:
-        report = PoolReport(results=[None] * len(tasks), workers=workers)
-        metas: list[dict[str, Any] | None] = [None] * len(tasks)
-        chunk = self.chunk_size or max(1, len(tasks) // (workers * 4))
-        _FORK_STATE.clear()
-        _FORK_STATE.update(fn=fn, init=init)
-        try:
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=workers) as pool:
-                done = 0
-                for index, ok, payload, meta in pool.imap_unordered(
-                    _fork_entry, list(enumerate(tasks)), chunksize=chunk
-                ):
-                    metas[index] = meta
-                    if ok:
-                        report.results[index] = payload
-                    else:
-                        report.errors.append(TaskError(index, payload))
-                    done += 1
-                    if self.progress is not None:
-                        self.progress(done, len(tasks))
-                    # Liveness for `rhohammer follow`: worker trace spans
-                    # only reach the file at batch end (parent-side
-                    # replay), so an opted-in tracer emits rate-limited
-                    # heartbeats with batch progress in the meantime.
-                    OBS.tracer.heartbeat(
-                        phase="pool.batch", done=done, tasks=len(tasks)
-                    )
-        except Exception:  # noqa: BLE001 - pool machinery failure
-            # Per-task errors and finished results gathered so far are
-            # kept; only the unsettled remainder re-runs in-process.
-            report.degraded = True
-            _FORK_STATE.clear()
-            self._absorb_worker_telemetry(report, metas)
-            return self._run_serial(fn, tasks, init, into=report)
-        finally:
-            _FORK_STATE.clear()
-        report.errors.sort(key=lambda err: err.index)
-        self._absorb_worker_telemetry(report, metas)
-        return report
-
-    def _absorb_worker_telemetry(
-        self, report: PoolReport, metas: list[dict[str, Any] | None]
-    ) -> None:
-        """Merge worker metric deltas and replay worker trace events.
-
-        Walks tasks in index order — never completion order — so the
-        emitted stream and the merged snapshot are deterministic and
-        bit-identical to a serial run's (modulo ``wall`` fields and
-        wall-named metrics).
-        """
-        if not OBS.enabled:
-            return
-        failed = {err.index for err in report.errors}
-        for index, meta in enumerate(metas):
-            if meta is None:
-                continue  # unsettled (degraded batch): serial re-run covers it
-            status = "failed" if index in failed else "ok"
-            if OBS.tracer.enabled:
-                with OBS.tracer.span("pool.task", index=index) as span:
-                    OBS.tracer.replay(meta.get("events", []), span.span_id)
-                    span.set(status=status)
-                    # dur_s overrides the parent-side (near-zero) replay
-                    # duration with the worker-side task duration.
-                    span.set_wall(
-                        worker=meta["worker"], dur_s=meta["dur_s"]
-                    )
-            if OBS.metrics.enabled:
-                delta = meta.get("metrics")
-                if delta is not None:
-                    OBS.metrics.merge(delta)
-                self._task_metrics(status, meta["dur_s"])
+        with backend:
+            return backend.map(fn, tasks, init=init)

@@ -73,8 +73,8 @@ def _suite_params(suite: str) -> dict[str, Any]:
             "scale": QUICK_SCALE,
             "scale_name": "QUICK",
             "fuzz_patterns": 6,
-            "engine_patterns": 6,
-            "workers": 2,
+            "engine_patterns": 16,
+            "workers": 4,
             "reveng_fraction": 0.4,
             "dram_acts": 90_000,
             "dram_banks": 2,
@@ -94,7 +94,8 @@ def _suite_params(suite: str) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 # Individual benches: each returns {"checks": {...}, "timings": {...}}
 # ----------------------------------------------------------------------
-def _timed_fuzz(params, patterns: int, workers: int, seed_name: str):
+def _timed_fuzz(params, patterns: int, workers: int, seed_name: str,
+                backend: str = "auto"):
     machine = build_machine(
         "raptor_lake", "S3", scale=params["scale"], seed=606
     )
@@ -107,18 +108,31 @@ def _timed_fuzz(params, patterns: int, workers: int, seed_name: str):
     )
     start = time.perf_counter()
     report = campaign.execute(
-        RunBudget(max_trials=patterns, workers=workers)
+        RunBudget(max_trials=patterns, workers=workers, backend=backend)
     )
     return time.perf_counter() - start, report
 
 
 def bench_engine(params) -> dict[str, Any]:
-    """Serial vs pool fuzzing: bit-identical results, speedup recorded."""
+    """Serial vs persistent-pool fuzzing: bit-identical, speedup gated.
+
+    The parallel leg always forces the persistent backend — even on a
+    single-core host — so ``bit_identical`` exercises the worker-pool
+    delta/merge path everywhere.  The ``meets_speedup_floor`` gate is
+    only demanding where it can be: on hosts with >= 2 cores the pool
+    must hit 0.75x of its ideal linear speedup; on one core the floor
+    is 0 (the check still records the measured speedup in timings).
+    """
     patterns, workers = params["engine_patterns"], params["workers"]
+    cores = default_workers()
+    pool_workers = 2 if cores == 1 else min(workers, cores)
     serial_s, serial = _timed_fuzz(params, patterns, 1, "bench-all-engine")
     parallel_s, parallel = _timed_fuzz(
-        params, patterns, workers, "bench-all-engine"
+        params, patterns, pool_workers, "bench-all-engine",
+        backend="persistent",
     )
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    floor = 0.75 * min(workers, cores) if cores >= 2 else 0.0
     return {
         "checks": {
             "total_flips": serial.total_flips,
@@ -129,13 +143,14 @@ def bench_engine(params) -> dict[str, Any]:
                 and serial.best_pattern_flips == parallel.best_pattern_flips
                 and serial.effective_patterns == parallel.effective_patterns
             ),
+            "meets_speedup_floor": bool(speedup >= floor),
         },
         "timings": {
             "serial_s": round(serial_s, 3),
             "parallel_s": round(parallel_s, 3),
-            "speedup": round(serial_s / parallel_s, 3)
-            if parallel_s > 0
-            else None,
+            "pool_workers": pool_workers,
+            "speedup_floor": round(floor, 3),
+            "speedup": round(speedup, 3) if parallel_s > 0 else None,
         },
     }
 

@@ -9,11 +9,13 @@ The registry is designed around two constraints the simulator imposes:
   check and one dict-free method call;
 * **deterministic parallel merging** — :meth:`MetricsRegistry.mark` /
   :meth:`MetricsRegistry.delta_since` / :meth:`MetricsRegistry.merge`
-  let forked :class:`~repro.engine.pool.TaskPool` workers ship their
-  per-task metric contributions back to the parent, which merges them in
-  task order; counters and histograms are additive, gauges are
-  last-write-wins in task order, so ``workers=N`` snapshots equal
-  ``workers=1`` snapshots.
+  let pool workers ship their metric contributions back to the parent,
+  which merges them in task order; counters and histograms are additive,
+  gauges are last-write-wins in task order, so ``workers=N`` snapshots
+  equal ``workers=1`` snapshots.  Persistent workers batch many tasks
+  per dispatch and flush one delta per chunk through a
+  :class:`DeltaBuffer`; the parent merges chunk deltas in ascending
+  task-index order, which preserves the same equalities.
 
 Snapshots are plain sorted dicts, so ``json.dumps`` of a snapshot is the
 export format — no client library, no wire protocol.
@@ -70,7 +72,10 @@ class Histogram:
     ``> buckets[i-1]``); the trailing slot counts overflows.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "count", "total", "vmin", "vmax")
+    __slots__ = (
+        "buckets", "bucket_counts", "count", "total", "vmin", "vmax",
+        "journal",
+    )
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = buckets
@@ -79,6 +84,14 @@ class Histogram:
         self.total = 0.0
         self.vmin: float | None = None
         self.vmax: float | None = None
+        #: Raw observations since the last delta flush; ``None`` unless a
+        #: :class:`DeltaBuffer` enabled journaling (pool workers only).
+        #: Shipping raw values lets the parent replay the exact same
+        #: ``total += value`` fold a serial run performs, keeping float
+        #: histogram sums bit-identical under chunked merging (plain
+        #: delta subtraction regroups the additions, which float
+        #: arithmetic does not forgive).
+        self.journal: list[float] | None = None
 
     def observe(self, value: int | float) -> None:
         self.count += 1
@@ -88,6 +101,8 @@ class Histogram:
         if self.vmax is None or value > self.vmax:
             self.vmax = value
         self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        if self.journal is not None:
+            self.journal.append(value)
 
     @property
     def mean(self) -> float:
@@ -171,6 +186,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._journaling = False
 
     # -- instrument access ---------------------------------------------
     def counter(self, name: str, **labels: Any) -> Counter | _NoopInstrument:
@@ -203,6 +219,8 @@ class MetricsRegistry:
         inst = self._histograms.get(key)
         if inst is None:
             inst = self._histograms[key] = Histogram(buckets)
+            if self._journaling:
+                inst.journal = []
         return inst
 
     # -- snapshot / export ---------------------------------------------
@@ -242,8 +260,11 @@ class MetricsRegistry:
         Histogram min/max cannot be windowed to the delta period, so the
         delta carries the instrument's lifetime min/max; merging with
         ``min()``/``max()`` keeps the merged result exact because any
-        pre-mark extremum is already present on the merging side (fork
-        workers inherit the parent registry's history).
+        pre-mark extremum is already present on the merging side: fork
+        workers inherit the parent registry's history at fork time, and a
+        persistent worker's pre-mark history consists of its own earlier
+        chunks, whose deltas the parent has already folded in (or will
+        fold in at batch end) — re-merging an extremum is idempotent.
         """
         old_c = mark["counters"]
         old_g = mark["gauges"]
@@ -277,6 +298,10 @@ class MetricsRegistry:
             }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
+    def delta_buffer(self) -> "DeltaBuffer":
+        """A buffered delta accumulator for chunked worker dispatch."""
+        return DeltaBuffer(self)
+
     def merge(self, delta: dict[str, Any]) -> None:
         """Fold one worker's :meth:`delta_since` payload into this registry."""
         if not self.enabled:
@@ -298,7 +323,14 @@ class MetricsRegistry:
                     tuple(payload["buckets"])
                 )
             hist.count += payload["count"]
-            hist.total += payload["sum"]
+            values = payload.get("values")
+            if values is not None:
+                # Journaled delta: replay the raw observations so the
+                # float fold matches a serial run bit-for-bit.
+                for value in values:
+                    hist.total += value
+            else:
+                hist.total += payload["sum"]
             if payload["min"] is not None:
                 hist.vmin = (
                     payload["min"]
@@ -313,3 +345,60 @@ class MetricsRegistry:
                 )
             for i, n in enumerate(payload["bucket_counts"]):
                 hist.bucket_counts[i] += n
+
+
+class DeltaBuffer:
+    """Per-worker buffered metric deltas, flushed at chunk boundaries.
+
+    A persistent pool worker processes many tasks per dispatch; shipping
+    one delta per task would pay the :meth:`MetricsRegistry.mark` /
+    :meth:`MetricsRegistry.delta_since` cost on every task and bloat the
+    result pipe.  A ``DeltaBuffer`` marks the registry once when the
+    chunk starts and :meth:`flush` produces a single mergeable payload
+    covering every task in the chunk (re-marking for the next one).
+
+    Exactness: counters and histogram counts/buckets are integers, so
+    one chunk-sized delta merged in ascending task-index order is
+    trivially bit-identical to per-task merging.  Float histogram sums
+    are *not* addition-order invariant, so the buffer additionally turns
+    on per-histogram journaling: the flushed delta carries the chunk's
+    raw observations and :meth:`MetricsRegistry.merge` replays them one
+    by one, reproducing the exact accumulation sequence of a serial run.
+    On a disabled registry, :meth:`flush` always returns ``None``.
+    """
+
+    __slots__ = ("_registry", "_mark")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._mark = None
+        if registry.enabled:
+            self._mark = registry.mark()
+            registry._journaling = True
+            for hist in registry._histograms.values():
+                if hist.journal is None:
+                    hist.journal = []
+
+    def flush(self) -> dict[str, Any] | None:
+        """The accumulated delta since the last flush, or ``None`` if empty."""
+        if self._mark is None:
+            return None
+        delta = self._registry.delta_since(self._mark)
+        for key, payload in delta["histograms"].items():
+            hist = self._registry._histograms[key]
+            values = hist.journal
+            if values is None:
+                continue
+            payload["values"] = list(values)
+            if values:  # windowed extrema: exact under ordered merging
+                payload["min"] = min(values)
+                payload["max"] = max(values)
+        for hist in self._registry._histograms.values():
+            if hist.journal:
+                hist.journal = []
+        self._mark = self._registry.mark()
+        if not (
+            delta["counters"] or delta["gauges"] or delta["histograms"]
+        ):
+            return None
+        return delta

@@ -15,16 +15,16 @@ the latest one a regression?*
 Design constraints, mirroring the rest of :mod:`repro.obs`:
 
 * **stdlib only** — ``sqlite3`` ships with CPython; no ORM, no client.
+* **storage-agnostic** — this module is the *domain* layer (manifests,
+  bench payloads, trend verdicts, key flattening).  All persistence
+  lives behind the :class:`repro.obs.store.RunStore` contract;
+  :class:`~repro.obs.store.SqliteRunStore` is the default (and only
+  in-tree) implementation, carrying the WAL/immediate-transaction
+  concurrency story and the ``PRAGMA user_version`` migration chain.
+  A server-grade backend slots in by implementing ``RunStore`` and
+  passing it to :class:`RunRegistry` — no call-site changes.
 * **never take the run down** — CLI recording wraps every registry write
   in a guard; a broken/locked/read-only database degrades to a warning.
-* **concurrent-writer safe** — multiple simultaneous runs (e.g. a CI
-  matrix sharing a workspace) may record into one database; writes are
-  short ``BEGIN IMMEDIATE`` transactions behind SQLite's own locking
-  with a generous busy timeout.
-* **versioned schema** — ``PRAGMA user_version`` tracks the schema;
-  opening an older database migrates it in place, opening a *newer* one
-  (written by a future revision) refuses with :class:`RegistryError`
-  instead of corrupting it.
 
 Every numeric fact of a run is flattened into one ``samples`` table of
 ``(run_id, key, value)`` rows under dotted keys::
@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import fnmatch
 import os
-import sqlite3
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
@@ -53,9 +52,12 @@ from repro.obs.compare import (
     direction_for,
     is_wall_key,
 )
-
-#: Current registry schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+from repro.obs.store import (  # noqa: F401  (re-exported for callers)
+    SCHEMA_VERSION,
+    RegistryError,
+    RunStore,
+    SqliteRunStore,
+)
 
 #: Conventional database filename next to a family of run directories.
 REGISTRY_FILENAME = "registry.sqlite"
@@ -68,48 +70,6 @@ _HISTOGRAM_STATS = ("count", "sum", "mean", "p50", "p90", "p99")
 
 #: Phase rollup stats worth tracking across runs.
 _PHASE_STATS = ("count", "wall_s", "self_wall_s", "virtual_s")
-
-
-class RegistryError(RuntimeError):
-    """The registry database cannot be opened, migrated, or queried."""
-
-
-#: Schema migrations, applied in version order inside one transaction
-#: each.  Version N's statements bring a version N-1 database to N; a
-#: fresh database replays all of them.  Never edit an entry after it has
-#: shipped — append a new version instead.
-_MIGRATIONS: dict[int, tuple[str, ...]] = {
-    1: (
-        """
-        CREATE TABLE runs (
-            id          INTEGER PRIMARY KEY AUTOINCREMENT,
-            recorded_at TEXT NOT NULL,
-            kind        TEXT NOT NULL,
-            command     TEXT,
-            platform    TEXT,
-            dimm        TEXT,
-            seed        INTEGER,
-            scale       TEXT,
-            git         TEXT,
-            exit_code   INTEGER
-        )
-        """,
-        """
-        CREATE TABLE samples (
-            run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
-            key    TEXT NOT NULL,
-            value  REAL NOT NULL,
-            PRIMARY KEY (run_id, key)
-        )
-        """,
-    ),
-    2: (
-        # v2: bench rows carry their suite so quick/full series never mix,
-        # and the cross-run series query gets a covering index.
-        "ALTER TABLE runs ADD COLUMN suite TEXT",
-        "CREATE INDEX idx_samples_key ON samples(key, run_id)",
-    ),
-}
 
 
 def default_registry_path(out_dir: str | os.PathLike[str] | None = None) -> str | None:
@@ -293,27 +253,35 @@ def _timestamp() -> str:
 # The registry itself
 # ----------------------------------------------------------------------
 class RunRegistry:
-    """One SQLite-backed registry of runs; usable as a context manager."""
+    """The domain-level registry of runs; usable as a context manager.
 
-    def __init__(self, path: str | os.PathLike[str], timeout: float = 30.0) -> None:
-        self.path = os.fspath(path)
-        try:
-            self._conn = sqlite3.connect(self.path, timeout=timeout)
-        except sqlite3.Error as exc:  # e.g. unreadable parent directory
-            raise RegistryError(f"{self.path}: {exc}") from exc
-        self._conn.row_factory = sqlite3.Row
-        # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
-        # blocks so writers serialise cleanly under concurrency.
-        self._conn.isolation_level = None
-        try:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-        except sqlite3.Error:
-            pass  # e.g. read-only media: rollback journal still works
-        self._migrate()
+    By default backed by :class:`~repro.obs.store.SqliteRunStore` at
+    ``path``; pass ``store`` to plug in any other
+    :class:`~repro.obs.store.RunStore` implementation (``path`` is then
+    ignored and reported from the store).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        timeout: float = 30.0,
+        store: RunStore | None = None,
+    ) -> None:
+        if store is None:
+            if path is None:
+                raise RegistryError("RunRegistry needs a path or a store")
+            store = SqliteRunStore(path, timeout=timeout)
+        self._store = store
+        self.path = store.path
 
     # -- lifecycle -----------------------------------------------------
+    @property
+    def store(self) -> RunStore:
+        """The storage backend this registry delegates to."""
+        return self._store
+
     def close(self) -> None:
-        self._conn.close()
+        self._store.close()
 
     def __enter__(self) -> "RunRegistry":
         return self
@@ -323,34 +291,7 @@ class RunRegistry:
 
     @property
     def schema_version(self) -> int:
-        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
-
-    def _migrate(self) -> None:
-        try:
-            version = self.schema_version
-            if version > SCHEMA_VERSION:
-                raise RegistryError(
-                    f"{self.path}: schema version {version} is newer than "
-                    f"this build supports ({SCHEMA_VERSION}) — update the "
-                    "code or use a fresh database"
-                )
-            if version == SCHEMA_VERSION:
-                return
-            # One writer migrates; concurrent openers queue on the lock
-            # and re-check the version once they acquire it.
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                version = self.schema_version
-                for target in range(version + 1, SCHEMA_VERSION + 1):
-                    for statement in _MIGRATIONS[target]:
-                        self._conn.execute(statement)
-                    self._conn.execute(f"PRAGMA user_version = {target:d}")
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-        except sqlite3.Error as exc:
-            raise RegistryError(f"{self.path}: {exc}") from exc
+        return self._store.schema_version
 
     # -- recording -----------------------------------------------------
     def _insert(
@@ -368,38 +309,21 @@ class RunRegistry:
         samples: Mapping[str, float],
         recorded_at: str | None,
     ) -> int:
-        try:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                cursor = self._conn.execute(
-                    "INSERT INTO runs (recorded_at, kind, command, platform,"
-                    " dimm, seed, scale, git, suite, exit_code)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        recorded_at or _timestamp(),
-                        kind,
-                        command,
-                        platform,
-                        dimm,
-                        seed,
-                        scale,
-                        git,
-                        suite,
-                        exit_code,
-                    ),
-                )
-                run_id = int(cursor.lastrowid)
-                self._conn.executemany(
-                    "INSERT INTO samples (run_id, key, value) VALUES (?, ?, ?)",
-                    [(run_id, key, value) for key, value in sorted(samples.items())],
-                )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
-        except sqlite3.Error as exc:
-            raise RegistryError(f"{self.path}: {exc}") from exc
-        return run_id
+        return self._store.insert_run(
+            {
+                "recorded_at": recorded_at or _timestamp(),
+                "kind": kind,
+                "command": command,
+                "platform": platform,
+                "dimm": dimm,
+                "seed": seed,
+                "scale": scale,
+                "git": git,
+                "suite": suite,
+                "exit_code": exit_code,
+            },
+            samples,
+        )
 
     def record_run(
         self,
@@ -477,39 +401,23 @@ class RunRegistry:
         ``git`` matches as a substring (describe outputs carry hashes);
         every other filter is exact.  ``limit`` keeps the *newest* N.
         """
-        clauses: list[str] = []
-        params: list[Any] = []
-        for column, value in (
-            ("kind", kind),
-            ("command", command),
-            ("platform", platform),
-            ("dimm", dimm),
-            ("seed", seed),
-            ("scale", scale),
-            ("suite", suite),
-        ):
-            if value is not None:
-                clauses.append(f"{column} = ?")
-                params.append(value)
-        if git is not None:
-            clauses.append("git LIKE ?")
-            params.append(f"%{git}%")
-        sql = "SELECT * FROM runs"
-        if clauses:
-            sql += " WHERE " + " AND ".join(clauses)
-        sql += " ORDER BY id DESC"
-        if limit is not None:
-            sql += " LIMIT ?"
-            params.append(int(limit))
-        try:
-            rows = self._conn.execute(sql, params).fetchall()
-        except sqlite3.Error as exc:
-            raise RegistryError(f"{self.path}: {exc}") from exc
-        rows.reverse()  # oldest first, newest-N kept by the LIMIT above
+        rows = self._store.query_runs(
+            {
+                "kind": kind,
+                "command": command,
+                "platform": platform,
+                "dimm": dimm,
+                "seed": seed,
+                "scale": scale,
+                "suite": suite,
+            },
+            git_substring=git,
+            limit=limit,
+        )
         return [self._record(row) for row in rows]
 
     @staticmethod
-    def _record(row: sqlite3.Row) -> RunRecord:
+    def _record(row: Mapping[str, Any]) -> RunRecord:
         return RunRecord(
             run_id=row["id"],
             recorded_at=row["recorded_at"],
@@ -526,18 +434,11 @@ class RunRegistry:
 
     def samples_for(self, run_id: int) -> dict[str, float]:
         """Every flattened sample of one run, key-sorted."""
-        rows = self._conn.execute(
-            "SELECT key, value FROM samples WHERE run_id = ? ORDER BY key",
-            (run_id,),
-        ).fetchall()
-        return {row["key"]: row["value"] for row in rows}
+        return self._store.samples_for(run_id)
 
     def metric_keys(self, pattern: str | None = None) -> list[str]:
         """Distinct sample keys, optionally filtered by a glob pattern."""
-        rows = self._conn.execute(
-            "SELECT DISTINCT key FROM samples ORDER BY key"
-        ).fetchall()
-        keys = [row["key"] for row in rows]
+        keys = self._store.sample_keys()
         if pattern is None:
             return keys
         return [k for k in keys if fnmatch.fnmatchcase(k, pattern)]
@@ -546,18 +447,15 @@ class RunRegistry:
         """One metric's value across matching runs, oldest first."""
         points: list[TrendPoint] = []
         for record in self.runs(**filters):
-            row = self._conn.execute(
-                "SELECT value FROM samples WHERE run_id = ? AND key = ?",
-                (record.run_id, metric),
-            ).fetchone()
-            if row is None:
+            value = self._store.sample_value(record.run_id, metric)
+            if value is None:
                 continue
             points.append(
                 TrendPoint(
                     run_id=record.run_id,
                     recorded_at=record.recorded_at,
                     git=record.git,
-                    value=float(row["value"]),
+                    value=value,
                 )
             )
         return points

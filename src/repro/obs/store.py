@@ -1,0 +1,318 @@
+"""Run-registry storage backends behind a small ``RunStore`` interface.
+
+:class:`~repro.obs.registry.RunRegistry` is the domain-level API — it
+knows about manifests, bench payloads, trend records, and key
+flattening.  This module is the layer below: a storage contract
+(:class:`RunStore`) plus the one concrete implementation we ship
+(:class:`SqliteRunStore`).  The split exists so a server-grade backend
+(ROADMAP item on fleet-wide registries) can slot in without touching
+any registry call-site: implement :class:`RunStore`, hand it to
+``RunRegistry``, done.
+
+The contract is deliberately narrow and storage-shaped:
+
+* runs are opaque field mappings plus a flat ``{key: value}`` sample
+  bag — no domain records cross the boundary (the registry converts
+  raw rows into :class:`~repro.obs.registry.RunRecord` objects);
+* every method raises :class:`RegistryError` on backend failure, never
+  a backend-native exception, so registry callers keep their single
+  ``except RegistryError`` guard;
+* schema/migration concerns live entirely inside the backend —
+  :class:`SqliteRunStore` keeps the versioned ``PRAGMA user_version``
+  migration chain documented below.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+from typing import Any, Mapping
+
+#: Current registry schema version (``PRAGMA user_version``).
+SCHEMA_VERSION = 2
+
+#: Column order of the ``runs`` table; also the field names a
+#: :meth:`RunStore.insert_run` mapping may carry (missing keys insert
+#: as NULL, unknown keys are rejected).
+RUN_FIELDS = (
+    "recorded_at",
+    "kind",
+    "command",
+    "platform",
+    "dimm",
+    "seed",
+    "scale",
+    "git",
+    "suite",
+    "exit_code",
+)
+
+
+class RegistryError(RuntimeError):
+    """The registry store cannot be opened, migrated, or queried."""
+
+
+class RunStore(abc.ABC):
+    """Storage contract the run registry builds on.
+
+    Implementations own connection lifecycle, schema management, and
+    concurrency control.  All methods must raise :class:`RegistryError`
+    (not backend-native exceptions) on failure.
+    """
+
+    #: Human-readable location of the backing store (path, DSN, ...).
+    path: str
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the backing connection; further calls are undefined."""
+
+    @property
+    @abc.abstractmethod
+    def schema_version(self) -> int:
+        """The store's current schema version."""
+
+    @abc.abstractmethod
+    def insert_run(
+        self, fields: Mapping[str, Any], samples: Mapping[str, float]
+    ) -> int:
+        """Atomically insert one run row plus its samples; return its id.
+
+        ``fields`` may carry any subset of :data:`RUN_FIELDS`; samples
+        are flat ``{dotted.key: float}`` pairs.
+        """
+
+    @abc.abstractmethod
+    def query_runs(
+        self,
+        filters: Mapping[str, Any] | None = None,
+        *,
+        git_substring: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Matching run rows as plain dicts, oldest first.
+
+        ``filters`` are exact equality matches on :data:`RUN_FIELDS`
+        columns; ``git_substring`` matches anywhere inside the ``git``
+        field; ``limit`` keeps the *newest* N matches.  Each returned
+        dict carries ``id`` plus every :data:`RUN_FIELDS` column.
+        """
+
+    @abc.abstractmethod
+    def samples_for(self, run_id: int) -> dict[str, float]:
+        """Every sample of one run, key-sorted."""
+
+    @abc.abstractmethod
+    def sample_keys(self) -> list[str]:
+        """Distinct sample keys across all runs, sorted."""
+
+    @abc.abstractmethod
+    def sample_value(self, run_id: int, key: str) -> float | None:
+        """One run's value for one key, or ``None`` if unsampled."""
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: Schema migrations, applied in version order inside one transaction
+#: each.  Version N's statements bring a version N-1 database to N; a
+#: fresh database replays all of them.  Never edit an entry after it has
+#: shipped — append a new version instead.
+_MIGRATIONS: dict[int, tuple[str, ...]] = {
+    1: (
+        """
+        CREATE TABLE runs (
+            id          INTEGER PRIMARY KEY AUTOINCREMENT,
+            recorded_at TEXT NOT NULL,
+            kind        TEXT NOT NULL,
+            command     TEXT,
+            platform    TEXT,
+            dimm        TEXT,
+            seed        INTEGER,
+            scale       TEXT,
+            git         TEXT,
+            exit_code   INTEGER
+        )
+        """,
+        """
+        CREATE TABLE samples (
+            run_id INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+            key    TEXT NOT NULL,
+            value  REAL NOT NULL,
+            PRIMARY KEY (run_id, key)
+        )
+        """,
+    ),
+    2: (
+        # v2: bench rows carry their suite so quick/full series never mix,
+        # and the cross-run series query gets a covering index.
+        "ALTER TABLE runs ADD COLUMN suite TEXT",
+        "CREATE INDEX idx_samples_key ON samples(key, run_id)",
+    ),
+}
+
+
+class SqliteRunStore(RunStore):
+    """The stdlib-only SQLite backend.
+
+    * **never take the run down** — callers wrap writes in a guard; a
+      broken/locked/read-only database degrades to :class:`RegistryError`.
+    * **concurrent-writer safe** — multiple simultaneous runs (e.g. a CI
+      matrix sharing a workspace) may record into one database; writes
+      are short ``BEGIN IMMEDIATE`` transactions behind SQLite's own
+      locking with a generous busy timeout.
+    * **versioned schema** — ``PRAGMA user_version`` tracks the schema;
+      opening an older database migrates it in place, opening a *newer*
+      one (written by a future revision) refuses with
+      :class:`RegistryError` instead of corrupting it.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=timeout)
+        except sqlite3.Error as exc:  # e.g. unreadable parent directory
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        self._conn.row_factory = sqlite3.Row
+        # Autocommit mode: transactions are explicit BEGIN IMMEDIATE
+        # blocks so writers serialise cleanly under concurrency.
+        self._conn.isolation_level = None
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.Error:
+            pass  # e.g. read-only media: rollback journal still works
+        self._migrate()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    @property
+    def schema_version(self) -> int:
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def _migrate(self) -> None:
+        try:
+            version = self.schema_version
+            if version > SCHEMA_VERSION:
+                raise RegistryError(
+                    f"{self.path}: schema version {version} is newer than "
+                    f"this build supports ({SCHEMA_VERSION}) — update the "
+                    "code or use a fresh database"
+                )
+            if version == SCHEMA_VERSION:
+                return
+            # One writer migrates; concurrent openers queue on the lock
+            # and re-check the version once they acquire it.
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                version = self.schema_version
+                for target in range(version + 1, SCHEMA_VERSION + 1):
+                    for statement in _MIGRATIONS[target]:
+                        self._conn.execute(statement)
+                    self._conn.execute(f"PRAGMA user_version = {target:d}")
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+
+    # -- writing -------------------------------------------------------
+    def insert_run(
+        self, fields: Mapping[str, Any], samples: Mapping[str, float]
+    ) -> int:
+        unknown = set(fields) - set(RUN_FIELDS)
+        if unknown:
+            raise RegistryError(
+                f"{self.path}: unknown run fields {sorted(unknown)}"
+            )
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                cursor = self._conn.execute(
+                    "INSERT INTO runs ({}) VALUES ({})".format(
+                        ", ".join(RUN_FIELDS),
+                        ", ".join("?" for _ in RUN_FIELDS),
+                    ),
+                    tuple(fields.get(name) for name in RUN_FIELDS),
+                )
+                run_id = int(cursor.lastrowid)
+                self._conn.executemany(
+                    "INSERT INTO samples (run_id, key, value) VALUES (?, ?, ?)",
+                    [(run_id, key, value) for key, value in sorted(samples.items())],
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return run_id
+
+    # -- reading -------------------------------------------------------
+    def query_runs(
+        self,
+        filters: Mapping[str, Any] | None = None,
+        *,
+        git_substring: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        clauses: list[str] = []
+        params: list[Any] = []
+        for column, value in (filters or {}).items():
+            if column not in RUN_FIELDS:
+                raise RegistryError(f"{self.path}: unknown filter {column!r}")
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if git_substring is not None:
+            clauses.append("git LIKE ?")
+            params.append(f"%{git_substring}%")
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        try:
+            rows = self._conn.execute(sql, params).fetchall()
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        rows.reverse()  # oldest first, newest-N kept by the LIMIT above
+        return [dict(row) for row in rows]
+
+    def samples_for(self, run_id: int) -> dict[str, float]:
+        try:
+            rows = self._conn.execute(
+                "SELECT key, value FROM samples WHERE run_id = ? ORDER BY key",
+                (run_id,),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return {row["key"]: row["value"] for row in rows}
+
+    def sample_keys(self) -> list[str]:
+        try:
+            rows = self._conn.execute(
+                "SELECT DISTINCT key FROM samples ORDER BY key"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return [row["key"] for row in rows]
+
+    def sample_value(self, run_id: int, key: str) -> float | None:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM samples WHERE run_id = ? AND key = ?",
+                (run_id, key),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return None if row is None else float(row["value"])

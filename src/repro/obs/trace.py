@@ -22,9 +22,9 @@ timestamps, wall durations, worker pids — lives under the record's
 produce byte-identical streams after :func:`strip_wall`; this is asserted
 by the test suite and is what makes traces diffable across runs.
 
-**Fork safety:** :class:`~repro.engine.pool.TaskPool` workers inherit the
-live tracer through ``fork``.  A tracer detects it is running in a child
-(pid mismatch) and diverts events to an in-memory buffer instead of the
+**Fork safety:** executor-backend workers inherit the live tracer
+through ``fork``.  A tracer detects it is running in a child (pid
+mismatch) and diverts events to an in-memory buffer instead of the
 parent's file handle; the pool ships each task's buffered events back and
 :meth:`SpanTracer.replay` re-emits them under the task's span with ids
 remapped into the parent's id space.

@@ -6,10 +6,11 @@ flips a bit, and the *best pattern* is the one with the most flips.  The
 campaign totals reproduce Table 6 / Figure 9, with the simulation scale
 translating the paper's 2-hour wall-clock budget into a pattern count.
 
-Campaigns execute on :class:`repro.engine.TaskPool`: pattern generation
-stays serial (it is cheap and preserves the fuzzer's RNG draw order), the
-expensive trials fan out over workers, and aggregation walks results in
-pattern order — so a parallel campaign is bit-identical to a serial one.
+Campaigns execute on the executor backend picked by
+:func:`repro.engine.create_backend`: pattern generation stays serial (it
+is cheap and preserves the fuzzer's RNG draw order), the expensive trials
+fan out over workers, and aggregation walks results in pattern order — so
+a parallel campaign is bit-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.common.rng import RngStream
 from repro.cpu.isa import HammerKernelConfig
-from repro.engine import ExperimentSpec, RunBudget, TaskPool
+from repro.engine import ExperimentSpec, RunBudget, create_backend
 from repro.obs import OBS
 from repro.patterns.frequency import AggressorPair, NonUniformPattern, lay_out_pattern
 from repro.system.calibration import SimulationScale
@@ -187,8 +188,8 @@ class FuzzingCampaign:
             trials_per_pattern=self.trials_per_pattern,
             seed_name=self.seed_name,
         ) as span:
-            pool = TaskPool(workers=budget.workers)
-            batch = pool.map(run_trial, tasks, init=spec.session)
+            with create_backend(spec, budget) as backend:
+                batch = backend.map(run_trial, tasks, init=spec.session)
 
             total = 0
             best_flips = 0

@@ -6,10 +6,10 @@ pattern is applied at many distinct base rows, and flips accumulate over
 Figure 11 and the per-minute flip rates the paper headlines (187K / 47K /
 995 / 2,291 per minute).
 
-Locations are independent trials, so they fan out over
-:class:`repro.engine.TaskPool`; the Figure 11 time axis is rebuilt from
-per-location durations in location order, keeping parallel sweeps
-bit-identical to serial ones.
+Locations are independent trials, so they fan out over the executor
+backend picked by :func:`repro.engine.create_backend`; the Figure 11
+time axis is rebuilt from per-location durations in location order,
+keeping parallel sweeps bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cpu.isa import HammerKernelConfig
-from repro.engine import ExperimentSpec, RunBudget, TaskPool
+from repro.engine import ExperimentSpec, RunBudget, create_backend
 from repro.obs import OBS
 from repro.patterns.frequency import NonUniformPattern
 from repro.system.calibration import SimulationScale
@@ -127,12 +127,12 @@ def sweep_pattern(
         workers=budget.workers,
         seed_name=seed_name,
     ) as span:
-        pool = TaskPool(workers=budget.workers)
-        batch = pool.map(
-            run_location,
-            [int(r) for r in base_rows.tolist()],
-            init=spec.session,
-        )
+        with create_backend(spec, budget) as backend:
+            batch = backend.map(
+                run_location,
+                [int(r) for r in base_rows.tolist()],
+                init=spec.session,
+            )
 
         flips = np.zeros(num_locations, dtype=np.int64)
         minutes = np.zeros(num_locations, dtype=np.float64)

@@ -3,7 +3,8 @@
 The paper reports recovery time and success over many independent runs
 per platform.  Each run is a fully self-contained trial — its own machine
 seed, its own timing-oracle pool, its own measurement noise — so the runs
-fan out over :class:`repro.engine.TaskPool` with per-task seeds derived
+fan out over a :func:`repro.engine.create_backend` executor with
+per-task seeds derived
 from :func:`repro.common.rng.derive_seed`; parallel statistics are
 bit-identical to serial ones.
 """
@@ -13,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.rng import derive_seed
-from repro.engine import RunBudget, TaskPool
+from repro.engine import RunBudget, create_backend
 from repro.reveng.algorithm import RhoHammerRevEng
 from repro.reveng.oracle import TimingOracle
 from repro.reveng.report import compare_mappings
@@ -108,8 +109,8 @@ def repeated_reveng(
             correct=score.fully_correct,
         )
 
-    pool = TaskPool(workers=budget.workers)
-    batch = pool.map(run_once, seeds)
+    with create_backend(budget) as backend:
+        batch = backend.map(run_once, seeds)
     return RepeatedRevEngStats(
         platform=platform,
         dimm_id=dimm_id,

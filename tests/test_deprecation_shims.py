@@ -102,3 +102,24 @@ def test_sweep_positional_int_shim_warns_once():
     assert len([
         w for w in caught if issubclass(w.category, DeprecationWarning)
     ]) == 1
+
+
+def test_taskpool_shim_warns_once_and_delegates():
+    import repro.engine.pool as pool_module
+    from repro.engine import TaskPool, create_backend
+
+    pool_module._warned = False  # other tests may have tripped it
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = TaskPool(workers=1).map(lambda ctx, t: t * t, range(8))
+        TaskPool(workers=2)  # construction alone must not warn again
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "create_backend" in str(deprecations[0].message)
+
+    with create_backend(workers=1) as backend:
+        modern = backend.map(lambda ctx, t: t * t, range(8))
+    assert first.results == modern.results == [t * t for t in range(8)]
+    assert first.ok and modern.ok

@@ -1,21 +1,30 @@
 """The deterministic parallel experiment engine (repro.engine).
 
-The engine's contract is strong: for a fixed seed, ``workers=N`` must be
-*bit-identical* to ``workers=1`` for every consumer (fuzzing, sweeping,
-repeated reverse engineering), failures of individual tasks must not take
-down the batch, and a broken pool must degrade to serial execution rather
-than lose results.
+The engine's contract is strong: for a fixed seed, every backend at any
+worker count must be *bit-identical* to :class:`SerialBackend` for every
+consumer (fuzzing, sweeping, repeated reverse engineering) — in results
+AND in merged metric snapshots — failures of individual tasks must not
+take down the batch, and a broken pool must degrade to serial execution
+rather than lose results.
 """
 
 import pytest
 
 from repro import QUICK_SCALE, RunBudget, rhohammer_config
 from repro.common.errors import CalibrationError
-from repro.common.rng import RngStream
-from repro.engine import ExperimentSpec, TaskPool
-from repro.engine import pool as pool_module
+from repro.engine import (
+    ExperimentSpec,
+    ForkBatchBackend,
+    PersistentPoolBackend,
+    SerialBackend,
+    create_backend,
+)
+from repro.engine.executor import factory as factory_module
+from repro.engine.executor import persistent as persistent_module
+from repro.engine.executor.base import ExecutorBackend
 from repro.exploit.endtoend import canonical_compact_pattern
 from repro.hammer.session import HammerSession
+from repro.obs import OBS
 from repro.patterns.fuzzer import FuzzingCampaign
 from repro.patterns.sweep import sweep_pattern
 from repro.reveng import repeated_reveng
@@ -43,6 +52,8 @@ def test_budget_validates_inputs():
     with pytest.raises(CalibrationError):
         RunBudget(workers=0)
     with pytest.raises(CalibrationError):
+        RunBudget(backend="threads")
+    with pytest.raises(CalibrationError):
         RunBudget().resolve_trials(QUICK_SCALE)
 
 
@@ -55,18 +66,30 @@ def test_spec_derives_stable_task_streams(comet_machine):
 
 
 # ----------------------------------------------------------------------
-# TaskPool mechanics
+# Backend mechanics
 # ----------------------------------------------------------------------
 def _square(ctx, task):
     return task * task
 
 
-def test_pool_results_are_ordered_and_worker_count_independent():
+def _backends():
+    return (
+        SerialBackend(),
+        ForkBatchBackend(workers=4),
+        PersistentPoolBackend(workers=4),
+    )
+
+
+def test_backends_satisfy_protocol_and_order_results():
     tasks = list(range(20))
-    serial = TaskPool(workers=1).map(_square, tasks)
-    parallel = TaskPool(workers=4).map(_square, tasks)
-    assert serial.results == parallel.results == [t * t for t in tasks]
-    assert serial.ok and parallel.ok
+    expected = [t * t for t in tasks]
+    for backend in _backends():
+        assert isinstance(backend, ExecutorBackend)
+        with backend:
+            report = backend.map(_square, tasks)
+        assert report.results == expected, backend.name
+        assert report.ok and not report.degraded, backend.name
+        assert report.backend == backend.name
 
 
 def _explode_on_two(ctx, task):
@@ -75,47 +98,76 @@ def _explode_on_two(ctx, task):
     return task
 
 
-def test_pool_captures_task_errors_and_preserves_partial_results():
-    for workers in (1, 3):
-        report = TaskPool(workers=workers).map(_explode_on_two, range(5))
-        assert report.results == [0, 1, None, 3, 4]
-        assert [err.index for err in report.errors] == [2]
+def test_backends_capture_task_errors_and_keep_partial_results():
+    for backend in _backends():
+        with backend:
+            report = backend.map(_explode_on_two, range(5))
+        assert report.results == [0, 1, None, 3, 4], backend.name
+        assert [err.index for err in report.errors] == [2], backend.name
         assert "RuntimeError" in report.errors[0].detail
         assert any("injected failure" in note for note in report.notes())
 
 
-def test_pool_degrades_to_serial_when_fork_machinery_breaks(monkeypatch):
+def test_persistent_pool_reuses_workers_across_batches():
+    with PersistentPoolBackend(workers=3) as backend:
+        first = backend.map(_square, range(9))
+        pids = backend.worker_pids()
+        second = backend.map(_square, range(9, 18))
+        assert backend.worker_pids() == pids
+    assert first.results == [t * t for t in range(9)]
+    assert second.results == [t * t for t in range(9, 18)]
+
+
+def test_persistent_pool_degrades_when_fork_machinery_breaks(monkeypatch):
     def broken_context(method):
         raise OSError("no fork for you")
 
     monkeypatch.setattr(
-        pool_module.multiprocessing, "get_context", broken_context
+        persistent_module.multiprocessing, "get_context", broken_context
     )
-    # Pretend the host has cores to spare so the CPU cap does not route
-    # the batch straight to the serial path before fork is attempted.
-    monkeypatch.setattr(pool_module, "default_workers", lambda: 8)
-    report = TaskPool(workers=4).map(_square, range(6))
+    with PersistentPoolBackend(workers=4) as backend:
+        report = backend.map(_square, range(6))
     assert report.degraded
     assert report.results == [t * t for t in range(6)]
     assert any("degraded" in note for note in report.notes())
 
 
-def test_pool_caps_workers_to_host_cpus(monkeypatch):
-    monkeypatch.setattr(pool_module, "default_workers", lambda: 1)
+def test_create_backend_caps_auto_workers_to_host_cpus(monkeypatch):
+    monkeypatch.setattr(factory_module, "default_workers", lambda: 1)
 
-    def no_fork(method):  # the cap must prevent us from ever forking
+    def no_fork(method):  # the cap must route serial before any fork
         raise AssertionError("single-core host must not fork")
 
     monkeypatch.setattr(
-        pool_module.multiprocessing, "get_context", no_fork
+        persistent_module.multiprocessing, "get_context", no_fork
     )
-    report = TaskPool(workers=16).map(_square, range(6))
+    with create_backend(budget=RunBudget.trials(6, workers=16)) as backend:
+        assert isinstance(backend, SerialBackend)
+        report = backend.map(_square, range(6))
     assert not report.degraded
     assert report.workers == 1
     assert report.results == [t * t for t in range(6)]
 
 
-def test_pool_init_builds_context_once_per_process():
+def test_create_backend_honours_explicit_choices(monkeypatch):
+    monkeypatch.setattr(factory_module, "default_workers", lambda: 8)
+    auto = create_backend(budget=RunBudget.trials(4, workers=4))
+    assert isinstance(auto, PersistentPoolBackend)
+    auto.close()
+    serial = create_backend(
+        budget=RunBudget.trials(4, workers=4, backend="serial")
+    )
+    assert isinstance(serial, SerialBackend)
+    fork = create_backend(
+        budget=RunBudget.trials(4, workers=4, backend="fork")
+    )
+    assert isinstance(fork, ForkBatchBackend)
+    fork.close()
+    with pytest.raises(ValueError):
+        create_backend(workers=2, backend="threads")
+
+
+def test_backend_init_builds_context_once_per_process():
     calls = []
 
     def init():
@@ -126,14 +178,15 @@ def test_pool_init_builds_context_once_per_process():
         assert ctx == "ctx"
         return task
 
-    report = TaskPool(workers=1).map(use, range(4), init=init)
+    with SerialBackend() as backend:
+        report = backend.map(use, range(4), init=init)
     assert report.ok and len(calls) == 1
 
 
 # ----------------------------------------------------------------------
 # Parallel determinism: the acceptance criterion
 # ----------------------------------------------------------------------
-def _fuzz_report(machine, workers):
+def _fuzz_report(machine, workers, backend="auto"):
     campaign = FuzzingCampaign(
         machine=machine,
         config=CONFIG,
@@ -141,12 +194,14 @@ def _fuzz_report(machine, workers):
         trials_per_pattern=1,
         seed_name="det",
     )
-    return campaign.execute(RunBudget(max_trials=6, workers=workers))
+    return campaign.execute(
+        RunBudget(max_trials=6, workers=workers, backend=backend)
+    )
 
 
-def test_fuzzing_is_bit_identical_across_worker_counts(comet_machine):
-    serial = _fuzz_report(comet_machine, workers=1)
-    parallel = _fuzz_report(comet_machine, workers=4)
+def test_fuzzing_is_bit_identical_across_backends(comet_machine):
+    serial = _fuzz_report(comet_machine, workers=1, backend="serial")
+    parallel = _fuzz_report(comet_machine, workers=4, backend="persistent")
     assert serial.total_flips == parallel.total_flips
     assert serial.best_pattern_flips == parallel.best_pattern_flips
     assert serial.effective_patterns == parallel.effective_patterns
@@ -160,36 +215,63 @@ def test_fuzzing_is_bit_identical_across_worker_counts(comet_machine):
         assert (serial.best_pattern.slots == parallel.best_pattern.slots).all()
 
 
-def _sweep_report(machine, workers):
+def _sweep_report(machine, workers, backend="auto"):
     return sweep_pattern(
         machine,
         CONFIG,
         canonical_compact_pattern(),
-        RunBudget(max_trials=8, workers=workers),
+        RunBudget(max_trials=8, workers=workers, backend=backend),
         QUICK_SCALE,
         seed_name="det-sweep",
     )
 
 
-def test_sweep_is_bit_identical_across_worker_counts(comet_machine):
-    serial = _sweep_report(comet_machine, workers=1)
-    parallel = _sweep_report(comet_machine, workers=4)
+def test_sweep_is_bit_identical_across_backends(comet_machine):
+    serial = _sweep_report(comet_machine, workers=1, backend="serial")
+    parallel = _sweep_report(comet_machine, workers=4, backend="persistent")
     assert serial.base_rows == parallel.base_rows
     assert (serial.flips_per_location == parallel.flips_per_location).all()
     assert (serial.virtual_minutes == parallel.virtual_minutes).all()
     assert serial.notes == parallel.notes == ()
 
 
-def test_repeated_reveng_is_bit_identical_across_worker_counts():
+def test_repeated_reveng_is_bit_identical_across_backends():
     serial = repeated_reveng(
         "comet_lake", budget=RunBudget.trials(2, workers=1), base_seed=42
     )
     parallel = repeated_reveng(
-        "comet_lake", budget=RunBudget.trials(2, workers=2), base_seed=42
+        "comet_lake",
+        budget=RunBudget.trials(2, workers=2, backend="persistent"),
+        base_seed=42,
     )
     assert serial.outcomes == parallel.outcomes
     assert serial.all_correct
     assert serial.mean_runtime_seconds == parallel.mean_runtime_seconds
+
+
+def _no_wall(section):
+    """Drop wall-clock and pool-bookkeeping keys; they vary by schedule."""
+    return {
+        k: v for k, v in section.items()
+        if "wall" not in k and not k.startswith("pool.")
+    }
+
+
+def test_persistent_metric_snapshots_match_serial(comet_machine):
+    """The merged OBS snapshot — counters AND float histogram sums — must
+    be bit-identical between serial and the persistent pool (journal
+    replay reproduces the exact serial accumulation order)."""
+    snapshots = []
+    for backend, workers in (("serial", 1), ("persistent", 3)):
+        OBS.configure(metrics=True)
+        try:
+            _fuzz_report(comet_machine, workers=workers, backend=backend)
+            snapshots.append(OBS.metrics.snapshot())
+        finally:
+            OBS.shutdown()
+    serial, parallel = snapshots
+    assert _no_wall(serial["counters"]) == _no_wall(parallel["counters"])
+    assert _no_wall(serial["histograms"]) == _no_wall(parallel["histograms"])
 
 
 # ----------------------------------------------------------------------
@@ -208,7 +290,7 @@ def test_sweep_worker_failure_keeps_partial_results(
         return original(self, pattern, base_row, *args, **kwargs)
 
     monkeypatch.setattr(HammerSession, "run_pattern", poisoned)
-    report = _sweep_report(fresh_comet, workers=3)
+    report = _sweep_report(fresh_comet, workers=3, backend="persistent")
     assert report.base_rows == clean.base_rows
     assert report.flips_per_location[2] == 0
     for i in (0, 1, 3, 4, 5, 6, 7):

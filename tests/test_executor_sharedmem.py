@@ -1,0 +1,108 @@
+"""Shared-memory state packs for the persistent executor backend.
+
+The parent publishes derived caches (executor memo results, DRAM cell
+threshold profiles) into one ``multiprocessing.shared_memory`` segment;
+workers attach read-only views and seed their caches from them.  These
+tests pin the round trip, the read-only contract, and segment hygiene.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro import QUICK_SCALE, build_machine, rhohammer_config
+from repro.engine.executor import SEGMENT_PREFIX, SharedArrayPack
+from repro.engine.executor.sharedmem import (
+    adopt_machine_state,
+    export_machine_state,
+)
+
+
+def _segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+def test_pack_round_trip_and_read_only_views():
+    arrays = {
+        "a": np.arange(7, dtype=np.float64),
+        "b": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "empty": np.empty(0, dtype=np.int8),
+    }
+    pack = SharedArrayPack.publish(arrays)
+    try:
+        attached = SharedArrayPack.attach(pack.handle())
+        try:
+            for name, src in arrays.items():
+                got = attached.view(name)
+                assert got.dtype == src.dtype
+                assert got.shape == src.shape
+                assert np.array_equal(got, src)
+                with pytest.raises(ValueError):
+                    got[...] = 0  # views are read-only
+        finally:
+            attached.close()
+    finally:
+        pack.close()
+        pack.unlink()
+    assert f"/dev/shm/{pack.name}" not in _segments()
+
+
+def test_unlink_is_idempotent_and_owner_only():
+    pack = SharedArrayPack.publish({"x": np.ones(3)})
+    attached = SharedArrayPack.attach(pack.handle())
+    attached.close()
+    attached.unlink()  # non-owner: must be a no-op
+    assert f"/dev/shm/{pack.name}" in _segments()
+    pack.close()
+    pack.unlink()
+    pack.unlink()  # second unlink must not raise
+    assert f"/dev/shm/{pack.name}" not in _segments()
+
+
+def test_machine_state_export_adopt_seeds_worker_caches():
+    scale = QUICK_SCALE
+    config = rhohammer_config(nop_count=60, num_banks=2)
+    warm = build_machine("comet_lake", "S3", scale=scale, seed=77)
+    # Populate both caches: one kernel execution memoises an
+    # ExecutionResult, and hammering a row materialises cell profiles.
+    from repro.hammer.session import HammerSession
+    from repro.exploit.endtoend import canonical_compact_pattern
+
+    session = HammerSession(warm, config)
+    session.run_pattern(
+        canonical_compact_pattern(), 5000, activations=scale.acts_per_pattern
+    )
+
+    exported = export_machine_state(warm)
+    assert exported is not None
+    control, pack = exported
+    try:
+        assert control["executor"] or control["cells"] is not None
+
+        cold = build_machine("comet_lake", "S3", scale=scale, seed=77)
+        worker_pack = adopt_machine_state(cold, control)
+        assert worker_pack is not None
+        try:
+            if control["executor"]:
+                hits = cold.executor._cache
+                assert len(hits) == len(control["executor"])
+            if control["cells"] is not None:
+                assert len(cold.dimm.cells._cache) == len(control["cells"])
+                # Seeded profiles must agree with the warm machine's.
+                (bank, row, _, _) = control["cells"][0]
+                a = warm.dimm.cells.profile(bank, row)
+                b = cold.dimm.cells.profile(bank, row)
+                assert np.array_equal(a.thresholds, b.thresholds)
+                assert np.array_equal(a.bit_indices, b.bit_indices)
+                assert np.array_equal(a.directions, b.directions)
+        finally:
+            worker_pack.close()
+    finally:
+        pack.close()
+        pack.unlink()
+
+
+def test_export_returns_none_for_pristine_machine():
+    machine = build_machine("comet_lake", "S3", scale=QUICK_SCALE, seed=78)
+    assert export_machine_state(machine) is None

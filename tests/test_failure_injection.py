@@ -72,3 +72,109 @@ def test_outlier_storm_does_not_create_phantom_bank_functions():
     result = RhoHammerRevEng(oracle, collect_heatmap=False).run()
     score = compare_mappings(result.mapping, machine.mapping)
     assert score.spurious_functions == ()
+
+
+# ----------------------------------------------------------------------
+# Worker-pool crash robustness (persistent executor backend)
+# ----------------------------------------------------------------------
+import glob
+import os
+import signal
+
+from repro.engine import PersistentPoolBackend
+from repro.engine.executor import SEGMENT_PREFIX
+
+
+def _shm_segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+def _assert_reaped(pids):
+    """No worker may survive as a live process or an unreaped zombie."""
+    for pid in pids:
+        stat = f"/proc/{pid}/stat"
+        if os.path.exists(stat):
+            with open(stat) as fh:
+                state = fh.read().rsplit(")", 1)[1].split()[0]
+            assert state == "Z" or not os.path.exists(stat), (
+                f"worker {pid} still alive in state {state}"
+            )
+            assert state != "Z", f"worker {pid} left as a zombie"
+
+
+def test_worker_sigkill_once_is_retried_and_completes(tmp_path):
+    """A worker dying mid-batch costs one bounded retry, not the batch."""
+    flag = tmp_path / "crashed-once"
+
+    def crash_once(ctx, task):
+        if task == 5 and not flag.exists():
+            flag.write_text("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return task * 10
+
+    before = _shm_segments()
+    with PersistentPoolBackend(workers=3, chunk_size=2) as backend:
+        report = backend.map(crash_once, range(12))
+        pids = backend.worker_pids()
+    assert report.results == [t * 10 for t in range(12)]
+    assert report.errors == []
+    assert report.retries >= 1
+    assert not report.degraded
+    _assert_reaped(pids)
+    assert _shm_segments() <= before
+
+
+def test_worker_sigkill_always_degrades_to_serial(tmp_path):
+    """A chunk that kills every worker it lands on exhausts its retry
+    budget; the pool stops feeding and the parent finishes serially."""
+    parent = os.getpid()
+
+    def crash_always(ctx, task):
+        if task == 5 and os.getpid() != parent:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return task * 10
+
+    before = _shm_segments()
+    with PersistentPoolBackend(workers=3, chunk_size=2) as backend:
+        report = backend.map(crash_always, range(12))
+        pids = backend.worker_pids()
+    assert report.results == [t * 10 for t in range(12)]
+    assert report.degraded
+    assert any("degraded" in note for note in report.notes())
+    _assert_reaped(pids)
+    assert _shm_segments() <= before
+
+
+def test_raising_task_is_captured_not_fatal():
+    def explode(ctx, task):
+        if task == 3:
+            raise ValueError("poisoned task")
+        return task
+
+    with PersistentPoolBackend(workers=2, chunk_size=2) as backend:
+        report = backend.map(explode, range(6))
+    assert report.results == [0, 1, 2, None, 4, 5]
+    assert [err.index for err in report.errors] == [3]
+    assert "ValueError" in report.errors[0].detail
+    assert not report.degraded
+
+
+def test_interrupt_mid_batch_tears_down_pool_and_shm():
+    """KeyboardInterrupt while a batch is in flight must still unlink
+    every shared-memory segment and reap every worker."""
+    def interrupting_progress(done, total):
+        if done >= 2:
+            raise KeyboardInterrupt
+
+    def slow(ctx, task):
+        return task
+
+    before = _shm_segments()
+    backend = PersistentPoolBackend(
+        workers=3, chunk_size=1, progress=interrupting_progress
+    )
+    with pytest.raises(KeyboardInterrupt):
+        backend.map(slow, range(30))
+    pids = backend.worker_pids()
+    assert pids == []  # close() already ran via the BaseException guard
+    assert _shm_segments() <= before

@@ -23,10 +23,10 @@ FUZZ_ARGS = (
 def fuzz_run(recorded_runs):
     # The utilization assertions need a genuinely forked 2-worker pool;
     # lift the host-CPU cap so the recording forks even on 1-CPU CI.
-    from repro.engine import pool as pool_module
+    from repro.engine.executor import factory as factory_module
 
     mp = pytest.MonkeyPatch()
-    mp.setattr(pool_module, "default_workers", lambda: 8)
+    mp.setattr(factory_module, "default_workers", lambda: 8)
     try:
         return recorded_runs("analyze-fuzz", *FUZZ_ARGS)
     finally:

@@ -10,7 +10,6 @@ import pytest
 
 from repro.cli import main
 from repro.obs.registry import (
-    _MIGRATIONS,
     SCHEMA_VERSION,
     MetricTrend,
     RegistryError,
@@ -24,6 +23,7 @@ from repro.obs.registry import (
     format_history,
     format_trends,
 )
+from repro.obs.store import _MIGRATIONS, RunStore, SqliteRunStore
 
 
 def _manifest(flips=100, seed=1, git="abc1234", command="fuzz", **extra):
@@ -501,3 +501,50 @@ def test_history_format_renders_bench_rows(tmp_path):
         text = format_history(reg.runs(), reg)
     assert "suite=quick" in text
     assert "bench" in text
+
+
+# ----------------------------------------------------------------------
+# RunStore storage interface
+# ----------------------------------------------------------------------
+def test_sqlite_store_satisfies_runstore_contract(tmp_path):
+    with SqliteRunStore(tmp_path / "registry.sqlite") as store:
+        assert isinstance(store, RunStore)
+        assert store.schema_version == SCHEMA_VERSION
+        run_id = store.insert_run(
+            {"recorded_at": "2026-01-01T00:00:00+0000", "kind": "run",
+             "command": "fuzz", "seed": 3},
+            {"counters.dram.flips_total": 9.0},
+        )
+        rows = store.query_runs({"kind": "run"})
+        assert [r["id"] for r in rows] == [run_id]
+        assert rows[0]["seed"] == 3
+        assert store.samples_for(run_id) == {
+            "counters.dram.flips_total": 9.0
+        }
+        assert store.sample_keys() == ["counters.dram.flips_total"]
+        assert store.sample_value(run_id, "counters.dram.flips_total") == 9.0
+        assert store.sample_value(run_id, "nope") is None
+
+
+def test_sqlite_store_rejects_unknown_fields_and_filters(tmp_path):
+    with SqliteRunStore(tmp_path / "registry.sqlite") as store:
+        with pytest.raises(RegistryError, match="unknown run fields"):
+            store.insert_run({"kind": "run", "recorded_at": "t",
+                              "bogus": 1}, {})
+        with pytest.raises(RegistryError, match="unknown filter"):
+            store.query_runs({"bogus": 1})
+
+
+def test_registry_accepts_injected_store(tmp_path):
+    """A custom RunStore slots in without touching registry call-sites."""
+    store = SqliteRunStore(tmp_path / "registry.sqlite")
+    with RunRegistry(store=store) as reg:
+        assert reg.store is store
+        assert reg.path == store.path
+        reg.record_run(_manifest(flips=5))
+        assert reg.series("counters.dram.flips_total")[0].value == 5.0
+
+
+def test_registry_requires_path_or_store():
+    with pytest.raises(RegistryError, match="path or a store"):
+        RunRegistry()
