@@ -597,6 +597,92 @@ def cmd_trends(args) -> int:
     return 0
 
 
+def _require_registry(registry_arg: str | None) -> str | None:
+    """Resolve and validate a registry DB path, printing errors on miss."""
+    db = _registry_for_read(registry_arg)
+    if db is None:
+        print(
+            "error: no registry — pass --registry PATH or set "
+            "RHOHAMMER_REGISTRY",
+            file=sys.stderr,
+        )
+        return None
+    if not os.path.exists(db):
+        print(f"error: no registry database at {db}", file=sys.stderr)
+        return None
+    return db
+
+
+def cmd_registry_gc(args) -> int:
+    from repro.obs.registry import RegistryError, RunRegistry, format_gc
+
+    db = _require_registry(args.registry)
+    if db is None:
+        return 2
+    try:
+        with RunRegistry(db) as registry:
+            report = registry.gc(
+                max_age_days=args.max_age,
+                keep_last=args.keep_last,
+                keep_tagged=args.keep_tagged,
+                dry_run=args.dry_run,
+                vacuum=args.vacuum,
+            )
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json({"registry": db, "gc": report.to_dict()})
+    else:
+        print(format_gc(report))
+    return 0
+
+
+def cmd_registry_stats(args) -> int:
+    from repro.obs.registry import RegistryError, RunRegistry, format_stats
+
+    db = _require_registry(args.registry)
+    if db is None:
+        return 2
+    try:
+        with RunRegistry(db) as registry:
+            stats = registry.stats()
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        _print_json({"registry": db, "stats": stats})
+    else:
+        print(format_stats(stats))
+    return 0
+
+
+def cmd_registry_tag(args) -> int:
+    from repro.obs.registry import RegistryError, RunRegistry
+
+    if args.tag is None and not args.clear:
+        print("error: pass a TAG to set, or --clear", file=sys.stderr)
+        return 2
+    db = _require_registry(args.registry)
+    if db is None:
+        return 2
+    tag = None if args.clear else args.tag
+    try:
+        with RunRegistry(db) as registry:
+            found = registry.tag(args.run_id, tag)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not found:
+        print(f"error: no run {args.run_id} in {db}", file=sys.stderr)
+        return 2
+    if tag is None:
+        print(f"run {args.run_id}: tag cleared")
+    else:
+        print(f"run {args.run_id}: tagged [{tag}]")
+    return 0
+
+
 def cmd_export(args) -> int:
     from repro.obs.export import export_run
 
@@ -795,6 +881,59 @@ def build_parser() -> argparse.ArgumentParser:
                         "its rolling median")
     _add_json(p)
     p.set_defaults(func=cmd_trends)
+
+    p = sub.add_parser(
+        "registry",
+        help="maintain a run registry database (gc / stats / tag)",
+    )
+    reg_sub = p.add_subparsers(dest="registry_command", required=True)
+
+    def _add_registry_db(rp: argparse.ArgumentParser) -> None:
+        rp.add_argument(
+            "--registry", metavar="PATH", default=None,
+            help="registry database to operate on (default: the "
+                 "RHOHAMMER_REGISTRY env var)",
+        )
+
+    rp = reg_sub.add_parser(
+        "gc",
+        help="prune old runs by retention policy and compact the database",
+    )
+    _add_registry_db(rp)
+    rp.add_argument("--max-age", type=float, default=None, metavar="DAYS",
+                    help="prune runs recorded more than DAYS days ago")
+    rp.add_argument("--keep-last", type=int, default=None, metavar="N",
+                    help="prune runs beyond the newest N")
+    rp.add_argument("--no-keep-tagged", dest="keep_tagged",
+                    action="store_false",
+                    help="let retention prune tagged runs too (by default "
+                         "a tag pins a run past any policy)")
+    rp.add_argument("--dry-run", action="store_true",
+                    help="report what would be pruned without deleting")
+    rp.add_argument("--no-vacuum", dest="vacuum", action="store_false",
+                    help="skip the VACUUM compaction after deleting")
+    _add_json(rp)
+    rp.set_defaults(func=cmd_registry_gc)
+
+    rp = reg_sub.add_parser(
+        "stats",
+        help="registry shape and size: run/sample counts, tags, file bytes",
+    )
+    _add_registry_db(rp)
+    _add_json(rp)
+    rp.set_defaults(func=cmd_registry_stats)
+
+    rp = reg_sub.add_parser(
+        "tag",
+        help="pin a run past gc retention (or --clear its tag)",
+    )
+    _add_registry_db(rp)
+    rp.add_argument("run_id", type=int, help="registry run id (see history)")
+    rp.add_argument("tag", nargs="?", default=None,
+                    help="tag text, e.g. 'baseline' or 'paper-fig7'")
+    rp.add_argument("--clear", action="store_true",
+                    help="remove the run's tag instead of setting one")
+    rp.set_defaults(func=cmd_registry_tag)
 
     p = sub.add_parser(
         "export",

@@ -50,7 +50,7 @@ from repro.dram.ddr5 import RaaCounter, RfmConfig
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import DdrTiming
 from repro.dram.trr import PtrrShield, TrrConfig, TrrSampler
-from repro.obs import OBS
+from repro.obs import OBS, metric_key
 
 #: Disturbance coupling per activation, by |victim - aggressor| distance.
 #: +/-2 coupling reflects the Half-Double style far-aggressor effect.
@@ -294,6 +294,14 @@ class Dimm:
         sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
         telemetry = OBS.enabled
         trace_windows = OBS.tracer.enabled and OBS.tracer.detail == "window"
+        # Phase-batched metrics: the window loop and the TRR sampler
+        # accumulate into one batch, applied to the registry exactly once
+        # per bank (see MetricsBatch for the exactness argument).
+        batch = OBS.metrics.batch() if telemetry else None
+        if batch is not None:
+            sampler.metrics = batch
+        windows_total = 0
+        acts_per_window: list[int] = []
         geometry = self.spec.geometry
         ptrr_rng = self.rng.child("ptrr", bank)
         raa: RaaCounter | None = None
@@ -351,10 +359,8 @@ class Dimm:
             # ... plus this interval's share of the periodic refresh.
             state.periodic_refresh(interval % refs_per_window, rows_per_ref)
             if telemetry:
-                OBS.metrics.counter("dram.windows_total").inc()
-                OBS.metrics.histogram("dram.acts_per_window").observe(
-                    int(chunk.size)
-                )
+                windows_total += 1
+                acts_per_window.append(int(chunk.size))
                 if trace_windows:
                     OBS.tracer.point(
                         "dram.window",
@@ -370,7 +376,7 @@ class Dimm:
         victims = touched + lo
         peaks = state.peak[touched]
         counts = self.cells.flip_counts_for(bank, victims, peaks)
-        if telemetry:
+        if batch is not None:
             flipped = np.nonzero(counts)[0]
             windows = (
                 state.peak_window[touched]
@@ -378,7 +384,11 @@ class Dimm:
                 else np.zeros(touched.size, dtype=np.int64)
             )
             for i in flipped.tolist():
-                self._flip_metrics(int(counts[i]), int(windows[i]))
+                self._flip_metrics(batch, int(counts[i]), int(windows[i]))
+            sampler.flush_metrics()
+            batch.inc("dram.windows_total", windows_total)
+            batch.observe_many("dram.acts_per_window", acts_per_window)
+            batch.flush()
         if not collect_events:
             return int(counts.sum()), trr_refreshes
         flips: list[FlipEvent] = []
@@ -397,7 +407,7 @@ class Dimm:
         return flips, trr_refreshes
 
     @staticmethod
-    def _flip_metrics(count: int, window: int) -> None:
+    def _flip_metrics(batch, count: int, window: int) -> None:
         """Attribute flips to the refresh window where the peak was hit."""
-        OBS.metrics.counter("dram.flips_total").inc(count)
-        OBS.metrics.counter("dram.flips_by_window", window=window).inc(count)
+        batch.inc("dram.flips_total", count)
+        batch.inc(metric_key("dram.flips_by_window", {"window": window}), count)

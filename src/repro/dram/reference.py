@@ -68,20 +68,18 @@ def sequential_observe(sampler: TrrSampler, rows: np.ndarray) -> None:
     """
     if rows.size == 0:
         return
+    batch = sampler.metrics
     observed = rows
     if sampler.config.sample_prob < 1.0:
         mask = sampler.rng.random(rows.size) < sampler.config.sample_prob
         observed = rows[mask]
-        if OBS.enabled:
-            OBS.metrics.counter("dram.trr.acts_unsampled").inc(
-                int(rows.size - observed.size)
-            )
+        if batch is not None:
+            sampler._acts_unsampled += int(rows.size - observed.size)
         if observed.size == 0:
             return
     counts = sampler._counts
     capacity = sampler.config.capacity
-    telemetry = OBS.enabled
-    if telemetry:
+    if batch is not None:
         size_before = len(counts)
         total_before = sum(counts.values())
     for row in observed.tolist():
@@ -90,15 +88,12 @@ def sequential_observe(sampler: TrrSampler, rows: np.ndarray) -> None:
         elif len(counts) < capacity:
             counts[row] = 1
         # else: table full -> activation escapes the sampler entirely.
-    if telemetry:
+    if batch is not None:
         inserted = len(counts) - size_before
         bumped = (sum(counts.values()) - total_before) - inserted
-        escaped = int(observed.size) - inserted - bumped
-        metrics = OBS.metrics
-        metrics.counter("dram.trr.acts_observed").inc(int(observed.size))
-        metrics.counter("dram.trr.rows_inserted").inc(inserted)
-        metrics.counter("dram.trr.tracked_hits").inc(bumped)
-        metrics.counter("dram.trr.acts_escaped").inc(escaped)
+        sampler._acts_observed += int(observed.size)
+        sampler._rows_inserted += inserted
+        sampler._tracked_acts += inserted + bumped
 
 
 class ReferenceDimm(Dimm):
@@ -116,6 +111,13 @@ class ReferenceDimm(Dimm):
         sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
         telemetry = OBS.enabled
         trace_windows = OBS.tracer.enabled and OBS.tracer.detail == "window"
+        # Same phase-batched telemetry shape as the vectorised path, so
+        # the equivalence cross-check compares identical flush sequences.
+        batch = OBS.metrics.batch() if telemetry else None
+        if batch is not None:
+            sampler.metrics = batch
+        windows_total = 0
+        acts_per_window: list[int] = []
         state = _SequentialBankState(track_windows=telemetry)
         geometry = self.spec.geometry
         ptrr_rng = self.rng.child("ptrr", bank)
@@ -169,10 +171,8 @@ class ReferenceDimm(Dimm):
                 state, interval, rows_per_ref, refs_per_window
             )
             if telemetry:
-                OBS.metrics.counter("dram.windows_total").inc()
-                OBS.metrics.histogram("dram.acts_per_window").observe(
-                    int(chunk.size)
-                )
+                windows_total += 1
+                acts_per_window.append(int(chunk.size))
                 if trace_windows:
                     OBS.tracer.point(
                         "dram.window",
@@ -188,19 +188,24 @@ class ReferenceDimm(Dimm):
             for victim, peak in state.peak.items():
                 events = self.cells.flips_for(bank, victim, peak)
                 flips.extend(events)
-                if telemetry and events:
+                if batch is not None and events:
                     self._flip_metrics(
-                        len(events), state.peak_window.get(victim, 0)
+                        batch, len(events), state.peak_window.get(victim, 0)
                     )
         else:
             flips = 0
             for victim, peak in state.peak.items():
                 count = self.cells.flip_count_for(bank, victim, peak)
                 flips += count
-                if telemetry and count:
+                if batch is not None and count:
                     self._flip_metrics(
-                        count, state.peak_window.get(victim, 0)
+                        batch, count, state.peak_window.get(victim, 0)
                     )
+        if batch is not None:
+            sampler.flush_metrics()
+            batch.inc("dram.windows_total", windows_total)
+            batch.observe_many("dram.acts_per_window", acts_per_window)
+            batch.flush()
         return flips, trr_refreshes
 
     @staticmethod

@@ -29,7 +29,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.rng import RngStream
-from repro.obs import OBS
+from repro.obs import MetricsBatch
+
+#: Bucket ladder for the ``dram.trr.occupancy`` histogram (table sizes).
+OCCUPANCY_BUCKETS: tuple[int, ...] = tuple(range(1, 33))
 
 
 @dataclass(frozen=True)
@@ -70,14 +73,38 @@ VENDOR_TRR_PROFILES: dict[str, TrrConfig] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TrrSampler:
-    """One bank's TRR sampler state."""
+    """One bank's TRR sampler state.
+
+    Telemetry is phase-batched: the owner (the hammer loop) attaches a
+    :class:`~repro.obs.metrics.MetricsBatch` to ``metrics`` and calls
+    :meth:`flush_metrics` at the bank/phase boundary before flushing the
+    batch itself; with ``metrics`` left ``None`` the sampler emits
+    nothing.  Hot methods only bump plain instance ints and append to a
+    plain list — no method call, no key hashing — so per-interval
+    telemetry cost is a handful of attribute adds, and the per-REF
+    occupancy journal keeps its issue order for the bit-identical
+    parallel merge.
+    """
 
     config: TrrConfig
     rng: RngStream
+    metrics: MetricsBatch | None = None
     _counts: dict[int, int] = field(default_factory=dict)
     _refs_since_flush: int = 0
+    # Plain-int telemetry tallies, pushed into ``metrics`` only by
+    # flush_metrics().  Guarded by ``metrics is not None`` so the
+    # disabled path never pays for them; the derived counters
+    # (tracked_hits, acts_escaped, refs) are linear combinations of
+    # these, reconstructed at flush time.
+    _acts_unsampled: int = 0
+    _acts_observed: int = 0
+    _rows_inserted: int = 0
+    _tracked_acts: int = 0
+    _neighbour_refreshes: int = 0
+    _flushes: int = 0
+    _occupancies: list[int] = field(default_factory=list)
 
     def observe(self, rows: np.ndarray) -> None:
         """Feed the activations of one refresh interval, in issue order.
@@ -94,14 +121,13 @@ class TrrSampler:
         """
         if rows.size == 0:
             return
+        batch = self.metrics
         observed = rows
         if self.config.sample_prob < 1.0:
             mask = self.rng.random(rows.size) < self.config.sample_prob
             observed = rows[mask]
-            if OBS.enabled:
-                OBS.metrics.counter("dram.trr.acts_unsampled").inc(
-                    int(rows.size - observed.size)
-                )
+            if batch is not None:
+                self._acts_unsampled += int(rows.size - observed.size)
             if observed.size == 0:
                 return
         counts = self._counts
@@ -147,24 +173,17 @@ class TrrSampler:
                     if free == 0 or remaining_new == 0:
                         break
         # Every other activation escapes the sampler entirely.
-        if OBS.enabled:
-            metrics = OBS.metrics
-            metrics.counter("dram.trr.acts_observed").inc(int(observed.size))
-            metrics.counter("dram.trr.rows_inserted").inc(inserted)
-            metrics.counter("dram.trr.tracked_hits").inc(tracked_acts - inserted)
-            metrics.counter("dram.trr.acts_escaped").inc(
-                int(observed.size) - tracked_acts
-            )
+        if batch is not None:
+            self._acts_observed += int(observed.size)
+            self._rows_inserted += inserted
+            self._tracked_acts += tracked_acts
 
     def on_ref(self) -> list[int]:
         """REF arrived: return aggressor rows whose neighbours get refreshed."""
         targets: list[int] = []
-        if OBS.enabled:
-            metrics = OBS.metrics
-            metrics.histogram(
-                "dram.trr.occupancy", buckets=tuple(range(1, 33))
-            ).observe(len(self._counts))
-            metrics.gauge("dram.trr.last_occupancy").set(len(self._counts))
+        batch = self.metrics
+        if batch is not None:
+            self._occupancies.append(len(self._counts))
         if self._counts:
             ranked = sorted(self._counts, key=self._counts.get, reverse=True)
             targets = ranked[: self.config.refreshes_per_ref]
@@ -176,13 +195,57 @@ class TrrSampler:
             self._counts.clear()
             self._refs_since_flush = 0
             flushed = True
-        if OBS.enabled:
-            metrics = OBS.metrics
-            metrics.counter("dram.trr.refs").inc()
-            metrics.counter("dram.trr.neighbour_refreshes").inc(len(targets))
+        if batch is not None:
+            self._neighbour_refreshes += len(targets)
             if flushed:
-                metrics.counter("dram.trr.flushes").inc()
+                self._flushes += 1
         return targets
+
+    def flush_metrics(self) -> None:
+        """Push the accumulated tallies into ``metrics`` and zero them.
+
+        Owners call this once at the bank/phase boundary, before
+        flushing the batch.  Keys mirror the per-event emission they
+        replace: the observation counters appear once any interval was
+        observed, the REF counters once any REF arrived, and the
+        occupancy histogram/gauge carry the per-REF journal (order
+        preserved) with the gauge holding the last REF's table size.
+        """
+        batch = self.metrics
+        if batch is None:
+            return
+        if self._acts_unsampled or self.config.sample_prob < 1.0:
+            batch.inc("dram.trr.acts_unsampled", self._acts_unsampled)
+        if self._acts_observed:
+            batch.inc("dram.trr.acts_observed", self._acts_observed)
+            batch.inc("dram.trr.rows_inserted", self._rows_inserted)
+            batch.inc(
+                "dram.trr.tracked_hits",
+                self._tracked_acts - self._rows_inserted,
+            )
+            batch.inc(
+                "dram.trr.acts_escaped",
+                self._acts_observed - self._tracked_acts,
+            )
+        # One occupancy journal entry per REF, so refs == len(journal).
+        occupancies = self._occupancies
+        if occupancies:
+            batch.observe_many(
+                "dram.trr.occupancy", occupancies, OCCUPANCY_BUCKETS
+            )
+            batch.set("dram.trr.last_occupancy", occupancies[-1])
+            batch.inc("dram.trr.refs", len(occupancies))
+            batch.inc("dram.trr.neighbour_refreshes",
+                      self._neighbour_refreshes)
+            if self._flushes:
+                batch.inc("dram.trr.flushes", self._flushes)
+        self._acts_unsampled = 0
+        self._acts_observed = 0
+        self._rows_inserted = 0
+        self._tracked_acts = 0
+        self._neighbour_refreshes = 0
+        self._flushes = 0
+        self._occupancies = []
 
     def reset(self) -> None:
         self._counts.clear()

@@ -31,7 +31,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
-from repro.obs import OBS
+from repro.obs import OBS, MetricsBatch
 
 
 @dataclass(frozen=True)
@@ -154,13 +154,16 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def task_metrics(status: str, dur_s: float) -> None:
-    """Parent-side per-task counters (``*_wall_*`` = nondeterministic)."""
-    metrics = OBS.metrics
-    metrics.counter("pool.tasks_total").inc()
+def task_metrics(batch: MetricsBatch, status: str, dur_s: float) -> None:
+    """Parent-side per-task counters (``*_wall_*`` = nondeterministic).
+
+    Accumulates into a batch-per-dispatch (flushed at the batch/loop
+    boundary by the caller) so the task loop never pays registry lookups.
+    """
+    batch.inc("pool.tasks_total")
     if status == "failed":
-        metrics.counter("pool.tasks_failed").inc()
-    metrics.histogram("pool.task_wall_seconds").observe(dur_s)
+        batch.inc("pool.tasks_failed")
+    batch.observe("pool.task_wall_seconds", dur_s)
 
 
 def run_with_batch_span(
@@ -209,6 +212,7 @@ def run_serial_tasks(
         i for i, res in enumerate(report.results) if res is not None
     )
     done = len(settled)
+    batch = OBS.metrics.batch() if OBS.metrics.enabled else None
     for index, task in enumerate(tasks):
         if index in settled:
             continue  # preserved from before the pool broke
@@ -224,12 +228,14 @@ def run_serial_tasks(
                 status = "failed"
             span.set(status=status)
             span.set_wall(worker=os.getpid())
-        if OBS.metrics.enabled:
-            task_metrics(status, time.perf_counter() - start)
+        if batch is not None:
+            task_metrics(batch, status, time.perf_counter() - start)
         done += 1
         if progress is not None:
             progress(done, len(tasks))
     report.errors.sort(key=lambda err: err.index)
+    if batch is not None:
+        batch.flush()
     return report
 
 
@@ -250,6 +256,7 @@ def absorb_worker_telemetry(
     if not OBS.enabled:
         return
     failed = {err.index for err in report.errors}
+    batch = OBS.metrics.batch() if OBS.metrics.enabled else None
     for index, meta in enumerate(metas):
         if meta is None:
             continue  # unsettled (degraded batch): serial re-run covers it
@@ -261,9 +268,11 @@ def absorb_worker_telemetry(
                 # dur_s overrides the parent-side (near-zero) replay
                 # duration with the worker-side task duration.
                 span.set_wall(worker=meta["worker"], dur_s=meta["dur_s"])
-        if OBS.metrics.enabled:
+        if batch is not None:
             if merge_task_deltas:
                 delta = meta.get("metrics")
                 if delta is not None:
                     OBS.metrics.merge(delta)
-            task_metrics(status, meta["dur_s"])
+            task_metrics(batch, status, meta["dur_s"])
+    if batch is not None:
+        batch.flush()

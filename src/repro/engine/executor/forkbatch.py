@@ -131,6 +131,9 @@ class ForkBatchBackend:
         chunk = self.chunk_size or max(1, len(tasks) // (workers * 4))
         _FORK_STATE.clear()
         _FORK_STATE.update(fn=fn, init=init)
+        # Flush buffered spans before forking so children inherit an
+        # empty buffer (their own flush is pid-guarded regardless).
+        OBS.tracer.flush()
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:

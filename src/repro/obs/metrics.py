@@ -23,7 +23,7 @@ export format — no client library, no wire protocol.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Any, Mapping
 
 #: Default histogram bucket upper bounds: a 1-2-5 geometric ladder that
@@ -103,6 +103,46 @@ class Histogram:
         self.bucket_counts[bisect_left(self.buckets, value)] += 1
         if self.journal is not None:
             self.journal.append(value)
+
+    def observe_many(self, values: list[int | float]) -> None:
+        """Fold a batch of observations in order, in one fused pass.
+
+        The float ``total`` fold and the journal (when a
+        :class:`DeltaBuffer` is active) must see the exact same per-value
+        sequence a serial, unbatched run would produce, so that
+        phase-batched call sites stay bit-identical to per-event ones —
+        hence the sequential ``total += value`` loop rather than a
+        vectorised sum (float addition does not regroup).  Count,
+        min/max, and the journal are order-insensitive aggregates, so
+        those fold once per batch instead of once per value.
+        """
+        if not values:
+            return
+        total = self.total
+        for value in values:
+            total += value
+        self.total = total
+        self.count += len(values)
+        # Bucket counts are order-insensitive, so fill them from one
+        # sort (C timsort) plus one bisect per *edge* instead of one
+        # bisect per value: slot i gains #{v <= edge_i} - #{v <= edge_{i-1}},
+        # which matches the per-value ``bisect_left(buckets, v)`` rule
+        # (ties land in the slot of their exact edge).
+        ordered = sorted(values)
+        bucket_counts = self.bucket_counts
+        prev = 0
+        for i, edge in enumerate(self.buckets):
+            pos = bisect_right(ordered, edge)
+            bucket_counts[i] += pos - prev
+            prev = pos
+        bucket_counts[-1] += len(ordered) - prev
+        lo, hi = ordered[0], ordered[-1]
+        if self.vmin is None or lo < self.vmin:
+            self.vmin = lo
+        if self.vmax is None or hi > self.vmax:
+            self.vmax = hi
+        if self.journal is not None:
+            self.journal.extend(values)
 
     @property
     def mean(self) -> float:
@@ -302,6 +342,10 @@ class MetricsRegistry:
         """A buffered delta accumulator for chunked worker dispatch."""
         return DeltaBuffer(self)
 
+    def batch(self) -> "MetricsBatch":
+        """A phase-local accumulation buffer (see :class:`MetricsBatch`)."""
+        return MetricsBatch(self)
+
     def merge(self, delta: dict[str, Any]) -> None:
         """Fold one worker's :meth:`delta_since` payload into this registry."""
         if not self.enabled:
@@ -345,6 +389,104 @@ class MetricsRegistry:
                 )
             for i, n in enumerate(payload["bucket_counts"]):
                 hist.bucket_counts[i] += n
+
+
+class MetricsBatch:
+    """Phase-local metric accumulation, flushed at phase boundaries.
+
+    Hot loops (the DRAM hammer window loop, the TRR sampler, the pool
+    task loop) emit thousands of metric events per second; paying a
+    registry key lookup plus an instrument method call per event is the
+    bulk of the metrics-enabled overhead.  A ``MetricsBatch`` instead
+    accumulates locally — counters as plain int sums, gauges as
+    last-write-wins values, histograms as append-only observation
+    journals — and :meth:`flush` applies everything to the registry once,
+    at the phase/span boundary the owner chooses.
+
+    Exactness contract (what keeps batched call sites bit-identical to
+    per-event ones):
+
+    * counter increments are integer sums — addition order never matters;
+    * gauge writes are last-write-wins — only the final value of the
+      phase survives, same as per-event emission;
+    * histogram observations are replayed **per value, in order** through
+      :meth:`Histogram.observe_many`, reproducing the exact float
+      ``total`` fold and feeding the :class:`DeltaBuffer` journal, so
+      persistent-pool chunk deltas still replay serially in the parent.
+
+    Keys are canonical instrument keys (:func:`metric_key`); callers with
+    label-less instruments pass the dotted name directly.  A batch built
+    against a disabled registry accumulates nothing visible: callers are
+    expected to gate batch *use* on one ``enabled`` check per phase, and
+    :meth:`flush` double-checks before touching the registry.
+    """
+
+    __slots__ = ("_registry", "_counters", "_gauges", "_observations")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, int | float] = {}
+        self._observations: dict[
+            str, tuple[tuple[float, ...], list[int | float]]
+        ] = {}
+
+    def inc(self, key: str, amount: int | float = 1) -> None:
+        counters = self._counters
+        counters[key] = counters.get(key, 0) + amount
+
+    def set(self, key: str, value: int | float) -> None:
+        self._gauges[key] = value
+
+    def observe(
+        self,
+        key: str,
+        value: int | float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        entry = self._observations.get(key)
+        if entry is None:
+            entry = self._observations[key] = (buckets, [])
+        entry[1].append(value)
+
+    def observe_many(
+        self,
+        key: str,
+        values: list[int | float],
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        entry = self._observations.get(key)
+        if entry is None:
+            entry = self._observations[key] = (buckets, [])
+        entry[1].extend(values)
+
+    def flush(self) -> None:
+        """Apply the accumulated events to the registry and clear."""
+        registry = self._registry
+        if registry.enabled:
+            reg_counters = registry._counters
+            for key, amount in self._counters.items():
+                inst = reg_counters.get(key)
+                if inst is None:
+                    inst = reg_counters[key] = Counter()
+                inst.value += amount
+            reg_gauges = registry._gauges
+            for key, value in self._gauges.items():
+                inst = reg_gauges.get(key)
+                if inst is None:
+                    inst = reg_gauges[key] = Gauge()
+                inst.value = value
+            reg_hists = registry._histograms
+            for key, (buckets, values) in self._observations.items():
+                hist = reg_hists.get(key)
+                if hist is None:
+                    hist = reg_hists[key] = Histogram(buckets)
+                    if registry._journaling:
+                        hist.journal = []
+                hist.observe_many(values)
+        self._counters.clear()
+        self._gauges.clear()
+        self._observations.clear()
 
 
 class DeltaBuffer:

@@ -44,6 +44,7 @@ import fnmatch
 import os
 import time
 from dataclasses import dataclass, field
+from datetime import datetime, timedelta
 from typing import Any, Iterable, Mapping
 
 from repro.obs.compare import (
@@ -111,6 +112,7 @@ class RunRecord:
     git: str | None
     suite: str | None
     exit_code: int | None
+    tag: str | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -125,6 +127,7 @@ class RunRecord:
             "git": self.git,
             "suite": self.suite,
             "exit_code": self.exit_code,
+            "tag": self.tag,
         }
 
 
@@ -247,6 +250,60 @@ def flatten_bench(payload: Mapping[str, Any]) -> dict[str, float]:
 
 def _timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+
+def _parse_recorded_at(text: str | None) -> datetime | None:
+    """Parse a ``recorded_at`` stamp back into an aware datetime.
+
+    The registry writes ``%Y-%m-%dT%H:%M:%S%z``; older rows (or hand-
+    edited databases) may lack the UTC offset, in which case the stamp is
+    interpreted in the local timezone.  Unparseable stamps return
+    ``None`` — gc treats those rows as un-aged and keeps them.
+    """
+    if not text:
+        return None
+    for fmt in ("%Y-%m-%dT%H:%M:%S%z", "%Y-%m-%dT%H:%M:%S"):
+        try:
+            parsed = datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+        return parsed.astimezone()
+    return None
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`RunRegistry.gc` pass examined and removed."""
+
+    examined: int
+    pruned: int
+    kept: int
+    kept_tagged: int
+    pruned_ids: list[int]
+    dry_run: bool
+    vacuumed: bool
+    before: dict[str, Any]
+    after: dict[str, Any]
+
+    @property
+    def freed_bytes(self) -> int:
+        before = self.before.get("file_bytes") or 0
+        after = self.after.get("file_bytes") or 0
+        return max(0, int(before) - int(after))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "examined": self.examined,
+            "pruned": self.pruned,
+            "kept": self.kept,
+            "kept_tagged": self.kept_tagged,
+            "pruned_ids": list(self.pruned_ids),
+            "dry_run": self.dry_run,
+            "vacuumed": self.vacuumed,
+            "freed_bytes": self.freed_bytes,
+            "before": dict(self.before),
+            "after": dict(self.after),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +487,7 @@ class RunRegistry:
             git=row["git"],
             suite=row["suite"],
             exit_code=row["exit_code"],
+            tag=row["tag"],
         )
 
     def samples_for(self, run_id: int) -> dict[str, float]:
@@ -459,6 +517,96 @@ class RunRegistry:
                 )
             )
         return points
+
+    # -- retention -----------------------------------------------------
+    def tag(self, run_id: int, tag: str | None) -> bool:
+        """Set (or clear, with ``None``) a run's retention tag.
+
+        Tagged runs survive :meth:`gc` by default — tag the runs that
+        anchor a trend baseline or document a milestone.  Returns whether
+        the run existed.
+        """
+        return self._store.set_tag(run_id, tag)
+
+    def stats(self) -> dict[str, Any]:
+        """Registry-wide shape/size report (see ``RunStore.stats``)."""
+        return self._store.stats()
+
+    def gc(
+        self,
+        *,
+        max_age_days: float | None = None,
+        keep_last: int | None = None,
+        keep_tagged: bool = True,
+        dry_run: bool = False,
+        vacuum: bool = True,
+        now: datetime | None = None,
+    ) -> GcReport:
+        """Prune old runs by retention policy; returns a :class:`GcReport`.
+
+        A run is *expired* when it violates **any** supplied policy:
+        older than ``max_age_days``, or beyond the ``keep_last`` newest
+        runs.  Expired runs with a tag are kept while ``keep_tagged``
+        (the default) — tags exist precisely to pin milestones past
+        retention.  At least one of ``max_age_days`` / ``keep_last`` is
+        required, so a bare ``gc`` can never empty a registry.
+
+        ``dry_run`` computes the same report without deleting (and
+        without vacuuming).  ``vacuum`` compacts the database file after
+        a deleting pass.  Rows whose ``recorded_at`` cannot be parsed
+        never age out (they can still fall outside ``keep_last``).
+        """
+        if max_age_days is None and keep_last is None:
+            raise RegistryError(
+                "gc needs a retention policy: max_age_days and/or keep_last"
+            )
+        if max_age_days is not None and max_age_days < 0:
+            raise RegistryError("max_age_days must be >= 0")
+        if keep_last is not None and keep_last < 0:
+            raise RegistryError("keep_last must be >= 0")
+        before = self._store.stats()
+        records = self.runs()  # oldest first
+        cutoff: datetime | None = None
+        if max_age_days is not None:
+            reference = now if now is not None else datetime.now().astimezone()
+            cutoff = reference - timedelta(days=max_age_days)
+        newest_ids: set[int] = set()
+        if keep_last is not None and keep_last > 0:
+            newest_ids = {rec.run_id for rec in records[-keep_last:]}
+        pruned_ids: list[int] = []
+        kept_tagged = 0
+        for rec in records:
+            expired = False
+            if cutoff is not None:
+                stamp = _parse_recorded_at(rec.recorded_at)
+                if stamp is not None and stamp < cutoff:
+                    expired = True
+            if keep_last is not None and rec.run_id not in newest_ids:
+                expired = True
+            if not expired:
+                continue
+            if keep_tagged and rec.tag:
+                kept_tagged += 1
+                continue
+            pruned_ids.append(rec.run_id)
+        vacuumed = False
+        if not dry_run and pruned_ids:
+            self._store.delete_runs(pruned_ids)
+            if vacuum:
+                self._store.vacuum()
+                vacuumed = True
+        after = self._store.stats() if not dry_run else dict(before)
+        return GcReport(
+            examined=len(records),
+            pruned=len(pruned_ids),
+            kept=len(records) - len(pruned_ids),
+            kept_tagged=kept_tagged,
+            pruned_ids=pruned_ids,
+            dry_run=dry_run,
+            vacuumed=vacuumed,
+            before=before,
+            after=after,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -582,12 +730,61 @@ def format_history(records: list[RunRecord], registry: RunRegistry) -> str:
         else:
             target = f"{rec.platform}/{rec.dimm} seed={rec.seed}"
         exit_txt = "-" if rec.exit_code is None else str(rec.exit_code)
+        tag_txt = f"  [{rec.tag}]" if rec.tag else ""
         lines.append(
             f"  {rec.run_id:>4} {rec.kind:<6} {rec.command or '?':<10} "
             f"{target:<22} {rec.scale or '?':<6} "
-            f"{(rec.git or '?')[:18]:<18} {exit_txt:>4}  {rec.recorded_at}"
+            f"{(rec.git or '?')[:18]:<18} {exit_txt:>4}  "
+            f"{rec.recorded_at}{tag_txt}"
         )
     lines.append(f"{len(records)} run(s)")
+    return "\n".join(lines)
+
+
+def format_stats(stats: Mapping[str, Any]) -> str:
+    """Human-readable report for ``rhohammer registry stats``."""
+    kinds = stats.get("kinds") or {}
+    kind_txt = (
+        ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "none"
+    )
+    file_kb = (stats.get("file_bytes") or 0) / 1024.0
+    free_kb = (stats.get("freelist_bytes") or 0) / 1024.0
+    lines = [
+        f"  runs:      {stats.get('runs', 0)} ({kind_txt})",
+        f"  samples:   {stats.get('samples', 0)}",
+        f"  tagged:    {stats.get('tagged', 0)}",
+        f"  oldest:    {stats.get('oldest') or '-'}",
+        f"  newest:    {stats.get('newest') or '-'}",
+        f"  file size: {file_kb:.1f} KiB ({free_kb:.1f} KiB reclaimable)",
+    ]
+    return "\n".join(lines)
+
+
+def format_gc(report: GcReport) -> str:
+    """Human-readable report for ``rhohammer registry gc``."""
+    verb = "would prune" if report.dry_run else "pruned"
+    lines = [
+        f"  examined {report.examined} run(s): {verb} {report.pruned}, "
+        f"kept {report.kept} ({report.kept_tagged} pinned by tag)"
+    ]
+    if report.pruned_ids:
+        ids = ", ".join(str(i) for i in report.pruned_ids[:20])
+        more = (
+            f" … +{len(report.pruned_ids) - 20} more"
+            if len(report.pruned_ids) > 20
+            else ""
+        )
+        lines.append(f"  {verb}: {ids}{more}")
+    if report.vacuumed:
+        lines.append(
+            f"  vacuumed: freed {report.freed_bytes / 1024.0:.1f} KiB"
+        )
+    after = report.after
+    lines.append(
+        f"  now: {after.get('runs', 0)} run(s), "
+        f"{after.get('samples', 0)} sample(s), "
+        f"{(after.get('file_bytes') or 0) / 1024.0:.1f} KiB"
+    )
     return "\n".join(lines)
 
 

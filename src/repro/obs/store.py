@@ -30,7 +30,7 @@ import sqlite3
 from typing import Any, Mapping
 
 #: Current registry schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Column order of the ``runs`` table; also the field names a
 #: :meth:`RunStore.insert_run` mapping may carry (missing keys insert
@@ -46,6 +46,7 @@ RUN_FIELDS = (
     "git",
     "suite",
     "exit_code",
+    "tag",
 )
 
 
@@ -82,6 +83,41 @@ class RunStore(abc.ABC):
         ``fields`` may carry any subset of :data:`RUN_FIELDS`; samples
         are flat ``{dotted.key: float}`` pairs.
         """
+
+    @abc.abstractmethod
+    def insert_runs(
+        self,
+        rows: "list[tuple[Mapping[str, Any], Mapping[str, float]]]",
+    ) -> list[int]:
+        """Insert many ``(fields, samples)`` runs in ONE transaction.
+
+        The bulk path for import/seeding workloads; returns the new run
+        ids in input order.
+        """
+
+    @abc.abstractmethod
+    def delete_runs(self, run_ids: "list[int]") -> int:
+        """Delete the given runs and their samples in one transaction.
+
+        Returns how many run rows were actually deleted (ids not present
+        are ignored).
+        """
+
+    @abc.abstractmethod
+    def set_tag(self, run_id: int, tag: str | None) -> bool:
+        """Set (or with ``None`` clear) one run's retention tag.
+
+        Returns ``False`` when ``run_id`` does not exist.
+        """
+
+    @abc.abstractmethod
+    def stats(self) -> dict[str, Any]:
+        """Size/occupancy facts: run/sample counts, kinds, tagged runs,
+        recorded_at range, and backend-specific size numbers."""
+
+    @abc.abstractmethod
+    def vacuum(self) -> None:
+        """Compact the backing store (best effort, may be a no-op)."""
 
     @abc.abstractmethod
     def query_runs(
@@ -154,6 +190,11 @@ _MIGRATIONS: dict[int, tuple[str, ...]] = {
         "ALTER TABLE runs ADD COLUMN suite TEXT",
         "CREATE INDEX idx_samples_key ON samples(key, run_id)",
     ),
+    3: (
+        # v3: retention — a non-NULL tag pins a run against `registry gc`
+        # (and names it: 'baseline', 'release-1.2', ...).
+        "ALTER TABLE runs ADD COLUMN tag TEXT",
+    ),
 }
 
 
@@ -174,6 +215,9 @@ class SqliteRunStore(RunStore):
 
     def __init__(self, path: str | os.PathLike[str], timeout: float = 30.0) -> None:
         self.path = os.fspath(path)
+        #: Write transactions this connection has issued (observability
+        #: for the "recording one run costs one transaction" promise).
+        self.write_transactions = 0
         try:
             self._conn = sqlite3.connect(self.path, timeout=timeout)
         except sqlite3.Error as exc:  # e.g. unreadable parent directory
@@ -209,6 +253,7 @@ class SqliteRunStore(RunStore):
                 return
             # One writer migrates; concurrent openers queue on the lock
             # and re-check the version once they acquire it.
+            self.write_transactions += 1
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 version = self.schema_version
@@ -224,29 +269,41 @@ class SqliteRunStore(RunStore):
             raise RegistryError(f"{self.path}: {exc}") from exc
 
     # -- writing -------------------------------------------------------
-    def insert_run(
+    def _insert_one(
         self, fields: Mapping[str, Any], samples: Mapping[str, float]
     ) -> int:
+        """One run row + its samples (caller owns the transaction)."""
+        cursor = self._conn.execute(
+            "INSERT INTO runs ({}) VALUES ({})".format(
+                ", ".join(RUN_FIELDS),
+                ", ".join("?" for _ in RUN_FIELDS),
+            ),
+            tuple(fields.get(name) for name in RUN_FIELDS),
+        )
+        run_id = int(cursor.lastrowid)
+        self._conn.executemany(
+            "INSERT INTO samples (run_id, key, value) VALUES (?, ?, ?)",
+            [(run_id, key, value) for key, value in sorted(samples.items())],
+        )
+        return run_id
+
+    @staticmethod
+    def _check_fields(path: str, fields: Mapping[str, Any]) -> None:
         unknown = set(fields) - set(RUN_FIELDS)
         if unknown:
             raise RegistryError(
-                f"{self.path}: unknown run fields {sorted(unknown)}"
+                f"{path}: unknown run fields {sorted(unknown)}"
             )
+
+    def insert_run(
+        self, fields: Mapping[str, Any], samples: Mapping[str, float]
+    ) -> int:
+        self._check_fields(self.path, fields)
         try:
+            self.write_transactions += 1
             self._conn.execute("BEGIN IMMEDIATE")
             try:
-                cursor = self._conn.execute(
-                    "INSERT INTO runs ({}) VALUES ({})".format(
-                        ", ".join(RUN_FIELDS),
-                        ", ".join("?" for _ in RUN_FIELDS),
-                    ),
-                    tuple(fields.get(name) for name in RUN_FIELDS),
-                )
-                run_id = int(cursor.lastrowid)
-                self._conn.executemany(
-                    "INSERT INTO samples (run_id, key, value) VALUES (?, ?, ?)",
-                    [(run_id, key, value) for key, value in sorted(samples.items())],
-                )
+                run_id = self._insert_one(fields, samples)
                 self._conn.execute("COMMIT")
             except BaseException:
                 self._conn.execute("ROLLBACK")
@@ -254,6 +311,126 @@ class SqliteRunStore(RunStore):
         except sqlite3.Error as exc:
             raise RegistryError(f"{self.path}: {exc}") from exc
         return run_id
+
+    def insert_runs(
+        self,
+        rows: "list[tuple[Mapping[str, Any], Mapping[str, float]]]",
+    ) -> list[int]:
+        for fields, _ in rows:
+            self._check_fields(self.path, fields)
+        if not rows:
+            return []
+        try:
+            self.write_transactions += 1
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                ids = [
+                    self._insert_one(fields, samples)
+                    for fields, samples in rows
+                ]
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return ids
+
+    def delete_runs(self, run_ids: "list[int]") -> int:
+        if not run_ids:
+            return 0
+        ids = [(int(run_id),) for run_id in run_ids]
+        try:
+            self.write_transactions += 1
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                # The samples FK declares ON DELETE CASCADE but sqlite3
+                # ships with foreign_keys off; delete explicitly so the
+                # store never depends on a connection pragma.
+                self._conn.executemany(
+                    "DELETE FROM samples WHERE run_id = ?", ids
+                )
+                cursor = self._conn.executemany(
+                    "DELETE FROM runs WHERE id = ?", ids
+                )
+                deleted = int(cursor.rowcount)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return deleted
+
+    def set_tag(self, run_id: int, tag: str | None) -> bool:
+        try:
+            self.write_transactions += 1
+            cursor = self._conn.execute(
+                "UPDATE runs SET tag = ? WHERE id = ?", (tag, int(run_id))
+            )
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        return cursor.rowcount > 0
+
+    def stats(self) -> dict[str, Any]:
+        try:
+            runs = int(
+                self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            )
+            samples = int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM samples"
+                ).fetchone()[0]
+            )
+            kinds = {
+                row["kind"]: row["n"]
+                for row in self._conn.execute(
+                    "SELECT kind, COUNT(*) AS n FROM runs "
+                    "GROUP BY kind ORDER BY kind"
+                )
+            }
+            tagged = int(
+                self._conn.execute(
+                    "SELECT COUNT(*) FROM runs WHERE tag IS NOT NULL"
+                ).fetchone()[0]
+            )
+            span = self._conn.execute(
+                "SELECT MIN(recorded_at), MAX(recorded_at) FROM runs"
+            ).fetchone()
+            page_size = int(
+                self._conn.execute("PRAGMA page_size").fetchone()[0]
+            )
+            page_count = int(
+                self._conn.execute("PRAGMA page_count").fetchone()[0]
+            )
+            freelist = int(
+                self._conn.execute("PRAGMA freelist_count").fetchone()[0]
+            )
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
+        try:
+            file_bytes = os.path.getsize(self.path)
+        except OSError:
+            file_bytes = page_size * page_count
+        return {
+            "runs": runs,
+            "samples": samples,
+            "kinds": kinds,
+            "tagged": tagged,
+            "oldest": span[0],
+            "newest": span[1],
+            "file_bytes": file_bytes,
+            "page_bytes": page_size * page_count,
+            "freelist_bytes": page_size * freelist,
+        }
+
+    def vacuum(self) -> None:
+        try:
+            # VACUUM needs autocommit (no open transaction) — which is
+            # exactly how this connection runs between explicit blocks.
+            self._conn.execute("VACUUM")
+        except sqlite3.Error as exc:
+            raise RegistryError(f"{self.path}: {exc}") from exc
 
     # -- reading -------------------------------------------------------
     def query_runs(

@@ -28,10 +28,22 @@ mismatch) and diverts events to an in-memory buffer instead of the
 parent's file handle; the pool ships each task's buffered events back and
 :meth:`SpanTracer.replay` re-emits them under the task's span with ids
 remapped into the parent's id space.
+
+**Buffered emission:** records are serialised into an in-memory buffer
+and written to the file sink in chunks — when the buffer reaches
+``flush_records`` records, when ``flush_interval_s`` has elapsed since
+the last flush, on every heartbeat (``rhohammer follow`` liveness), at
+executor-pool teardown, and at ``shutdown()``/``atexit``.  Each flush
+writes whole lines in a single ``write`` call, so a crash mid-run
+truncates at most the final line (which ``read_trace(strict=False)``
+skips) and loses at most one unflushed buffer.  :meth:`SpanTracer.flush`
+is pid-guarded: a fork child inheriting a non-empty buffer can never
+write it to the shared descriptor.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import time
@@ -43,6 +55,14 @@ WALL_KEY = "wall"
 #: Trace detail levels: ``phase`` records campaign/trial/task phases;
 #: ``window`` additionally records one point per DRAM refresh window.
 DETAIL_LEVELS = ("phase", "window")
+
+#: Default emission buffering: records are serialised into an in-memory
+#: buffer and written to the sink in one chunk when the buffer holds this
+#: many records ...
+DEFAULT_FLUSH_RECORDS = 256
+#: ... or when this many seconds have passed since the last flush (the
+#: staleness check runs on each emission, so an idle tracer stays idle).
+DEFAULT_FLUSH_INTERVAL_S = 0.5
 
 
 class _NoopSpan:
@@ -115,6 +135,12 @@ class SpanTracer:
         self._stack: list[int] = []
         self._stack_names: list[str] = []
         self._last_heartbeat = 0.0
+        #: Serialised-but-unwritten JSONL lines (see :meth:`flush`).
+        self._buffer: list[str] = []
+        self._flush_records = DEFAULT_FLUSH_RECORDS
+        self._flush_interval_s = DEFAULT_FLUSH_INTERVAL_S
+        self._last_flush = 0.0
+        self._atexit_registered = False
 
     # -- lifecycle -----------------------------------------------------
     def configure(
@@ -123,17 +149,27 @@ class SpanTracer:
         memory: bool = False,
         detail: str = "phase",
         heartbeat_s: float | None = None,
+        flush_records: int = DEFAULT_FLUSH_RECORDS,
+        flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
     ) -> None:
         """Start a fresh stream to ``path`` (or an in-memory list).
 
         ``heartbeat_s`` opts into liveness records at most every that
         many seconds (off by default — heartbeats are nondeterministic
         in count, so only follow-minded runs enable them).
+
+        ``flush_records`` / ``flush_interval_s`` bound how much emission
+        is buffered before a chunked write reaches the sink (see
+        :meth:`flush` for the crash-safety guarantees).
         """
         if detail not in DETAIL_LEVELS:
             raise ValueError(f"trace detail must be one of {DETAIL_LEVELS}")
         if heartbeat_s is not None and heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if flush_records < 1:
+            raise ValueError("flush_records must be >= 1")
+        if flush_interval_s <= 0:
+            raise ValueError("flush_interval_s must be positive")
         self.shutdown()
         if path is not None:
             self._sink = open(path, "w", encoding="utf-8")
@@ -151,11 +187,44 @@ class SpanTracer:
         self._stack = []
         self._stack_names = []
         self._last_heartbeat = time.monotonic()
+        self._buffer = []
+        self._flush_records = flush_records
+        self._flush_interval_s = flush_interval_s
+        self._last_flush = time.monotonic()
+        if not self._atexit_registered:
+            # Backstop for processes that never reach a clean
+            # ``shutdown()``: flush (not close) whatever is buffered.
+            atexit.register(self.flush)
+            self._atexit_registered = True
+
+    def flush(self) -> None:
+        """Write every buffered record to the sink in one chunk.
+
+        Safe to call at any time, from any process: only the process that
+        configured the tracer may touch the sink (fork children inherit
+        the buffer *and* the file descriptor, so an unguarded flush would
+        duplicate the parent's buffered lines).  Each flush is a single
+        ``write`` of whole lines followed by a file flush, so a crash can
+        only ever truncate the final line of the file — the partial-tail
+        shape ``read_trace(strict=False)`` already tolerates — and loses
+        at most one buffer's worth of unflushed records.
+        """
+        if os.getpid() != self._pid:
+            return
+        if self._buffer:
+            lines, self._buffer = self._buffer, []
+            if self._sink is not None:
+                self._sink.write("".join(lines))
+                self._sink.flush()
+        self._last_flush = time.monotonic()
 
     def shutdown(self) -> None:
-        """Close the stream and return to the disabled state."""
+        """Flush, close the stream, and return to the disabled state."""
         if self._sink is not None and self._owns_sink:
-            self._sink.close()
+            self.flush()
+            if os.getpid() == self._pid:
+                self._sink.close()
+        self._buffer = []
         self._sink = None
         self._owns_sink = False
         self._memory = None
@@ -187,8 +256,15 @@ class SpanTracer:
         if self._memory is not None:
             self._memory.append(record)
         if self._sink is not None:
-            self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
-            self._sink.flush()  # keeps fork children's inherited buffer empty
+            self._buffer.append(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            if (
+                len(self._buffer) >= self._flush_records
+                or time.monotonic() - self._last_flush
+                >= self._flush_interval_s
+            ):
+                self.flush()
 
     def heartbeat(self, **wall: Any) -> None:
         """Emit an id-free liveness record (rate-limited, parent-only).
@@ -216,6 +292,9 @@ class SpanTracer:
         if self._stack_names:
             payload.setdefault("phase", self._stack_names[-1])
         self._write({"ev": "heartbeat", WALL_KEY: payload})
+        # Heartbeats exist for ``rhohammer follow`` liveness: write
+        # through the emission buffer so the tail of the file moves.
+        self.flush()
 
     def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
         """Open a nested span; close it by leaving the ``with`` block."""

@@ -259,19 +259,25 @@ def _no_wall(section):
 
 def test_persistent_metric_snapshots_match_serial(comet_machine):
     """The merged OBS snapshot — counters AND float histogram sums — must
-    be bit-identical between serial and the persistent pool (journal
-    replay reproduces the exact serial accumulation order)."""
+    be bit-identical between serial and the persistent pool at every
+    worker count (journal replay reproduces the exact serial
+    accumulation order, and phase-batched hot paths flush within task
+    boundaries so chunking never splits a batch)."""
     snapshots = []
-    for backend, workers in (("serial", 1), ("persistent", 3)):
+    for backend, workers in (
+        ("serial", 1), ("persistent", 2), ("persistent", 3)
+    ):
         OBS.configure(metrics=True)
         try:
             _fuzz_report(comet_machine, workers=workers, backend=backend)
             snapshots.append(OBS.metrics.snapshot())
         finally:
             OBS.shutdown()
-    serial, parallel = snapshots
-    assert _no_wall(serial["counters"]) == _no_wall(parallel["counters"])
-    assert _no_wall(serial["histograms"]) == _no_wall(parallel["histograms"])
+    serial = snapshots[0]
+    for parallel in snapshots[1:]:
+        assert _no_wall(serial["counters"]) == _no_wall(parallel["counters"])
+        assert _no_wall(serial["histograms"]) == \
+            _no_wall(parallel["histograms"])
 
 
 # ----------------------------------------------------------------------

@@ -145,6 +145,41 @@ def test_worker_sigkill_always_degrades_to_serial(tmp_path):
     assert _shm_segments() <= before
 
 
+def test_worker_sigkill_keeps_trace_file_uncorrupted(tmp_path):
+    """A worker SIGKILL mid-batch must not corrupt the buffered trace.
+
+    Spans are buffered and written as whole-line chunks by the parent
+    only, so the file must stay *strictly* parseable, every opened span
+    must close, and the batch plus all replayed task spans must be
+    present — a crash can cost at most one unflushed buffer, and pool
+    teardown flushes that buffer before this test reads the file.
+    """
+    from repro.obs import telemetry_session
+    from repro.obs.trace import read_trace
+
+    flag = tmp_path / "crashed-once"
+    trace_path = tmp_path / "trace.jsonl"
+
+    def crash_once(ctx, task):
+        if task == 5 and not flag.exists():
+            flag.write_text("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return task * 10
+
+    with telemetry_session(trace_path=str(trace_path)):
+        with PersistentPoolBackend(workers=3, chunk_size=2) as backend:
+            report = backend.map(crash_once, range(12))
+    assert report.results == [t * 10 for t in range(12)]
+    assert report.retries >= 1
+    records = list(read_trace(trace_path))  # strict: no torn lines
+    begins = sorted(r["id"] for r in records if r.get("ph") == "B")
+    ends = sorted(r["id"] for r in records if r.get("ph") == "E")
+    assert begins == ends  # every opened span closed
+    names = [r.get("name") for r in records]
+    assert "pool.batch" in names
+    assert names.count("pool.task") == 12  # one replayed span per task
+
+
 def test_raising_task_is_captured_not_fatal():
     def explode(ctx, task):
         if task == 3:

@@ -115,6 +115,63 @@ def test_delta_merge_reproduces_serial_snapshot():
     assert parent.snapshot() == serial.snapshot()
 
 
+def test_batch_flush_reproduces_direct_updates():
+    """A phase batch flushed once == the same events applied per-event."""
+    direct = MetricsRegistry(enabled=True)
+    batched = MetricsRegistry(enabled=True)
+    direct.counter("acts").inc(3)
+    direct.counter("acts").inc(4)
+    direct.gauge("occ").set(5)
+    direct.gauge("occ").set(2)
+    for v in (1.5, 2.5, 40.0):
+        direct.histogram("lat").observe(v)
+
+    batch = batched.batch()
+    batch.inc("acts", 3)
+    batch.inc("acts", 4)
+    batch.set("occ", 5)
+    batch.set("occ", 2)
+    batch.observe("lat", 1.5)
+    batch.observe_many("lat", [2.5, 40.0])
+    batch.flush()
+    assert batched.snapshot() == direct.snapshot()
+
+
+def test_batch_flush_feeds_the_delta_journal():
+    """Batched observations inside a worker chunk still journal raw
+    values in order, so persistent-pool merges keep replaying the exact
+    serial float fold."""
+    reg = MetricsRegistry(enabled=True)
+    buffer = reg.delta_buffer()
+    batch = reg.batch()
+    batch.observe("lat", 0.1)
+    batch.observe("lat", 0.2)
+    batch.flush()
+    delta = buffer.flush()
+    assert delta["histograms"]["lat"]["values"] == [0.1, 0.2]
+
+
+def test_batch_on_disabled_registry_is_invisible():
+    reg = MetricsRegistry(enabled=False)
+    batch = reg.batch()
+    batch.inc("c", 5)
+    batch.set("g", 1)
+    batch.observe("h", 1.0)
+    batch.flush()
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_batch_flush_clears_and_is_reusable():
+    reg = MetricsRegistry(enabled=True)
+    batch = reg.batch()
+    batch.inc("c", 2)
+    batch.flush()
+    batch.flush()  # a drained batch flushes to nothing
+    batch.inc("c", 1)
+    batch.flush()
+    assert reg.snapshot()["counters"]["c"] == 3
+
+
 def test_delta_only_contains_changes():
     reg = MetricsRegistry(enabled=True)
     reg.counter("before").inc()

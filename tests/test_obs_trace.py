@@ -1,6 +1,8 @@
 """Unit tests for the span tracer (repro.obs.trace)."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -144,6 +146,69 @@ def test_shutdown_disables_and_clears():
     tracer.shutdown()
     assert not tracer.enabled
     assert tracer.span("b") is NOOP_SPAN
+
+
+def test_emission_is_buffered_until_record_threshold(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = SpanTracer()
+    tracer.configure(path=path, flush_records=4, flush_interval_s=3600.0)
+    tracer.point("one")
+    tracer.point("two")
+    tracer.point("three")
+    assert path.read_text() == ""  # still buffered
+    tracer.point("four")  # hits flush_records -> one chunked write
+    names = [r["name"] for r in read_trace(path)]
+    assert names == ["one", "two", "three", "four"]
+    tracer.shutdown()
+
+
+def test_flush_interval_forces_write(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = SpanTracer()
+    tracer.configure(path=path, flush_records=10_000, flush_interval_s=0.01)
+    tracer.point("early")
+    time.sleep(0.02)
+    tracer.point("late")  # the staleness check on emission flushes both
+    assert [r["name"] for r in read_trace(path)] == ["early", "late"]
+    tracer.shutdown()
+
+
+def test_shutdown_flushes_remaining_buffer(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = SpanTracer()
+    tracer.configure(
+        path=path, flush_records=10_000, flush_interval_s=3600.0
+    )
+    with tracer.span("a"):
+        pass
+    assert path.read_text() == ""
+    tracer.shutdown()
+    assert [r.get("ph") for r in read_trace(path)] == ["B", "E"]
+
+
+def test_child_flush_is_pid_guarded(tmp_path):
+    """A fork child inherits buffer + fd; its flush must write nothing."""
+    path = tmp_path / "t.jsonl"
+    tracer = SpanTracer()
+    tracer.configure(
+        path=path, flush_records=10_000, flush_interval_s=3600.0
+    )
+    tracer.point("parent-buffered")
+    tracer._pid = os.getpid() + 1  # simulate running in a fork child
+    tracer.flush()
+    assert path.read_text() == ""
+    tracer._pid = os.getpid()
+    tracer.flush()
+    assert [r["name"] for r in read_trace(path)] == ["parent-buffered"]
+    tracer.shutdown()
+
+
+def test_configure_validates_flush_knobs():
+    tracer = SpanTracer()
+    with pytest.raises(ValueError):
+        tracer.configure(memory=True, flush_records=0)
+    with pytest.raises(ValueError):
+        tracer.configure(memory=True, flush_interval_s=0)
 
 
 def test_read_trace_strict_raises_on_corrupt_line(tmp_path):
