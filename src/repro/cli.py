@@ -40,6 +40,12 @@ metric's latest value against the rolling median of past runs
 (``--check`` for CI), ``export`` converts a run to Chrome Trace Event
 JSON for Perfetto or OpenMetrics text, and ``follow`` tails an
 in-flight run's trace live (pair with ``--heartbeat SECS`` on the run).
+
+Fleet health (PR 8): ``--health SECS`` samples parent/worker resources
+into the trace as id-free ``health`` records, ``--alert-rules FILE``
+arms declarative threshold/rate/absence alerts, ``status``/``top``
+render one-shot and live fleet views, and ``analyze --alerts`` replays
+a rules file post-hoc with a deterministic exit code for CI.
 """
 
 from __future__ import annotations
@@ -138,6 +144,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="emit liveness heartbeat records into the trace at most "
              "every SECS seconds so `rhohammer follow` can watch the run "
              "(off by default: heartbeats are nondeterministic in count)",
+    )
+    parser.add_argument(
+        "--health", type=float, default=None, metavar="SECS",
+        help="sample parent/worker resource usage (CPU, RSS, fds, pool "
+             "throughput) into the trace at most every SECS seconds so "
+             "`rhohammer status`/`top` can watch the fleet (off by "
+             "default: samples are nondeterministic in count)",
+    )
+    parser.add_argument(
+        "--alert-rules", metavar="PATH", default=None,
+        help="alert rules file (JSON/TOML; see docs/OBSERVABILITY.md) "
+             "evaluated live against the run's health/heartbeat stream; "
+             "firing rules write alert records into the trace",
     )
 
 
@@ -421,15 +440,52 @@ def cmd_tune(args) -> int:
     return 0
 
 
-def cmd_inspect(args) -> int:
+def _inspect_events(args) -> int:
+    """``inspect --events``: list matching raw records, no span dump."""
+    from repro.obs.live import resolve_trace_path
+    from repro.obs.trace import read_trace
+
+    trace_file = resolve_trace_path(args.trace_file)
+    kinds = {k.strip() for k in args.events.split(",") if k.strip()}
     try:
-        summary = summarize_trace(args.trace_file)
+        records = list(read_trace(trace_file, strict=False))
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(
+            f"error: {trace_file}: no parseable trace records",
+            file=sys.stderr,
+        )
+        return 1
+    matched = [r for r in records if r.get("ev") in kinds]
+    if args.json:
+        _print_json({"count": len(matched), "records": matched})
+    else:
+        for record in matched:
+            print(json.dumps(record, sort_keys=True))
+        print(
+            f"{len(matched)} record(s) of kind "
+            f"{','.join(sorted(kinds))} out of {len(records)}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    if args.events:
+        return _inspect_events(args)
+    from repro.obs.live import resolve_trace_path
+
+    trace_file = resolve_trace_path(args.trace_file)
+    try:
+        summary = summarize_trace(trace_file)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if summary.events == 0:
         print(
-            f"error: {args.trace_file}: no parseable trace records"
+            f"error: {trace_file}: no parseable trace records"
             + (
                 f" ({summary.skipped_lines} corrupt line(s) skipped)"
                 if summary.skipped_lines
@@ -454,11 +510,42 @@ def cmd_analyze(args) -> int:
     except (RunLoadError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    alerts: list[dict[str, Any]] = []
+    if args.alerts:
+        from repro.obs.alerts import (
+            AlertRuleError,
+            evaluate_records,
+            load_rules,
+        )
+        from repro.obs.analyze import RunArtifacts
+        from repro.obs.trace import read_trace
+
+        try:
+            rules = load_rules(args.alerts)
+            artifacts = RunArtifacts.load(args.run)
+            records = list(read_trace(artifacts.trace_path, strict=False))
+        except (AlertRuleError, RunLoadError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        alerts = evaluate_records(records, rules)
     if args.json:
-        _print_json(analysis.to_dict())
+        payload = analysis.to_dict()
+        if args.alerts:
+            payload["alerts"] = alerts
+        _print_json(payload)
     else:
         print(format_analysis(analysis, top=args.top))
-    return 0
+        if args.alerts:
+            if alerts:
+                print("alerts       :")
+                for alert in alerts:
+                    print(
+                        f"  [{alert.get('severity', 'warning')}] "
+                        f"{alert.get('rule')}: {alert.get('message', '')}"
+                    )
+            else:
+                print("alerts       : none firing")
+    return 1 if alerts else 0
 
 
 def cmd_compare(args) -> int:
@@ -709,6 +796,44 @@ def cmd_follow(args) -> int:
     )
 
 
+def _load_cli_rules(rules_path: str | None):
+    """Load an optional ``--rules`` file; ``(rules, error_code)``."""
+    if not rules_path:
+        return (), None
+    from repro.obs.alerts import AlertRuleError, load_rules
+
+    try:
+        return load_rules(rules_path), None
+    except (AlertRuleError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return (), 2
+
+
+def cmd_status(args) -> int:
+    from repro.obs.top import status
+
+    rules, err = _load_cli_rules(args.rules)
+    if err is not None:
+        return err
+    return status(args.run, rules=rules, json_out=args.json)
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import top
+
+    rules, err = _load_cli_rules(args.rules)
+    if err is not None:
+        return err
+    timeout = args.timeout if args.timeout > 0 else None
+    return top(
+        args.run,
+        interval=args.interval,
+        timeout=timeout,
+        once=args.once,
+        rules=rules,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rhohammer",
@@ -776,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file", help="trace file written by --trace")
     p.add_argument("--top", type=int, default=0, metavar="N",
                    help="also rank the N slowest individual spans")
+    p.add_argument("--events", metavar="KIND[,KIND...]", default=None,
+                   help="instead of the span summary, list the raw "
+                        "records of the given kinds (heartbeat, health, "
+                        "alert, span, point, manifest) as JSONL")
     _add_json(p)
     p.set_defaults(func=cmd_inspect)
 
@@ -787,6 +916,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("run", help="run directory (--out) or trace .jsonl file")
     p.add_argument("--top", type=int, default=10, metavar="N",
                    help="slowest individual spans to list (default 10)")
+    p.add_argument("--alerts", metavar="RULES", default=None,
+                   help="evaluate an alert rules file (JSON/TOML) "
+                        "post-hoc over the trace; exit 1 when any rule "
+                        "fires (deterministic, CI-gateable)")
     _add_json(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -964,6 +1097,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="process what exists and exit immediately")
     p.set_defaults(func=cmd_follow)
+
+    p = sub.add_parser(
+        "status",
+        help="one-shot fleet health view of a recorded or in-flight run "
+             "(per-worker RSS/CPU/utilization, pool stats, alerts)",
+    )
+    p.add_argument("run", help="run directory (--out) or trace .jsonl path")
+    p.add_argument("--rules", metavar="PATH", default=None,
+                   help="alert rules file (JSON/TOML) to evaluate; any "
+                        "firing rule makes the exit code 1")
+    _add_json(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet view over an in-flight run's trace: per-worker "
+             "utilization, RSS, throughput and firing alerts (pair with "
+             "--health SECS on the run)",
+    )
+    p.add_argument("run", help="run directory (--out) or trace .jsonl path")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECS",
+                   help="redraw interval (default 1s)")
+    p.add_argument("--timeout", type=float, default=30.0, metavar="SECS",
+                   help="exit 1 after this much silence; <= 0 waits "
+                        "forever (default 30s)")
+    p.add_argument("--once", action="store_true",
+                   help="render what exists and exit immediately")
+    p.add_argument("--rules", metavar="PATH", default=None,
+                   help="alert rules file (JSON/TOML) evaluated while "
+                        "watching")
+    p.set_defaults(func=cmd_top)
     return parser
 
 
@@ -1010,6 +1174,7 @@ def _register_run(
     if db_path is None:
         return
     phases = None
+    health = None
     if trace_path:
         try:
             analysis = analyze_run(trace_path)
@@ -1017,11 +1182,21 @@ def _register_run(
                 name: rollup.to_dict()
                 for name, rollup in analysis.phases.items()
             }
+            health = dict(analysis.health) or None
+            if health:
+                workers = analysis.workers
+                if workers.utilization is not None:
+                    health["utilization"] = round(workers.utilization, 4)
+                if workers.skew is not None:
+                    health["skew"] = round(workers.skew, 4)
         except Exception:
             phases = None  # a truncated/empty trace still registers
+            health = None
     try:
         with RunRegistry(db_path) as registry:
-            registry.record_run(manifest.to_dict(), phases=phases)
+            registry.record_run(
+                manifest.to_dict(), phases=phases, health=health
+            )
     except Exception as exc:
         print(f"warning: run registry {db_path}: {exc}", file=sys.stderr)
 
@@ -1039,16 +1214,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.makedirs(out_dir, exist_ok=True)
         trace_path = trace_path or os.path.join(out_dir, "trace.jsonl")
         metrics_out = metrics_out or os.path.join(out_dir, "metrics.json")
-    telemetry_on = bool(trace_path or metrics_out or profile_out)
+    health_s = getattr(args, "health", None) if instrumented else None
+    alert_rules = getattr(args, "alert_rules", None) if instrumented else None
+    telemetry_on = bool(
+        trace_path or metrics_out or profile_out or health_s or alert_rules
+    )
     manifest: RunManifest | None = None
     if telemetry_on:
-        OBS.configure(
-            trace_path=trace_path,
-            trace_detail=getattr(args, "trace_detail", "phase"),
-            metrics=True,
-            profile=bool(profile_out),
-            heartbeat_s=getattr(args, "heartbeat", None),
-        )
+        try:
+            OBS.configure(
+                trace_path=trace_path,
+                trace_detail=getattr(args, "trace_detail", "phase"),
+                metrics=True,
+                profile=bool(profile_out),
+                heartbeat_s=getattr(args, "heartbeat", None),
+                health_s=health_s,
+                alert_rules=alert_rules,
+            )
+        except (ValueError, OSError) as exc:
+            # e.g. an unreadable/invalid --alert-rules file or a
+            # non-positive --health interval.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         manifest = RunManifest.collect(
             command=args.command,
             argv=tuple(argv) if argv is not None else tuple(sys.argv[1:]),

@@ -49,6 +49,7 @@ from repro.engine.executor.base import (
 )
 from repro.engine.executor.sharedmem import export_machine_state
 from repro.obs import OBS
+from repro.obs.health import emit_health_event
 
 #: Parent-side state inherited by forked workers; (re)asserted right
 #: before every fork — initial spawn and mid-batch replacements alike —
@@ -259,6 +260,7 @@ class PersistentPoolBackend:
         for pack in self._packs:
             try:
                 pack.unlink()
+                emit_health_event("shm_unlink")
             except Exception:  # noqa: BLE001 - best-effort teardown
                 pass
         self._packs.clear()
@@ -314,10 +316,14 @@ class PersistentPoolBackend:
         proc.start()
         task_recv.close()
         result_send.close()
+        emit_health_event(
+            "worker_spawn", worker=len(self._workers), pid=proc.pid
+        )
         worker = _Worker(proc, task_send, result_recv)
         if self._last_control is not None:
             try:
                 worker.task_conn.send(("adopt", self._last_control))
+                emit_health_event("shm_adopt", pid=proc.pid)
             except (BrokenPipeError, OSError):
                 pass
         return worker
@@ -334,9 +340,11 @@ class PersistentPoolBackend:
         control, pack = exported
         self._packs.append(pack)
         self._last_control = control
+        emit_health_event("shm_export", segments=len(self._packs))
         for worker in self._workers:
             try:
                 worker.task_conn.send(("adopt", control))
+                emit_health_event("shm_adopt", pid=worker.proc.pid)
             except (BrokenPipeError, OSError):
                 pass  # death handled on next dispatch
 
@@ -382,6 +390,7 @@ class PersistentPoolBackend:
         attempts: dict[int, int] = {}  # chunk start -> dispatch count
         done = 0
         stop_feeding = False
+        batch_t0 = time.perf_counter()
 
         def feed(worker: _Worker) -> bool:
             nonlocal cursor, chunk_seq
@@ -476,6 +485,21 @@ class PersistentPoolBackend:
                         chunk_deltas.append((chunk_meta["start"], delta))
                     if durs:
                         mean = sum(durs) / len(durs)
+                        if (
+                            OBS.tracer.sampler is not None
+                            and self._task_s is not None
+                            and mean > 4.0 * self._task_s
+                            and mean > 0.05
+                        ):
+                            # Wall-derived, so only detected while health
+                            # sampling is opted in (determinism contract).
+                            emit_health_event(
+                                "slow_chunk",
+                                start=chunk_meta["start"],
+                                tasks=len(durs),
+                                mean_s=round(mean, 4),
+                                ema_s=round(self._task_s, 4),
+                            )
                         self._task_s = (
                             mean
                             if self._task_s is None
@@ -487,9 +511,28 @@ class PersistentPoolBackend:
                     OBS.tracer.heartbeat(
                         phase="pool.batch", done=done, tasks=n
                     )
+                    if OBS.tracer.sampler is not None:
+                        elapsed = time.perf_counter() - batch_t0
+                        OBS.tracer.health_tick(
+                            pids=[
+                                w.proc.pid
+                                for w in self._workers
+                                if w.proc.is_alive()
+                            ],
+                            workers=len(self._workers),
+                            done=done,
+                            tasks=n,
+                            queue_depth=(n - cursor)
+                            + sum(stop - start for start, stop in retry_queue),
+                            retries=report.retries,
+                            throughput=round(done / elapsed, 4)
+                            if elapsed > 0
+                            else 0.0,
+                        )
                     feed_all()
         except Exception:  # noqa: BLE001 - pool machinery failure
             report.degraded = True
+            emit_health_event("degraded_serial", reason="pool_failure")
             self._shutdown_workers()
         # Reap anything the machinery left behind, in deterministic order.
         report.errors.sort(key=lambda err: err.index)
@@ -535,19 +578,42 @@ class PersistentPoolBackend:
             self._workers.remove(worker)
         if OBS.metrics.enabled:
             OBS.metrics.counter("pool.worker_deaths").inc()
+        emit_health_event(
+            "worker_death",
+            pid=worker.proc.pid,
+            exitcode=worker.proc.exitcode,
+            chunk_start=assignment[0] if assignment else None,
+        )
         replacement_ok = True
         try:
             self._workers.append(self._spawn())
         except Exception:  # noqa: BLE001 - cannot fork replacements
             replacement_ok = False
         if assignment is None:
+            if not replacement_ok:
+                emit_health_event(
+                    "degraded_serial", reason="respawn_failed"
+                )
             return replacement_ok
         start, stop = assignment
         if attempts.get(start, 0) > self.max_retries or not replacement_ok:
+            emit_health_event(
+                "degraded_serial",
+                reason="retry_budget"
+                if replacement_ok
+                else "respawn_failed",
+                chunk_start=start,
+            )
             return False
         report.retries += 1
         if OBS.metrics.enabled:
             OBS.metrics.counter("pool.chunk_retries").inc()
+        emit_health_event(
+            "chunk_retry",
+            chunk_start=start,
+            tasks=stop - start,
+            attempt=attempts.get(start, 0),
+        )
         retry_queue.insert(0, (start, stop))
         return True
 

@@ -35,6 +35,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    AlertRuleError,
+    HealthFollower,
+    evaluate_records,
+    load_rules,
+)
 from repro.obs.analyze import (
     PhaseRollup,
     RunArtifacts,
@@ -49,6 +57,16 @@ from repro.obs.compare import (
     format_comparison,
 )
 from repro.obs.export import chrome_trace, export_run, openmetrics_text
+from repro.obs.health import (
+    ALERT_EV,
+    EVENT_KINDS,
+    FleetState,
+    HEALTH_EV,
+    ResourceSampler,
+    emit_health_event,
+    sample_process,
+    summarize_health,
+)
 from repro.obs.live import TraceFollower, follow
 from repro.obs.manifest import RUN_SCHEMA, RunManifest, git_describe
 from repro.obs.metrics import (
@@ -99,12 +117,26 @@ class Telemetry:
         metrics: bool = False,
         profile: bool = False,
         heartbeat_s: float | None = None,
+        health_s: float | None = None,
+        alert_rules: Any = None,
     ) -> None:
         """Turn telemetry on: any of a trace sink, live metrics, and/or
-        the per-phase CPU profiler (see :mod:`repro.obs.profile`)."""
+        the per-phase CPU profiler (see :mod:`repro.obs.profile`).
+
+        ``health_s`` opts into fleet resource sampling (see
+        :mod:`repro.obs.health`); ``alert_rules`` — a rules-file path or
+        a sequence of :class:`~repro.obs.alerts.AlertRule` — arms live
+        alert evaluation on the trace stream.
+        """
         if profile and trace_path is None and not trace_memory:
             # The profiler rides on span begin/end hooks, which only fire
             # on an enabled tracer; an in-memory sink is the cheapest one.
+            trace_memory = True
+        if (health_s is not None or alert_rules is not None) and (
+            trace_path is None and not trace_memory
+        ):
+            # Health samples and alert records only exist as trace
+            # records, so sampling without a sink falls back to memory.
             trace_memory = True
         if trace_path is not None or trace_memory:
             self.tracer.configure(
@@ -112,7 +144,16 @@ class Telemetry:
                 memory=trace_memory,
                 detail=trace_detail,
                 heartbeat_s=heartbeat_s,
+                health_s=health_s,
             )
+            if alert_rules is not None:
+                from repro.obs.alerts import AlertEngine, load_rules
+
+                if isinstance(alert_rules, (str, bytes)) or hasattr(
+                    alert_rules, "__fspath__"
+                ):
+                    alert_rules = load_rules(alert_rules)
+                self.tracer.alerts = AlertEngine(alert_rules)
         if profile:
             self.tracer.profiler = PhaseProfiler()
         if metrics:
@@ -140,6 +181,8 @@ def telemetry_session(
     metrics: bool = False,
     profile: bool = False,
     heartbeat_s: float | None = None,
+    health_s: float | None = None,
+    alert_rules: Any = None,
 ) -> Iterator[Telemetry]:
     """Enable :data:`OBS` for a block, restoring the disabled state after.
 
@@ -154,6 +197,8 @@ def telemetry_session(
         metrics=metrics,
         profile=profile,
         heartbeat_s=heartbeat_s,
+        health_s=health_s,
+        alert_rules=alert_rules,
     )
     try:
         yield OBS
@@ -162,15 +207,24 @@ def telemetry_session(
 
 
 __all__ = [
+    "ALERT_EV",
+    "AlertEngine",
+    "AlertRule",
+    "AlertRuleError",
     "Counter",
     "DEFAULT_BUCKETS",
     "DETAIL_LEVELS",
+    "EVENT_KINDS",
+    "FleetState",
     "Gauge",
+    "HEALTH_EV",
+    "HealthFollower",
     "Histogram",
     "MetricTrend",
     "MetricsBatch",
     "MetricsRegistry",
     "OBS",
+    "ResourceSampler",
     "PhaseProfiler",
     "PhaseRollup",
     "RUN_SCHEMA",
@@ -192,15 +246,20 @@ __all__ = [
     "compare_runs",
     "compute_trends",
     "default_registry_path",
+    "emit_health_event",
+    "evaluate_records",
     "export_run",
     "follow",
     "format_analysis",
     "format_comparison",
     "format_profile",
     "git_describe",
+    "load_rules",
     "metric_key",
     "openmetrics_text",
     "read_trace",
+    "sample_process",
     "strip_wall",
+    "summarize_health",
     "telemetry_session",
 ]

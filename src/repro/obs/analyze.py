@@ -20,6 +20,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.health import format_bytes, summarize_health
 from repro.obs.manifest import RUN_SCHEMA
 from repro.obs.trace import read_trace
 
@@ -224,6 +225,7 @@ class TraceAnalysis:
     workers: WorkerStats
     top_spans: list[dict[str, Any]]
     points: dict[str, int]
+    health: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -239,6 +241,7 @@ class TraceAnalysis:
             "workers": self.workers.to_dict(),
             "top_spans": self.top_spans,
             "points": dict(sorted(self.points.items())),
+            "health": self.health,
         }
 
 
@@ -440,6 +443,7 @@ def analyze_run(
         workers=_worker_stats(roots),
         top_spans=_top_spans(roots, top),
         points=points,
+        health=summarize_health(records),
     )
 
 
@@ -513,6 +517,30 @@ def format_analysis(analysis: TraceAnalysis, top: int = 10) -> str:
             lines.append(
                 f"  worker {worker}: {w.tasks_by_worker.get(worker, 0)} task(s),"
                 f" busy {w.busy_s_by_worker[worker]:.3f}s"
+            )
+
+    health = analysis.health
+    if health:
+        parts = [f"{health.get('samples', 0)} sample(s)"]
+        if health.get("peak_rss_bytes"):
+            parts.append(f"peak_rss={format_bytes(health['peak_rss_bytes'])}")
+        if health.get("peak_worker_rss_bytes"):
+            parts.append(
+                "peak_worker_rss="
+                f"{format_bytes(health['peak_worker_rss_bytes'])}"
+            )
+        if health.get("parent_cpu_s"):
+            parts.append(f"parent_cpu={health['parent_cpu_s']:.1f}s")
+        if health.get("throughput") is not None:
+            parts.append(f"throughput={health['throughput']:.2f}/s")
+        if health.get("alerts"):
+            parts.append(f"alerts={health['alerts']}")
+        lines.append("health       : " + " ".join(parts))
+        events = health.get("events") or {}
+        if events:
+            lines.append(
+                "  events: "
+                + " ".join(f"{k}={v}" for k, v in sorted(events.items()))
             )
 
     if analysis.top_spans:

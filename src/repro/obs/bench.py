@@ -70,6 +70,13 @@ DEFAULT_REL_THRESHOLD = 0.05
 #: so ``--check`` gates them against the committed baseline.
 OVERHEAD_BUDGET = 0.05
 GUARD_BUDGET_NS = 10.0
+#: Enabled-path budget for the fleet health sampler: a traced run with
+#: ``--health`` may cost at most 2% more CPU than the same traced run
+#: without it.
+HEALTH_OVERHEAD_BUDGET = 0.02
+#: Sampling interval the health leg runs at — deliberately aggressive
+#: (20 Hz) so the gated cost bounds any realistic operator setting.
+HEALTH_BENCH_INTERVAL_S = 0.05
 
 #: Interleaved disabled/enabled repeats; ``bench_obs`` takes each leg's
 #: best-of-N (scheduler contention only ever adds time, so the minima
@@ -259,14 +266,54 @@ def bench_obs(params) -> dict[str, Any]:
         if len(disabled_times) >= OBS_MAX_REPEATS:
             break
     guard_ns = _guard_ns()
+
+    # Fleet health sampler enabled-path cost (PR 8): the same fuzz
+    # workload traced to memory with and without --health-style resource
+    # sampling, interleaved best-of-N exactly like the metrics legs.
+    trace_times: list[float] = []
+    health_times: list[float] = []
+    traced = sampled = None
+    health_overhead: float | None = None
+    while True:
+        with telemetry_session(trace_memory=True):
+            cpu0 = time.process_time()
+            _, traced = _timed_fuzz(params, patterns, 1, "bench-all-obs")
+            trace_times.append(time.process_time() - cpu0)
+        with telemetry_session(
+            trace_memory=True, health_s=HEALTH_BENCH_INTERVAL_S
+        ):
+            cpu0 = time.process_time()
+            _, sampled = _timed_fuzz(params, patterns, 1, "bench-all-obs")
+            health_times.append(time.process_time() - cpu0)
+        if len(trace_times) < OBS_REPEATS:
+            continue
+        trace_s = min(trace_times)
+        health_leg_s = min(health_times)
+        health_overhead = (
+            max(0.0, health_leg_s / trace_s - 1.0) if trace_s > 0 else None
+        )
+        if (
+            health_overhead is not None
+            and health_overhead <= HEALTH_OVERHEAD_BUDGET
+        ):
+            break
+        if len(trace_times) >= OBS_MAX_REPEATS:
+            break
     return {
         "checks": {
             "total_flips": disabled.total_flips,
             "telemetry_neutral": bool(
                 disabled.total_flips == enabled.total_flips
             ),
+            "health_neutral": bool(
+                traced.total_flips == sampled.total_flips
+            ),
             "meets_overhead_budget": bool(
                 overhead is not None and overhead <= OVERHEAD_BUDGET
+            ),
+            "meets_health_budget": bool(
+                health_overhead is not None
+                and health_overhead <= HEALTH_OVERHEAD_BUDGET
             ),
             "guard_within_budget": bool(guard_ns <= GUARD_BUDGET_NS),
         },
@@ -276,6 +323,12 @@ def bench_obs(params) -> dict[str, Any]:
             "metrics_s": round(enabled_s, 3),
             "metrics_overhead": round(overhead, 4)
             if overhead is not None
+            else None,
+            "health_repeats": len(trace_times),
+            "trace_s": round(trace_s, 3),
+            "trace_health_s": round(health_leg_s, 3),
+            "health_overhead": round(health_overhead, 4)
+            if health_overhead is not None
             else None,
             "guard_ns": round(guard_ns, 2),
         },

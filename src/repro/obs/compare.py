@@ -60,6 +60,10 @@ _LOWER_IS_BETTER = (
     "tasks_failed",
     "degraded",
     "skew",
+    "retry",
+    "retries",
+    "death",
+    "rss_bytes",
 )
 
 
@@ -78,6 +82,12 @@ def direction_for(key: str) -> str:
 def is_wall_key(key: str) -> bool:
     """Wall-clock quantities get the laxer, optionally ungated threshold."""
     lowered = key.lower()
+    if lowered.startswith("health.") and not lowered.startswith(
+        "health.events."
+    ):
+        # Resource samples (RSS, CPU, throughput) wobble with the host;
+        # only the structural health.events.* counts are deterministic.
+        return True
     return "wall" in lowered or lowered.endswith("dur_s")
 
 

@@ -319,12 +319,69 @@ def _format_value(value: Any) -> str:
     return repr(float(value))
 
 
-def openmetrics_text(metrics: Mapping[str, Any]) -> str:
+#: Health-sample fields exported as per-process gauges, with their
+#: OpenMetrics-flavoured suffixes.
+_HEALTH_GAUGES = (
+    ("rss_bytes", "rss_bytes"),
+    ("cpu_s", "cpu_seconds"),
+    ("open_fds", "open_fds"),
+)
+
+
+def _health_gauge_lines(records: list[dict[str, Any]]) -> list[str]:
+    """Per-process gauges from a trace's last health sample of each pid.
+
+    Workers label by their pool index (``rhohammer_worker_rss_bytes
+    {worker="3"}``); the parent exports unlabelled
+    ``rhohammer_parent_*`` series.
+    """
+    latest: dict[tuple[str, int | None], dict[str, Any]] = {}
+    for record in records:
+        if record.get("ev") != "health":
+            continue
+        wall = record.get("wall") or {}
+        if wall.get("kind") != "sample":
+            continue
+        role = str(wall.get("role") or "worker")
+        worker = wall.get("worker")
+        worker = int(worker) if worker is not None else None
+        latest[(role, worker)] = wall
+    lines: list[str] = []
+    for field, suffix in _HEALTH_GAUGES:
+        for role in ("parent", "worker"):
+            name = _metric_name(f"rhohammer_{role}_{suffix}")
+            rows = sorted(
+                (
+                    (worker, wall)
+                    for (r, worker), wall in latest.items()
+                    if r == role and wall.get(field) is not None
+                ),
+                key=lambda item: (item[0] is None, item[0] or 0),
+            )
+            if not rows:
+                continue
+            lines.append(f"# TYPE {name} gauge")
+            for worker, wall in rows:
+                labels = {} if worker is None else {"worker": str(worker)}
+                lines.append(
+                    f"{name}{_label_text(labels)} "
+                    f"{_format_value(wall[field])}"
+                )
+    return lines
+
+
+def openmetrics_text(
+    metrics: Mapping[str, Any],
+    health_records: list[dict[str, Any]] | None = None,
+) -> str:
     """The OpenMetrics exposition of one final metrics snapshot.
 
     Counters keep (or gain) the mandated ``_total`` suffix, histograms
     emit cumulative ``_bucket{le=…}`` series plus ``_sum``/``_count``,
-    and the exposition ends with the required ``# EOF`` marker.
+    and the exposition ends with the required ``# EOF`` marker.  When
+    ``health_records`` (raw trace records) are supplied, the run's last
+    per-process health samples append as ``rhohammer_worker_*`` /
+    ``rhohammer_parent_*`` gauges.
     """
     lines: list[str] = []
     typed: set[str] = set()
@@ -381,6 +438,9 @@ def openmetrics_text(metrics: Mapping[str, Any]) -> str:
         )
         lines.append(f"{name}_count{_label_text(labels)} {count}")
 
+    if health_records:
+        lines.extend(_health_gauge_lines(health_records))
+
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
@@ -414,4 +474,12 @@ def export_run(path: str | os.PathLike[str], fmt: str) -> str:
             f"{path}: no metrics snapshot to export — record one with "
             "--metrics-out or --out"
         )
-    return openmetrics_text(artifacts.metrics)
+    health_records: list[dict[str, Any]] | None = None
+    if artifacts.trace_path is not None:
+        try:
+            health_records = list(
+                read_trace(artifacts.trace_path, strict=False)
+            )
+        except OSError:
+            health_records = None
+    return openmetrics_text(artifacts.metrics, health_records=health_records)

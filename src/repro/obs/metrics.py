@@ -263,6 +263,19 @@ class MetricsRegistry:
                 inst.journal = []
         return inst
 
+    def counter_value(self, name: str, **labels: Any) -> float | None:
+        """Read a counter without creating it; ``None`` when absent.
+
+        Read-only observers (the health sampler's memo-cache hit rate)
+        use this so peeking never materialises instruments that the
+        instrumented code itself has not touched — snapshots stay
+        identical whether or not anyone looked.
+        """
+        if not self.enabled:
+            return None
+        inst = self._counters.get(metric_key(name, labels))
+        return None if inst is None else inst.value
+
     # -- snapshot / export ---------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """A JSON-ready snapshot of every instrument, keys sorted."""

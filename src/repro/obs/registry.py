@@ -41,6 +41,7 @@ came from.
 from __future__ import annotations
 
 import fnmatch
+import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from repro.obs.compare import (
     direction_for,
     is_wall_key,
 )
+from repro.obs.health import flatten_health
 from repro.obs.store import (  # noqa: F401  (re-exported for callers)
     SCHEMA_VERSION,
     RegistryError,
@@ -113,9 +115,10 @@ class RunRecord:
     suite: str | None
     exit_code: int | None
     tag: str | None = None
+    health: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "id": self.run_id,
             "recorded_at": self.recorded_at,
             "kind": self.kind,
@@ -129,6 +132,11 @@ class RunRecord:
             "exit_code": self.exit_code,
             "tag": self.tag,
         }
+        if self.health is not None:
+            # Runs recorded without fleet-health sampling keep the
+            # pre-v4 payload shape.
+            payload["health"] = self.health
+        return payload
 
 
 @dataclass
@@ -365,6 +373,7 @@ class RunRegistry:
         exit_code: int | None,
         samples: Mapping[str, float],
         recorded_at: str | None,
+        health: Mapping[str, Any] | None = None,
     ) -> int:
         return self._store.insert_run(
             {
@@ -378,6 +387,11 @@ class RunRegistry:
                 "git": git,
                 "suite": suite,
                 "exit_code": exit_code,
+                "health": (
+                    json.dumps(dict(health), sort_keys=True)
+                    if health
+                    else None
+                ),
             },
             samples,
         )
@@ -388,13 +402,17 @@ class RunRegistry:
         phases: Mapping[str, Any] | None = None,
         extra_samples: Mapping[str, float] | None = None,
         recorded_at: str | None = None,
+        health: Mapping[str, Any] | None = None,
     ) -> int:
         """Register one instrumented run from its manifest dict.
 
         ``manifest`` is a :meth:`repro.obs.manifest.RunManifest.to_dict`
         payload (or the trace stream's header); ``phases`` is the
         ``phases`` mapping of a :class:`~repro.obs.analyze.TraceAnalysis`
-        (rollup objects or their dicts).  Returns the new run's id.
+        (rollup objects or their dicts); ``health`` is a
+        :func:`repro.obs.health.summarize_health` summary, persisted as
+        the run's JSON ``health`` column *and* flattened into ``health.*``
+        samples for ``trends``.  Returns the new run's id.
         """
         budget = manifest.get("budget") or {}
         samples = flatten_metrics(manifest.get("metrics"))
@@ -403,6 +421,8 @@ class RunRegistry:
             num = _numeric(value)
             if num is not None:
                 samples[f"budget.{key}"] = num
+        if health:
+            samples.update(flatten_health(health))
         if extra_samples:
             samples.update(extra_samples)
         return self._insert(
@@ -417,6 +437,7 @@ class RunRegistry:
             exit_code=manifest.get("exit_code"),
             samples=samples,
             recorded_at=recorded_at,
+            health=health,
         )
 
     def record_bench(
@@ -475,6 +496,15 @@ class RunRegistry:
 
     @staticmethod
     def _record(row: Mapping[str, Any]) -> RunRecord:
+        health_raw = row.get("health")
+        health: dict[str, Any] | None = None
+        if health_raw:
+            try:
+                parsed = json.loads(health_raw)
+            except (TypeError, ValueError):
+                parsed = None
+            if isinstance(parsed, dict):
+                health = parsed
         return RunRecord(
             run_id=row["id"],
             recorded_at=row["recorded_at"],
@@ -488,6 +518,7 @@ class RunRegistry:
             suite=row["suite"],
             exit_code=row["exit_code"],
             tag=row["tag"],
+            health=health,
         )
 
     def samples_for(self, run_id: int) -> dict[str, float]:

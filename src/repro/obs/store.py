@@ -30,7 +30,7 @@ import sqlite3
 from typing import Any, Mapping
 
 #: Current registry schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Column order of the ``runs`` table; also the field names a
 #: :meth:`RunStore.insert_run` mapping may carry (missing keys insert
@@ -47,6 +47,7 @@ RUN_FIELDS = (
     "suite",
     "exit_code",
     "tag",
+    "health",
 )
 
 
@@ -194,6 +195,12 @@ _MIGRATIONS: dict[int, tuple[str, ...]] = {
         # v3: retention — a non-NULL tag pins a run against `registry gc`
         # (and names it: 'baseline', 'release-1.2', ...).
         "ALTER TABLE runs ADD COLUMN tag TEXT",
+    ),
+    4: (
+        # v4: fleet health — the run's health summary (peak RSS,
+        # utilization skew, retry/death counts) as a JSON object, so
+        # `history`/`trends` can gate resource behaviour across runs.
+        "ALTER TABLE runs ADD COLUMN health TEXT",
     ),
 }
 

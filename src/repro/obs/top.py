@@ -1,0 +1,220 @@
+"""Fleet views: ``rhohammer status`` (one-shot) and ``rhohammer top`` (live).
+
+Both are read-only builds on the tailing machinery from
+:mod:`repro.obs.live` and the :class:`~repro.obs.alerts.HealthFollower`:
+they fold the run's trace stream — spans, heartbeats, health samples,
+structured events, alert records — into a per-worker fleet table with
+utilization, RSS, throughput and any firing alerts.
+
+Exit codes: ``status`` returns 2 when no trace exists, 1 when any alert
+is firing, else 0.  ``top`` mirrors ``follow``: 0 once the run's root
+span closes (or ``--once`` found records), 1 on a stalled stream, 2 when
+no trace appears.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import IO, Any, Callable, Sequence
+
+from repro.obs.alerts import AlertRule, HealthFollower
+from repro.obs.health import format_bytes
+from repro.obs.live import _Tail, resolve_trace_path
+
+
+def _fmt_pct(value: float | None) -> str:
+    return f"{value * 100:.0f}%" if value is not None else "-"
+
+
+def render_fleet(follower: HealthFollower) -> str:
+    """The multi-line fleet view for one follower state."""
+    state = follower.state
+    fleet = follower.fleet
+    lines: list[str] = []
+    man = state.manifest or {}
+    if man:
+        lines.append(
+            f"run      : {man.get('command')} on {man.get('platform')}"
+            f"/{man.get('dimm')} seed={man.get('seed')}"
+        )
+    lines.append(f"phase    : {follower.status_line()}")
+    pool = fleet.pool
+    if pool:
+        parts = []
+        if pool.get("tasks"):
+            parts.append(f"done={pool.get('done', 0)}/{pool['tasks']}")
+        if pool.get("throughput") is not None:
+            parts.append(f"throughput={pool['throughput']:.2f}/s")
+        if pool.get("queue_depth") is not None:
+            parts.append(f"queue={pool['queue_depth']}")
+        if pool.get("retries") is not None:
+            parts.append(f"retries={pool['retries']}")
+        if pool.get("memo_hit_rate") is not None:
+            parts.append(f"memo={pool['memo_hit_rate'] * 100:.1f}%")
+        if parts:
+            lines.append("pool     : " + " ".join(parts))
+    rows = fleet.rows()
+    if rows:
+        lines.append("procs    :")
+        lines.append(
+            f"  {'ROLE':<7} {'W':<3} {'PID':<8} {'RSS':>8} "
+            f"{'CPU':>8} {'UTIL':>5} {'FDS':>4}"
+        )
+        for proc in rows:
+            worker = "-" if proc.worker is None else str(proc.worker)
+            fds = "-" if proc.open_fds is None else str(proc.open_fds)
+            lines.append(
+                f"  {proc.role:<7} {worker:<3} {proc.pid:<8} "
+                f"{format_bytes(proc.rss_bytes):>8} "
+                f"{proc.cpu_s:>7.1f}s {_fmt_pct(proc.utilization):>5} "
+                f"{fds:>4}"
+            )
+    if fleet.events:
+        lines.append(
+            "events   : "
+            + " ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(fleet.events.items())
+            )
+        )
+    if follower.alerts:
+        lines.append("alerts   :")
+        for alert in follower.alerts:
+            lines.append(
+                f"  [{alert.get('severity', 'warning')}] "
+                f"{alert.get('rule')}: {alert.get('message', '')}"
+            )
+    return "\n".join(lines)
+
+
+def fleet_dict(follower: HealthFollower) -> dict[str, Any]:
+    """JSON-ready status payload (``rhohammer status --json``)."""
+    state = follower.state
+    fleet = follower.fleet
+    return {
+        "manifest": state.manifest,
+        "done": state.done,
+        "events": state.events,
+        "flips": state.flips,
+        "errors": state.errors,
+        "pool": dict(fleet.pool),
+        "health_events": dict(sorted(fleet.events.items())),
+        "procs": [
+            {
+                "pid": proc.pid,
+                "role": proc.role,
+                "worker": proc.worker,
+                "cpu_s": proc.cpu_s,
+                "rss_bytes": proc.rss_bytes,
+                "open_fds": proc.open_fds,
+                "utilization": proc.utilization,
+            }
+            for proc in fleet.rows()
+        ],
+        "alerts": list(follower.alerts),
+    }
+
+
+def status(
+    path: str | os.PathLike[str],
+    rules: Sequence[AlertRule] = (),
+    stream: IO[str] | None = None,
+    json_out: bool = False,
+) -> int:
+    """One-shot fleet view over whatever the trace holds right now."""
+    out = stream if stream is not None else sys.stdout
+    trace_path = resolve_trace_path(path)
+    tail = _Tail(trace_path)
+    if not tail.open_if_present():
+        out.write(f"error: no trace at {trace_path}\n")
+        return 2
+    follower = HealthFollower(rules)
+    try:
+        for record in tail.drain():
+            follower.feed(record)
+    finally:
+        tail.close()
+    if json_out:
+        out.write(json.dumps(fleet_dict(follower), indent=2) + "\n")
+    else:
+        out.write(render_fleet(follower) + "\n")
+    return 1 if follower.alerts else 0
+
+
+def top(
+    path: str | os.PathLike[str],
+    interval: float = 1.0,
+    timeout: float | None = 30.0,
+    once: bool = False,
+    rules: Sequence[AlertRule] = (),
+    stream: IO[str] | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Live fleet view, redrawn as the trace stream grows."""
+    out = stream if stream is not None else sys.stdout
+    trace_path = resolve_trace_path(path)
+    tail = _Tail(trace_path)
+    follower = HealthFollower(rules)
+    start = clock()
+    last_data = start
+    interactive = hasattr(out, "isatty") and out.isatty()
+    last_view = ""
+
+    def render(final: bool = False) -> None:
+        nonlocal last_view
+        view = render_fleet(follower)
+        # A final render only repeats an unchanged view on interactive
+        # terminals, where it must survive the last ANSI clear.
+        if view == last_view and not (final and interactive):
+            return
+        last_view = view
+        if interactive and not final:
+            out.write("\x1b[H\x1b[2J" + view + "\n")
+        else:
+            out.write(view + "\n")
+        out.flush()
+
+    try:
+        while True:
+            opened = tail.open_if_present()
+            records = tail.drain() if opened else []
+            if records:
+                for record in records:
+                    follower.feed(record)
+                last_data = clock()
+            if follower.fleet.last_t:
+                # Wall-clock absence rules (no heartbeat for Ns) keep
+                # ticking between records.
+                follower.tick(time.time())
+            if records:
+                render()
+            if follower.state.done:
+                render(final=True)
+                return 0
+            if once:
+                if follower.state.events:
+                    render(final=True)
+                    return 0
+                out.write(f"no trace records at {trace_path} yet\n")
+                return 1 if opened else 2
+            now = clock()
+            if timeout is not None and now - last_data > timeout:
+                if not opened:
+                    out.write(
+                        f"error: no trace appeared at {trace_path} "
+                        f"within {timeout:.0f}s\n"
+                    )
+                    return 2
+                render(final=True)
+                out.write(f"stream stalled for {timeout:.0f}s\n")
+                return 1
+            sleep(interval)
+    except KeyboardInterrupt:
+        render(final=True)
+        return 0
+    finally:
+        tail.close()

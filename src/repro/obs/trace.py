@@ -14,7 +14,13 @@ Every record is one JSON object per line.  Three event kinds:
   ``id`` — the deterministic id sequence is untouched — and every field
   lives under ``wall``, so :func:`strip_wall` reduces each one to
   ``{"ev": "heartbeat"}`` and same-seed streams only differ in how many
-  of those lines appear, which analytics readers ignore.
+  of those lines appear, which analytics readers ignore;
+* ``{"ev": "health", "wall": {...}}`` / ``{"ev": "alert", "wall": {...}}``
+  follow the same id-free shape: resource samples and structured fleet
+  events (see :mod:`repro.obs.health`) and rule firings (see
+  :mod:`repro.obs.alerts`).  Structural events are deterministic in
+  count; wall-derived samples only appear when health sampling is opted
+  into via ``configure(health_s=...)``.
 
 **Determinism contract:** every nondeterministic value — wall-clock
 timestamps, wall durations, worker pids — lives under the record's
@@ -126,6 +132,14 @@ class SpanTracer:
         self.profiler: Any | None = None
         #: Minimum seconds between heartbeat records; ``None`` disables.
         self.heartbeat_s: float | None = None
+        #: Optional :class:`repro.obs.health.ResourceSampler`; set via
+        #: ``configure(health_s=...)``, ticked on emission and by the
+        #: persistent pool's result loop.
+        self.sampler: Any | None = None
+        #: Optional :class:`repro.obs.alerts.AlertEngine`; when set,
+        #: every health/heartbeat payload is offered to it and firings
+        #: are appended to the stream as ``alert`` records.
+        self.alerts: Any | None = None
         self._sink: IO[str] | None = None
         self._owns_sink = False
         self._memory: list[dict[str, Any]] | None = None
@@ -149,6 +163,7 @@ class SpanTracer:
         memory: bool = False,
         detail: str = "phase",
         heartbeat_s: float | None = None,
+        health_s: float | None = None,
         flush_records: int = DEFAULT_FLUSH_RECORDS,
         flush_interval_s: float = DEFAULT_FLUSH_INTERVAL_S,
     ) -> None:
@@ -158,6 +173,11 @@ class SpanTracer:
         many seconds (off by default — heartbeats are nondeterministic
         in count, so only follow-minded runs enable them).
 
+        ``health_s`` opts into fleet resource sampling at most every
+        that many seconds: id-free ``health`` records carrying /proc
+        CPU/RSS/fd samples for the parent and pool workers (see
+        :mod:`repro.obs.health`).
+
         ``flush_records`` / ``flush_interval_s`` bound how much emission
         is buffered before a chunked write reaches the sink (see
         :meth:`flush` for the crash-safety guarantees).
@@ -166,6 +186,8 @@ class SpanTracer:
             raise ValueError(f"trace detail must be one of {DETAIL_LEVELS}")
         if heartbeat_s is not None and heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if health_s is not None and health_s <= 0:
+            raise ValueError("health_s must be positive")
         if flush_records < 1:
             raise ValueError("flush_records must be >= 1")
         if flush_interval_s <= 0:
@@ -181,6 +203,10 @@ class SpanTracer:
         self.enabled = True
         self.detail = detail
         self.heartbeat_s = heartbeat_s
+        if health_s is not None:
+            from repro.obs.health import ResourceSampler
+
+            self.sampler = ResourceSampler(health_s)
         self._pid = os.getpid()
         self._child_events = []
         self._next_id = 1
@@ -232,6 +258,8 @@ class SpanTracer:
         self.detail = "phase"
         self.profiler = None
         self.heartbeat_s = None
+        self.sampler = None
+        self.alerts = None
         self._stack = []
         self._stack_names = []
         self._child_events = []
@@ -251,6 +279,8 @@ class SpanTracer:
         self._write(record)
         if self.heartbeat_s is not None:
             self.heartbeat()
+        if self.sampler is not None:
+            self.health_tick()
 
     def _write(self, record: dict[str, Any]) -> None:
         if self._memory is not None:
@@ -292,9 +322,60 @@ class SpanTracer:
         if self._stack_names:
             payload.setdefault("phase", self._stack_names[-1])
         self._write({"ev": "heartbeat", WALL_KEY: payload})
+        self._observe_alerts(payload, ev="heartbeat")
         # Heartbeats exist for ``rhohammer follow`` liveness: write
         # through the emission buffer so the tail of the file moves.
         self.flush()
+
+    def health_event(self, kind: str, **wall: Any) -> None:
+        """Emit one id-free structured health record (parent-only).
+
+        Like heartbeats, every field — including ``kind`` — lives under
+        ``wall``, so :func:`strip_wall` reduces the record to
+        ``{"ev": "health"}`` and the span-id sequence is untouched.
+        Prefer :func:`repro.obs.health.emit_health_event`, which also
+        bumps the matching ``health.<kind>`` counter.
+        """
+        if not self.enabled:
+            return
+        if os.getpid() != self._pid:
+            return
+        payload: dict[str, Any] = {"t": time.time(), "kind": kind, **wall}
+        self._write({"ev": "health", WALL_KEY: payload})
+        self._observe_alerts(payload)
+        self.flush()
+
+    def health_tick(self, pids: Any = None, **pool: Any) -> None:
+        """Offer the resource sampler a chance to emit (rate-limited).
+
+        The persistent pool's result loop calls this with the live
+        worker ``pids`` and pool statistics; plain emission calls it
+        bare so parent self-samples flow even in serial runs.  No-op
+        without a sampler (``configure(health_s=...)``), outside the
+        parent process, or while the sampling interval has not elapsed.
+        """
+        sampler = self.sampler
+        if sampler is None or not self.enabled:
+            return
+        if os.getpid() != self._pid:
+            return
+        if pids is not None or pool:
+            sampler.update_pool(pids=pids, **pool)
+        payloads = sampler.tick()
+        if not payloads:
+            return
+        for payload in payloads:
+            self._write({"ev": "health", WALL_KEY: payload})
+            self._observe_alerts(payload)
+        # Health records feed ``rhohammer top`` liveness: move the tail.
+        self.flush()
+
+    def _observe_alerts(self, payload: dict[str, Any], ev: str = "health") -> None:
+        """Offer one wall payload to the alert engine; record firings."""
+        if self.alerts is None:
+            return
+        for alert in self.alerts.observe(payload, ev=ev):
+            self._write({"ev": "alert", WALL_KEY: {"t": time.time(), **alert}})
 
     def span(self, name: str, **attrs: Any) -> Span | _NoopSpan:
         """Open a nested span; close it by leaving the ``with`` block."""

@@ -250,10 +250,13 @@ def test_repeated_reveng_is_bit_identical_across_backends():
 
 
 def _no_wall(section):
-    """Drop wall-clock and pool-bookkeeping keys; they vary by schedule."""
+    """Drop wall-clock, pool-bookkeeping and fleet-health keys; they
+    vary by schedule and worker topology."""
     return {
         k: v for k, v in section.items()
-        if "wall" not in k and not k.startswith("pool.")
+        if "wall" not in k
+        and not k.startswith("pool.")
+        and not k.startswith("health.")
     }
 
 

@@ -81,7 +81,7 @@ import glob
 import os
 import signal
 
-from repro.engine import PersistentPoolBackend
+from repro.engine import PersistentPoolBackend, SerialBackend
 from repro.engine.executor import SEGMENT_PREFIX
 
 
@@ -178,6 +178,46 @@ def test_worker_sigkill_keeps_trace_file_uncorrupted(tmp_path):
     names = [r.get("name") for r in records]
     assert "pool.batch" in names
     assert names.count("pool.task") == 12  # one replayed span per task
+
+
+def test_worker_sigkill_emits_health_events_and_keeps_determinism(tmp_path):
+    """A SIGKILLed worker must surface as structured fleet telemetry —
+    a ``worker_death`` health event plus a ``chunk_retry`` — while the
+    merged result stays bit-identical to an undisturbed serial run."""
+    from repro.obs import OBS, telemetry_session
+    from repro.obs.trace import read_trace
+
+    with SerialBackend() as backend:
+        serial = backend.map(lambda ctx, task: task * 10, range(12))
+
+    flag = tmp_path / "crashed-once"
+    trace_path = tmp_path / "trace.jsonl"
+
+    def crash_once(ctx, task):
+        if task == 5 and not flag.exists():
+            flag.write_text("x")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return task * 10
+
+    with telemetry_session(trace_path=str(trace_path), metrics=True) as obs:
+        with PersistentPoolBackend(workers=3, chunk_size=2) as backend:
+            report = backend.map(crash_once, range(12))
+        counters = obs.metrics.snapshot()["counters"]
+    assert report.results == serial.results
+    assert report.retries >= 1 and not report.degraded
+
+    events = [
+        (r.get("wall") or {}).get("kind")
+        for r in read_trace(trace_path)
+        if r.get("ev") == "health"
+    ]
+    assert events.count("worker_spawn") >= 3  # 3 initial + respawn(s)
+    assert "worker_death" in events
+    assert "chunk_retry" in events
+    assert counters["health.worker_death"] >= 1
+    assert counters["health.chunk_retry"] >= 1
+    assert counters["health.worker_spawn"] >= 3
+    assert not OBS.enabled
 
 
 def test_raising_task_is_captured_not_fatal():

@@ -76,6 +76,14 @@ def test_direction_rules():
     assert is_wall_key("pool.task_wall_seconds.p50")
     assert is_wall_key("cli.fuzz.wall_s")
     assert not is_wall_key("reveng.virtual_s")
+    # Resource samples wobble with the host; structural event counts
+    # are deterministic and stay gateable.
+    assert is_wall_key("health.peak_rss_bytes")
+    assert is_wall_key("health.throughput")
+    assert not is_wall_key("health.events.worker_death")
+    assert direction_for("health.events.worker_death") == "lower"
+    assert direction_for("health.events.chunk_retry") == "lower"
+    assert direction_for("health.peak_rss_bytes") == "lower"
 
 
 def _metrics_dir(tmp_path, name, counters):

@@ -670,6 +670,70 @@ def test_migration_v2_to_v3_adds_tag(tmp_path):
         assert reg.runs()[0].tag == "pinned"
 
 
+def test_migration_v3_to_v4_adds_health(tmp_path):
+    db = tmp_path / "registry.sqlite"
+    conn = sqlite3.connect(db)
+    for version in (1, 2, 3):
+        for statement in _MIGRATIONS[version]:
+            conn.execute(statement)
+    conn.execute("PRAGMA user_version = 3")
+    conn.execute(
+        "INSERT INTO runs (recorded_at, kind, command, platform, dimm,"
+        " seed, scale, git, suite, exit_code, tag)"
+        " VALUES ('2025-12-01T00:00:00+0000', 'run', 'fuzz', 'raptor_lake',"
+        " 'S3', 7, 'quick', 'old1234', NULL, 0, NULL)"
+    )
+    conn.commit()
+    conn.close()
+    with RunRegistry(db) as reg:
+        assert reg.schema_version == SCHEMA_VERSION
+        rec = reg.runs()[0]
+        assert rec.health is None  # column added by the v4 migration
+        assert "health" not in rec.to_dict()  # pre-v4 payload shape
+        # the migrated database accepts health-bearing writes
+        reg.record_run(
+            _manifest(flips=5),
+            health={"samples": 3, "events": {"worker_spawn": 2}},
+        )
+        assert reg.runs()[1].health["samples"] == 3
+
+
+def test_record_run_persists_health_column_and_samples(tmp_path):
+    db = tmp_path / "registry.sqlite"
+    summary = {
+        "samples": 4,
+        "alerts": 1,
+        "events": {"worker_spawn": 2, "chunk_retry": 1},
+        "peak_rss_bytes": 1024,
+        "throughput": 2.5,
+    }
+    with RunRegistry(db) as reg:
+        run_id = reg.record_run(_manifest(flips=10), health=summary)
+        rec = reg.runs()[0]
+        assert rec.health == summary
+        assert rec.to_dict()["health"] == summary
+        samples = reg.samples_for(run_id)
+        assert samples["health.samples"] == 4.0
+        assert samples["health.events.worker_spawn"] == 2.0
+        assert samples["health.peak_rss_bytes"] == 1024.0
+        assert samples["health.throughput"] == 2.5
+        # runs recorded without health stay NULL, not "{}"
+        reg.record_run(_manifest(flips=11))
+        assert reg.runs()[1].health is None
+
+
+def test_corrupt_health_column_degrades_to_none(tmp_path):
+    db = tmp_path / "registry.sqlite"
+    with RunRegistry(db) as reg:
+        reg.record_run(_manifest(flips=10), health={"samples": 1})
+    conn = sqlite3.connect(db)
+    conn.execute("UPDATE runs SET health = 'not json' WHERE id = 1")
+    conn.commit()
+    conn.close()
+    with RunRegistry(db) as reg:
+        assert reg.runs()[0].health is None
+
+
 def test_cli_registry_gc_stats_and_tag(tmp_path, capsys):
     db = tmp_path / "registry.sqlite"
     _seed_synthetic(db, 10)
