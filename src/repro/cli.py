@@ -174,6 +174,30 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _batch_locations_value(value: str):
+    """``--batch-locations`` argument: a positive int, 'auto' or 'off'."""
+    if value in ("auto", "off"):
+        return value
+    try:
+        size = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive int, 'auto' or 'off', got {value!r}"
+        ) from None
+    if size < 1:
+        raise argparse.ArgumentTypeError("batch size must be >= 1")
+    return size
+
+
+def _add_batch_locations(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-locations", type=_batch_locations_value, default="auto",
+        metavar="N|auto|off",
+        help="locations per batched hammer task (one vectorised pass per "
+             "chunk); results are bit-identical to --batch-locations off",
+    )
+
+
 def _add_json(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json", action="store_true",
@@ -213,6 +237,32 @@ def _run_meta(args) -> dict[str, Any]:
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_reveng(args) -> int:
+    if args.runs > 1:
+        from repro.reveng.repeated import repeated_reveng
+
+        stats = repeated_reveng(
+            args.platform,
+            dimm_id=args.dimm,
+            budget=RunBudget.trials(
+                args.runs,
+                workers=args.workers,
+                backend=args.backend,
+                batch_locations=args.batch_locations,
+            ),
+            base_seed=args.seed,
+            fraction=args.fraction,
+        )
+        print(f"target : {args.platform} / {args.dimm}")
+        print(f"runs   : {stats.runs}/{stats.runs_requested}")
+        print(f"correct: {stats.successes}/{stats.runs} "
+              f"({stats.success_rate:.0%})")
+        print(f"runtime: mean {stats.mean_runtime_seconds:.1f}s, "
+              f"min {stats.min_runtime_seconds:.1f}s, "
+              f"max {stats.max_runtime_seconds:.1f}s (attacker-seconds)")
+        print(f"Table 5: {stats.as_table5_cell()}")
+        for note in stats.notes:
+            print(f"note   : {note}")
+        return 0 if stats.all_correct else 1
     machine, _ = _machine(args)
     print(f"target : {machine.describe()}")
     oracle = TimingOracle.allocate(machine, fraction=args.fraction)
@@ -277,6 +327,7 @@ def cmd_sweep(args) -> int:
             max_trials=args.locations,
             workers=args.workers,
             backend=args.backend,
+            batch_locations=args.batch_locations,
         ), scale,
     )
     if args.json:
@@ -311,6 +362,7 @@ def cmd_exploit(args) -> int:
         config=config,
         pattern=canonical_compact_pattern(),
         scale=scale,
+        batch_locations=args.batch_locations,
     )
     outcome = attack.run()
     if args.json:
@@ -846,8 +898,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("reveng", help="recover the DRAM address mapping")
     _add_common(p)
+    _add_workers(p)
     p.add_argument("--fraction", type=float, default=0.5,
                    help="fraction of RAM to allocate for the pool")
+    p.add_argument("--runs", type=int, default=1,
+                   help="repeat the recovery this many times with "
+                        "independent seeds and report Table 5 statistics")
+    _add_batch_locations(p)
     p.set_defaults(func=cmd_reveng)
 
     p = sub.add_parser("fuzz", help="fuzz non-uniform hammer patterns")
@@ -864,11 +921,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     _add_json(p)
     p.add_argument("--locations", type=int, default=16)
+    _add_batch_locations(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("exploit", help="end-to-end PTE corruption attack")
     _add_common(p)
     _add_json(p)
+    _add_batch_locations(p)
     p.set_defaults(func=cmd_exploit)
 
     p = sub.add_parser("tune", help="NOP pseudo-barrier tuning phase")
@@ -1139,7 +1198,8 @@ def _budget_dict(args) -> dict[str, Any]:
     return {
         name: getattr(args, name)
         for name in (
-            "patterns", "locations", "workers", "backend", "fraction"
+            "patterns", "locations", "workers", "backend", "fraction",
+            "batch_locations", "runs",
         )
         if hasattr(args, name)
     }

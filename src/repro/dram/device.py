@@ -181,6 +181,99 @@ class _BankWindow:
             self.disturbance[start:stop] = 0.0
 
 
+#: Ceiling on one bank's batched state matrices — disturbance, peak and
+#: (with telemetry) peak-window, each ``locations x span x 8`` bytes.
+#: Above this :meth:`Dimm.batch_supported` refuses and the batch runs as
+#: the per-trial loop instead.
+BATCH_MATRIX_BYTES_MAX = 128 * 1024 * 1024
+
+
+class _BankWindowBatch:
+    """Per-bank hammer state for many base-row-shifted locations at once.
+
+    Row ``i`` of each ``(locations, span)`` matrix is exactly location
+    ``i``'s :class:`_BankWindow` state: the window *shape* is shared —
+    the locations' streams differ only by a uniform row shift, so their
+    window coordinates coincide — while device coordinates differ per
+    location through ``los``.  Per-interval deposits broadcast-add one
+    shared row vector over all locations with the same ordered slice
+    adds as :class:`_BankWindow`, so every location's per-victim float
+    accumulation order (hence every bit of its disturbance state)
+    matches a per-trial run exactly.
+    """
+
+    __slots__ = ("los", "disturbance", "peak", "peak_window")
+
+    def __init__(
+        self, los: np.ndarray, span: int, track_windows: bool
+    ) -> None:
+        self.los = los  # per-location device row of window column 0
+        n = int(los.size)
+        self.disturbance = np.zeros((n, span), dtype=np.float64)
+        self.peak = np.zeros((n, span), dtype=np.float64)
+        self.peak_window = (
+            np.zeros((n, span), dtype=np.int64) if track_windows else None
+        )
+
+    def apply_disturbance(
+        self, acts: np.ndarray, gain: float, window: int
+    ) -> None:
+        """Broadcast one interval's shared ACT histogram to every location."""
+        d = self.disturbance
+        span = d.shape[1]
+        for distance in _DISTANCES_DESC:  # aggressor below: a = v - distance
+            if span > distance:
+                weight = NEIGHBOUR_WEIGHTS[distance]
+                d[:, distance:] += (weight * acts[:-distance]) * gain
+        for distance in _DISTANCES_ASC:  # aggressor above: a = v + distance
+            if span > distance:
+                weight = NEIGHBOUR_WEIGHTS[distance]
+                d[:, :-distance] += (weight * acts[distance:]) * gain
+        improved = d > self.peak
+        if improved.any():
+            self.peak[improved] = d[improved]
+            if self.peak_window is not None:
+                self.peak_window[improved] = window
+
+    def refresh_neighbours(self, aggressors: np.ndarray) -> None:
+        """Zero shared victim columns (targets coincide in window coords)."""
+        span = self.disturbance.shape[1]
+        for distance in NEIGHBOUR_WEIGHTS:
+            for offset in (-distance, distance):
+                victims = aggressors + offset
+                victims = victims[(victims >= 0) & (victims < span)]
+                if victims.size:
+                    self.disturbance[:, victims] = 0.0
+
+    def periodic_refresh(self, slot: int, rows_per_ref: int) -> None:
+        """Per-location range reset: refresh slots live in device rows,
+        so the window intersection shifts with each location's base."""
+        span = self.disturbance.shape[1]
+        for i, lo in enumerate(self.los.tolist()):
+            start = slot * rows_per_ref - lo
+            stop = min(start + rows_per_ref, span)
+            if start < 0:
+                start = 0
+            if start < stop:
+                self.disturbance[i, start:stop] = 0.0
+
+
+@dataclass
+class _BankBatchRecord:
+    """One bank's computed batch state, awaiting location-major emission."""
+
+    bank: int
+    base_lo: int  # location 0's window origin (device row)
+    deltas: np.ndarray
+    peak: np.ndarray  # (locations, span)
+    peak_window: np.ndarray | None
+    trr_refreshes: int  # shared: TRR/RFM decisions are shift-invariant
+    windows_total: int
+    acts_per_window: np.ndarray | None
+    sampler: "TrrSampler | None"
+    tallies: tuple | None
+
+
 class Dimm:
     """A DDR4 DIMM with per-bank TRR samplers and a weak-cell population."""
 
@@ -282,6 +375,296 @@ class Dimm:
         )
 
     # ------------------------------------------------------------------
+    # Batched multi-location execution
+    # ------------------------------------------------------------------
+    def batch_supported(
+        self,
+        bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+        row_deltas: np.ndarray,
+    ) -> tuple[bool, str]:
+        """Whether :meth:`hammer_batch` may vectorise this workload.
+
+        The batched pass needs every location's compact victim window to
+        be an exact shift of location 0's: a window clamped at a device
+        edge changes its span and breaks the shared window coordinates.
+        Per-window trace points would need per-location interleaving a
+        single pass cannot provide, and the ``(locations x span)`` state
+        matrices must stay within :data:`BATCH_MATRIX_BYTES_MAX`.
+        """
+        if OBS.tracer.enabled and OBS.tracer.detail == "window":
+            return False, "window-detail tracing needs per-trial interleaving"
+        deltas = np.asarray(row_deltas, dtype=np.int64)
+        if deltas.size == 0:
+            return False, "empty location batch"
+        rows_total = self.spec.geometry.rows
+        n_loc = int(deltas.size)
+        d_min = int(deltas.min())
+        d_max = int(deltas.max())
+        for bank, (times, rows) in bank_streams.items():
+            if times.size == 0:
+                continue
+            r_lo = int(rows.min())
+            r_hi = int(rows.max())
+            if r_lo + d_min - 2 < 0 or r_hi + d_max + 2 > rows_total - 1:
+                return False, f"bank {bank} window clamps at a device edge"
+            span = r_hi - r_lo + 5
+            if 3 * n_loc * span * 8 > BATCH_MATRIX_BYTES_MAX:
+                return False, f"bank {bank} batch matrices exceed memory cap"
+        return True, ""
+
+    def hammer_batch(
+        self,
+        bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+        row_deltas: np.ndarray,
+        collect_events: bool = False,
+        disturbance_gain: float = 1.0,
+    ) -> list[HammerResult]:
+        """Execute one stream at many base-row-shifted locations at once.
+
+        ``bank_streams`` is location 0's stream exactly as :meth:`hammer`
+        takes it; location ``i`` replays the same stream with every row
+        shifted by ``row_deltas[i]``.  The result list is bit-identical —
+        outcomes, flip-event order and every OBS metric — to the
+        per-trial loop::
+
+            [self.hammer({b: (t, r + d) for b, (t, r) in bank_streams
+                          .items()}, ...) for d in row_deltas]
+
+        because every per-interval decision is invariant under a uniform
+        row shift: the per-interval window-coordinate ACT histograms, the
+        :class:`TrrSampler` draws (its RNG child is purely name-derived,
+        so every ``hammer()`` call replays the same stream), the pTRR
+        mask and the RAA targets are all base-row-independent in window
+        coordinates.  Only the periodic-refresh range intersection and
+        the final :class:`CellPopulation` weak-cell lookups differ per
+        location, and both are applied per location.  Workloads
+        :meth:`batch_supported` rejects transparently run the per-trial
+        loop above instead.
+        """
+        deltas = np.ascontiguousarray(np.asarray(row_deltas, dtype=np.int64))
+        supported, _reason = self.batch_supported(bank_streams, deltas)
+        if not supported or deltas.size == 1:
+            results = []
+            for delta in deltas.tolist():
+                shifted = {
+                    bank: (times, rows + delta)
+                    for bank, (times, rows) in bank_streams.items()
+                }
+                results.append(
+                    self.hammer(
+                        shifted,
+                        collect_events=collect_events,
+                        disturbance_gain=disturbance_gain,
+                    )
+                )
+            return results
+
+        telemetry = OBS.enabled
+        n_loc = int(deltas.size)
+        acts = 0
+        end_time = 0.0
+        records: list[_BankBatchRecord] = []
+        for bank, (times, rows) in bank_streams.items():
+            if times.shape != rows.shape:
+                raise SimulationError("times and rows must align")
+            if times.size == 0:
+                continue
+            acts += int(times.size)
+            end_time = max(end_time, float(times[-1]))
+            records.append(
+                self._hammer_bank_batch(
+                    bank, times, rows, deltas, disturbance_gain, telemetry
+                )
+            )
+        # Emission: flip accounting and telemetry replayed location-major,
+        # in exactly the order the per-trial loop would have produced.
+        results = []
+        metrics = OBS.metrics if telemetry else None
+        for i in range(n_loc):
+            flips: list[FlipEvent] = []
+            flip_total = 0
+            trr_refreshes = 0
+            for rec in records:
+                bank_flips, counted = self._emit_bank_location(
+                    rec, i, collect_events, telemetry
+                )
+                trr_refreshes += rec.trr_refreshes
+                if collect_events:
+                    flips.extend(bank_flips)
+                else:
+                    flip_total += counted
+            if collect_events:
+                flip_total = len(flips)
+            if metrics is not None:
+                metrics.counter("dram.hammer_calls").inc()
+                metrics.counter("dram.acts_total").inc(acts)
+                metrics.counter("dram.trr_refreshes_total").inc(trr_refreshes)
+                metrics.histogram("dram.flips_per_hammer").observe(flip_total)
+            results.append(
+                HammerResult(
+                    flips=tuple(flips),
+                    flip_count=flip_total,
+                    acts_executed=acts,
+                    duration_ns=end_time,
+                    trr_refreshes=trr_refreshes,
+                )
+            )
+        return results
+
+    def _hammer_bank_batch(
+        self,
+        bank: int,
+        times: np.ndarray,
+        rows: np.ndarray,
+        deltas: np.ndarray,
+        disturbance_gain: float,
+        telemetry: bool,
+    ) -> _BankBatchRecord:
+        """One bank's interval loop, run once for a whole location batch.
+
+        Mirrors :meth:`_hammer_bank` step for step on location 0's stream;
+        the only structural differences are the ``(locations, span)``
+        state and that telemetry is *captured* (sampler tallies, window
+        tallies) rather than emitted — :meth:`_emit_bank_location` replays
+        it per location afterwards.
+        """
+        timing = self.timing
+        sampler = TrrSampler(self.trr_config, self.rng.child("trr", bank))
+        if telemetry:
+            # Any non-None batch makes the sampler accumulate its plain-int
+            # tallies; this sentinel batch itself is never flushed.
+            sampler.metrics = OBS.metrics.batch()
+        geometry = self.spec.geometry
+        ptrr_rng = self.rng.child("ptrr", bank)
+        raa: RaaCounter | None = None
+        if self.rfm is not None:
+            raa = RaaCounter(
+                threshold=self._rfm_threshold
+                or self.rfm.raa_initial_threshold,
+                rows_refreshed_per_rfm=self.rfm.rows_refreshed_per_rfm,
+            )
+
+        t_refi = timing.t_refi
+        refs_per_window = timing.refs_per_window
+        rows_per_ref = max(1, geometry.rows // refs_per_window)
+
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        # batch_supported guarantees no location's window clamps, so the
+        # shared window origin needs no edge clamping.
+        lo = int(rows.min()) - 2
+        hi = int(rows.max()) + 2
+        span = hi - lo + 1
+        state = _BankWindowBatch(lo + deltas, span, track_windows=telemetry)
+        win_rows = rows - lo
+
+        n_intervals = int(times[-1] // t_refi) + 1
+        boundaries = np.searchsorted(
+            times, np.arange(1, n_intervals + 1) * t_refi
+        )
+        acts_per_window = (
+            np.zeros(n_intervals, dtype=np.int64) if telemetry else None
+        )
+        windows_total = 0
+        start = 0
+        trr_refreshes = 0
+        for interval in range(n_intervals):
+            stop = int(boundaries[interval])
+            chunk = win_rows[start:stop]
+            device_chunk = rows[start:stop]
+            start = stop
+            if chunk.size:
+                acts = np.bincount(chunk, minlength=span)
+                state.apply_disturbance(acts, disturbance_gain, interval)
+                if self.ptrr.enabled:
+                    mask = self.ptrr.refresh_mask(chunk.size, ptrr_rng)
+                    if mask.any():
+                        state.refresh_neighbours(chunk[mask])
+                if raa is not None:
+                    targets = raa.observe_chunk(device_chunk)
+                    if targets.size:
+                        trr_refreshes += int(targets.size)
+                        state.refresh_neighbours(targets - lo)
+                sampler.observe(device_chunk)
+            ref_targets = sampler.on_ref()
+            if ref_targets:
+                trr_refreshes += len(ref_targets)
+                state.refresh_neighbours(
+                    np.asarray(ref_targets, dtype=np.int64) - lo
+                )
+            state.periodic_refresh(interval % refs_per_window, rows_per_ref)
+            if telemetry:
+                windows_total += 1
+                acts_per_window[interval] = chunk.size
+        return _BankBatchRecord(
+            bank=bank,
+            base_lo=lo,
+            deltas=deltas,
+            peak=state.peak,
+            peak_window=state.peak_window,
+            trr_refreshes=trr_refreshes,
+            windows_total=windows_total,
+            acts_per_window=acts_per_window,
+            sampler=sampler if telemetry else None,
+            tallies=sampler.capture_tallies() if telemetry else None,
+        )
+
+    def _emit_bank_location(
+        self,
+        rec: _BankBatchRecord,
+        i: int,
+        collect_events: bool,
+        telemetry: bool,
+    ):
+        """Flip accounting + metrics for one (bank, location) pair.
+
+        Reproduces the tail of :meth:`_hammer_bank` — flip metrics in
+        ascending-victim order, sampler tally flush (restored from the
+        shared capture), window counters, then event materialisation —
+        so the per-key emission sequence matches a per-trial run.
+        """
+        lo_i = rec.base_lo + int(rec.deltas[i])
+        peak_row = rec.peak[i]
+        touched = np.nonzero(peak_row > 0.0)[0]
+        victims = touched + lo_i
+        peaks = peak_row[touched]
+        counts = self.cells.flip_counts_for(rec.bank, victims, peaks)
+        if telemetry:
+            batch = OBS.metrics.batch()
+            flipped = np.nonzero(counts)[0]
+            windows = (
+                rec.peak_window[i][touched]
+                if rec.peak_window is not None
+                else np.zeros(touched.size, dtype=np.int64)
+            )
+            for j in flipped.tolist():
+                self._flip_metrics(batch, int(counts[j]), int(windows[j]))
+            sampler = rec.sampler
+            sampler.metrics = batch
+            sampler.restore_tallies(rec.tallies)
+            sampler.flush_metrics()
+            batch.inc("dram.windows_total", rec.windows_total)
+            batch.observe_many(
+                "dram.acts_per_window", rec.acts_per_window.tolist()
+            )
+            batch.flush()
+        if not collect_events:
+            return None, int(counts.sum())
+        flips: list[FlipEvent] = []
+        for j in np.nonzero(counts)[0].tolist():
+            victim = int(victims[j])
+            prof = self.cells.profile(rec.bank, victim)
+            flips.extend(
+                FlipEvent(
+                    bank=rec.bank,
+                    row=victim,
+                    bit_index=int(prof.bit_indices[k]),
+                    direction=int(prof.directions[k]),
+                )
+                for k in range(int(counts[j]))
+            )
+        return flips, len(flips)
+
+    # ------------------------------------------------------------------
     def _hammer_bank(
         self,
         bank: int,
@@ -301,7 +684,6 @@ class Dimm:
         if batch is not None:
             sampler.metrics = batch
         windows_total = 0
-        acts_per_window: list[int] = []
         geometry = self.spec.geometry
         ptrr_rng = self.rng.child("ptrr", bank)
         raa: RaaCounter | None = None
@@ -328,6 +710,11 @@ class Dimm:
         n_intervals = int(times[-1] // t_refi) + 1
         boundaries = np.searchsorted(
             times, np.arange(1, n_intervals + 1) * t_refi
+        )
+        # Preallocated per-interval ACT tally (one int store per interval
+        # instead of a Python list append); observed in bulk at flush.
+        acts_per_window = (
+            np.zeros(n_intervals, dtype=np.int64) if telemetry else None
         )
         start = 0
         trr_refreshes = 0
@@ -360,7 +747,7 @@ class Dimm:
             state.periodic_refresh(interval % refs_per_window, rows_per_ref)
             if telemetry:
                 windows_total += 1
-                acts_per_window.append(int(chunk.size))
+                acts_per_window[interval] = chunk.size
                 if trace_windows:
                     OBS.tracer.point(
                         "dram.window",
@@ -387,7 +774,7 @@ class Dimm:
                 self._flip_metrics(batch, int(counts[i]), int(windows[i]))
             sampler.flush_metrics()
             batch.inc("dram.windows_total", windows_total)
-            batch.observe_many("dram.acts_per_window", acts_per_window)
+            batch.observe_many("dram.acts_per_window", acts_per_window.tolist())
             batch.flush()
         if not collect_events:
             return int(counts.sum()), trr_refreshes

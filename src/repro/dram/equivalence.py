@@ -171,6 +171,256 @@ def _diff_metrics(vec: dict, ref: dict) -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# Batched multi-location execution vs per-trial vs reference.
+
+@dataclass(frozen=True)
+class LocationTrace:
+    """One location's observable outcome within a multi-location run."""
+
+    flip_count: int
+    flip_keys: tuple[FlipKey, ...]  # in emission order, not sorted
+    trr_refreshes: int
+    acts_executed: int
+    duration_ns: float
+
+
+@dataclass(frozen=True)
+class BatchTrace:
+    """Everything one path's multi-location run observably produced."""
+
+    per_location: tuple[LocationTrace, ...]
+    metrics: dict
+    elapsed_s: float  # host wall time, for speedup accounting only
+
+
+@dataclass(frozen=True)
+class BatchCrossCheck:
+    """Batched vs serial-per-trial vs reference, on one shifted workload.
+
+    ``batched`` and ``serial`` both run the vectorised
+    :class:`~repro.dram.device.Dimm` and must agree on *everything*,
+    flip-event emission order included; ``reference`` replays the same
+    per-location streams through :class:`ReferenceDimm`, which emits
+    events in a different documented order, so its flips are compared as
+    sorted multisets (exactly like :func:`cross_check`).
+    """
+
+    batched: BatchTrace
+    serial: BatchTrace
+    reference: BatchTrace
+    #: Whether the batched device path actually engaged (False means
+    #: ``hammer_batch`` fell back to the per-trial loop — the comparison
+    #: still holds but proves nothing new).
+    batch_supported: bool
+    batch_unsupported_reason: str
+    mismatches: tuple[str, ...]
+
+    @property
+    def identical(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        """Serial-per-trial wall time over batched wall time."""
+        if self.batched.elapsed_s <= 0:
+            return 0.0
+        return self.serial.elapsed_s / self.batched.elapsed_s
+
+
+#: Cell-profile cache-health instruments whose values depend on profile
+#: query *order*, which differs by design between the vectorised and
+#: reference paths (see the note in :func:`batch_cross_check`).
+_PROFILE_CACHE_HEALTH = ("dram.cells.profiles_cached", "dram.cells.profile_evictions")
+
+
+def _strip_profile_cache_health(metrics: dict) -> dict:
+    out = {}
+    for section, values in metrics.items():
+        if isinstance(values, dict):
+            values = {
+                k: v
+                for k, v in values.items()
+                if k not in _PROFILE_CACHE_HEALTH
+            }
+        out[section] = values
+    return out
+
+
+def _shifted_streams(
+    bank_streams: dict[int, tuple[np.ndarray, np.ndarray]], delta: int
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    return {
+        bank: (times, rows + delta)
+        for bank, (times, rows) in bank_streams.items()
+    }
+
+
+def _location_trace(result, *, sort_keys: bool) -> LocationTrace:
+    keys = [
+        (f.bank, f.row, f.bit_index, f.direction) for f in result.flips
+    ]
+    if sort_keys:
+        keys.sort()
+    return LocationTrace(
+        flip_count=result.flip_count,
+        flip_keys=tuple(keys),
+        trr_refreshes=result.trr_refreshes,
+        acts_executed=result.acts_executed,
+        duration_ns=result.duration_ns,
+    )
+
+
+def batch_cross_check(
+    dimm: Dimm,
+    bank_streams: dict[int, tuple[np.ndarray, np.ndarray]],
+    row_deltas,
+    disturbance_gain: float = 1.0,
+    collect_events: bool = True,
+) -> BatchCrossCheck:
+    """Prove batched == per-trial == reference for one shifted workload.
+
+    Location ``i`` hammers ``bank_streams`` with every row shifted by
+    ``row_deltas[i]``.  Three fresh twins run it: the vectorised device
+    through :meth:`Dimm.hammer_batch <repro.dram.device.Dimm.hammer_batch>`
+    (one interval pass for all locations), the vectorised device through
+    a serial per-location :meth:`Dimm.hammer
+    <repro.dram.device.Dimm.hammer>` loop, and the
+    :class:`ReferenceDimm` through the same serial loop.  All per-location
+    observables and the full OBS metric snapshots must agree.
+    """
+    deltas = np.ascontiguousarray(np.asarray(row_deltas, dtype=np.int64))
+
+    batched_dev = vector_twin(dimm)
+    supported, reason = batched_dev.batch_supported(bank_streams, deltas)
+    with telemetry_session(metrics=True):
+        start = time.perf_counter()
+        batched_results = batched_dev.hammer_batch(
+            bank_streams,
+            deltas,
+            collect_events=collect_events,
+            disturbance_gain=disturbance_gain,
+        )
+        batched_elapsed = time.perf_counter() - start
+        batched_metrics = OBS.metrics.snapshot()
+    batched = BatchTrace(
+        per_location=tuple(
+            _location_trace(r, sort_keys=False) for r in batched_results
+        ),
+        metrics=batched_metrics,
+        elapsed_s=batched_elapsed,
+    )
+
+    serial_dev = vector_twin(dimm)
+    with telemetry_session(metrics=True):
+        start = time.perf_counter()
+        serial_results = [
+            serial_dev.hammer(
+                _shifted_streams(bank_streams, delta),
+                collect_events=collect_events,
+                disturbance_gain=disturbance_gain,
+            )
+            for delta in deltas.tolist()
+        ]
+        serial_elapsed = time.perf_counter() - start
+        serial_metrics = OBS.metrics.snapshot()
+    serial = BatchTrace(
+        per_location=tuple(
+            _location_trace(r, sort_keys=False) for r in serial_results
+        ),
+        metrics=serial_metrics,
+        elapsed_s=serial_elapsed,
+    )
+
+    ref_dev = reference_twin(dimm)
+    with telemetry_session(metrics=True):
+        start = time.perf_counter()
+        ref_results = [
+            ref_dev.hammer(
+                _shifted_streams(bank_streams, delta),
+                collect_events=collect_events,
+                disturbance_gain=disturbance_gain,
+            )
+            for delta in deltas.tolist()
+        ]
+        ref_elapsed = time.perf_counter() - start
+        ref_metrics = OBS.metrics.snapshot()
+    reference = BatchTrace(
+        per_location=tuple(
+            _location_trace(r, sort_keys=True) for r in ref_results
+        ),
+        metrics=ref_metrics,
+        elapsed_s=ref_elapsed,
+    )
+
+    mismatches: list[str] = []
+    n = len(deltas)
+    for trace, name in ((serial, "serial"), (reference, "reference")):
+        if len(trace.per_location) != n:
+            mismatches.append(
+                f"{name}: {len(trace.per_location)} locations, expected {n}"
+            )
+    for i in range(n):
+        bat = batched.per_location[i]
+        ser = serial.per_location[i]
+        for field_name in (
+            "flip_count",
+            "flip_keys",
+            "trr_refreshes",
+            "acts_executed",
+            "duration_ns",
+        ):
+            a, b = getattr(bat, field_name), getattr(ser, field_name)
+            if a != b:
+                mismatches.append(
+                    f"location {i} {field_name}: batched={a!r} serial={b!r}"
+                )
+        ref = reference.per_location[i]
+        if tuple(sorted(bat.flip_keys)) != ref.flip_keys:
+            mismatches.append(
+                f"location {i} flip_keys: batched(sorted)="
+                f"{tuple(sorted(bat.flip_keys))!r} reference={ref.flip_keys!r}"
+            )
+        for field_name in (
+            "flip_count",
+            "trr_refreshes",
+            "acts_executed",
+            "duration_ns",
+        ):
+            a, b = getattr(bat, field_name), getattr(ref, field_name)
+            if a != b:
+                mismatches.append(
+                    f"location {i} {field_name}: batched={a!r} reference={b!r}"
+                )
+    if batched.metrics != serial.metrics:
+        mismatches.extend(
+            f"batched-vs-serial {m}"
+            for m in _diff_metrics(batched.metrics, serial.metrics)
+        )
+    # The reference path touches each location's cell profiles in per-ACT
+    # encounter order while the vectorised paths query sorted victims, so
+    # the profile cache's LRU eviction tally legitimately drifts between
+    # them over a multi-call sequence (it does for a plain serial loop
+    # too, no batching involved).  Cache-health telemetry is therefore
+    # excluded from the reference comparison only; the batched-vs-serial
+    # comparison above stays a full-snapshot match.
+    mismatches.extend(
+        f"batched-vs-reference {m}"
+        for m in _diff_metrics(
+            _strip_profile_cache_health(batched.metrics),
+            _strip_profile_cache_health(reference.metrics),
+        )
+    )
+    return BatchCrossCheck(
+        batched=batched,
+        serial=serial,
+        reference=reference,
+        batch_supported=supported,
+        batch_unsupported_reason=reason,
+        mismatches=tuple(mismatches),
+    )
+
+
+# ----------------------------------------------------------------------
 # Workload synthesis shared by the equivalence tests and the dram bench.
 
 def synthetic_workload(

@@ -247,6 +247,39 @@ class TrrSampler:
         self._flushes = 0
         self._occupancies = []
 
+    def capture_tallies(self) -> tuple:
+        """Snapshot the pending telemetry tallies (batched-replay support).
+
+        The batched multi-location hammer pass runs *one* sampler for a
+        whole location batch (its decisions are invariant under a uniform
+        row shift) but must emit each location's metrics as if the
+        sampler had run for that location alone.  The owner captures the
+        tallies once after the interval loop, then
+        :meth:`restore_tallies` + :meth:`flush_metrics` per location.
+        """
+        return (
+            self._acts_unsampled,
+            self._acts_observed,
+            self._rows_inserted,
+            self._tracked_acts,
+            self._neighbour_refreshes,
+            self._flushes,
+            tuple(self._occupancies),
+        )
+
+    def restore_tallies(self, tallies: tuple) -> None:
+        """Reinstate a :meth:`capture_tallies` snapshot (flush zeroed it)."""
+        (
+            self._acts_unsampled,
+            self._acts_observed,
+            self._rows_inserted,
+            self._tracked_acts,
+            self._neighbour_refreshes,
+            self._flushes,
+            occupancies,
+        ) = tallies
+        self._occupancies = list(occupancies)
+
     def reset(self) -> None:
         self._counts.clear()
         self._refs_since_flush = 0

@@ -21,7 +21,8 @@ survive as deprecated shims for one release.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 from repro.common.errors import CalibrationError
 from repro.common.rng import RngStream
@@ -33,6 +34,31 @@ from repro.system.machine import Machine
 #: ``auto`` picks the persistent pool when the host has cores to spare
 #: and serial otherwise; the explicit names are honoured verbatim.
 BACKEND_CHOICES: tuple[str, ...] = ("auto", "serial", "fork", "persistent")
+
+#: Locations per batched hammer task under ``batch_locations="auto"`` —
+#: large enough to amortise the per-interval Python loop across a chunk,
+#: small enough that one task stays a responsive pool work unit and its
+#: ``(locations x span)`` state matrices stay cache-friendly.
+DEFAULT_BATCH_LOCATIONS = 16
+
+
+def resolve_batch_locations(batch_locations, trials: int) -> int:
+    """Resolve the ``int | "auto" | "off"`` batch-size knob to a chunk size.
+
+    ``"off"`` means per-trial execution (chunk size 1); ``"auto"`` picks
+    :data:`DEFAULT_BATCH_LOCATIONS`; an int is honoured verbatim.  The
+    result is clamped to ``trials`` so a tiny run never builds an
+    oversized batch.
+    """
+    if batch_locations == "off":
+        return 1
+    if batch_locations == "auto":
+        size = DEFAULT_BATCH_LOCATIONS
+    else:
+        size = int(batch_locations)
+        if size < 1:
+            raise CalibrationError("batch_locations must be >= 1")
+    return max(1, min(size, trials)) if trials > 0 else 1
 
 
 @dataclass(frozen=True)
@@ -53,6 +79,12 @@ class RunBudget:
     max_trials: int | None = None
     workers: int = 1
     backend: str = "auto"
+    #: Locations per batched hammer task: a positive int, ``"auto"``
+    #: (:data:`DEFAULT_BATCH_LOCATIONS`, clamped to the trial count) or
+    #: ``"off"`` (per-trial execution).  Batched and per-trial runs are
+    #: bit-identical by construction; this knob only trades wall time
+    #: against per-task memory.
+    batch_locations: int | str = "auto"
 
     def __post_init__(self) -> None:
         if self.hours is not None and self.hours <= 0:
@@ -66,13 +98,37 @@ class RunBudget:
                 "RunBudget.backend must be one of "
                 + ", ".join(BACKEND_CHOICES)
             )
+        if isinstance(self.batch_locations, str):
+            if self.batch_locations not in ("auto", "off"):
+                raise CalibrationError(
+                    "RunBudget.batch_locations must be a positive int, "
+                    "'auto' or 'off'"
+                )
+        elif self.batch_locations < 1:
+            raise CalibrationError(
+                "RunBudget.batch_locations must be a positive int, "
+                "'auto' or 'off'"
+            )
 
     @classmethod
     def trials(
-        cls, count: int, workers: int = 1, backend: str = "auto"
+        cls,
+        count: int,
+        workers: int = 1,
+        backend: str = "auto",
+        batch_locations: int | str = "auto",
     ) -> "RunBudget":
         """A budget of exactly ``count`` trials (the common spelling)."""
-        return cls(max_trials=count, workers=workers, backend=backend)
+        return cls(
+            max_trials=count,
+            workers=workers,
+            backend=backend,
+            batch_locations=batch_locations,
+        )
+
+    def resolve_batch_locations(self, trials: int) -> int:
+        """Locations per batched task for a ``trials``-location run."""
+        return resolve_batch_locations(self.batch_locations, trials)
 
     def resolve_trials(
         self,
@@ -112,6 +168,14 @@ class ExperimentSpec:
     config: HammerKernelConfig
     scale: SimulationScale
     seed_name: str = "experiment"
+    #: One expanded-stream memo shared by every session this spec builds:
+    #: a parent-side prewarm therefore also warms forked workers' sessions
+    #: (fork inherits the dict), keeping the ``hammer.stream_cache.*``
+    #: counters — like the executor-memo counters — identical across
+    #: worker counts.
+    _stream_cache: OrderedDict = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
 
     def rng(self, *names: object) -> RngStream:
         """A named child stream under this experiment's RNG root."""
@@ -127,4 +191,5 @@ class ExperimentSpec:
             machine=self.machine,
             config=self.config,
             disturbance_gain=self.scale.disturbance_gain,
+            _stream_cache=self._stream_cache,
         )

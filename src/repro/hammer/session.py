@@ -12,6 +12,7 @@ The composition point of the whole simulator.  For each trial:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,12 @@ from repro.hammer.multibank import interleave_stream, multibank_addresses
 from repro.obs import OBS
 from repro.patterns.frequency import NonUniformPattern
 from repro.system.machine import Machine
+
+#: Bounded size of the per-session expanded-stream memo.  Mirrors the
+#: executor memo: an LRU (move-to-end on hit, evict oldest) instead of
+#: the old clear-everything-at-capacity behaviour, so a fuzzing loop
+#: cycling through nine patterns no longer drops all eight hot entries.
+STREAM_CACHE_SIZE = 8
 
 
 @dataclass(frozen=True)
@@ -65,7 +72,12 @@ class HammerSession:
     #: id stream depends only on (pattern layout, iterations, banks) — not
     #: on the base row — so sweep/fuzz trials that replay one pattern at
     #: many locations reuse it instead of re-tiling and re-interleaving.
-    _stream_cache: dict = field(default_factory=dict, repr=False)
+    #: Bounded LRU of :data:`STREAM_CACHE_SIZE` entries; sessions spawned
+    #: from one :class:`~repro.engine.budget.ExperimentSpec` share one
+    #: instance so a parent-side prewarm also warms forked workers.
+    _stream_cache: OrderedDict = field(
+        default_factory=OrderedDict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.config.num_banks != len(self.default_banks):
@@ -137,19 +149,149 @@ class HammerSession:
             iterations,
             n_banks,
         )
-        combined = self._stream_cache.get(key)
-        if combined is None:
-            slot_ids = pattern.intended_stream(iterations)
-            flat_ids, flat_banks = interleave_stream(slot_ids, n_banks)
-            # Combined id: aggressor id x bank lane, so the executor's
-            # revisit distances see each (row, bank) line as a distinct
-            # cache line.
-            combined = flat_ids.astype(np.int64) * n_banks + flat_banks
-            combined.setflags(write=False)
-            if len(self._stream_cache) >= 8:
-                self._stream_cache.clear()
-            self._stream_cache[key] = combined
+        cache = self._stream_cache
+        combined = cache.get(key)
+        if combined is not None:
+            cache.move_to_end(key)
+            if OBS.enabled:
+                OBS.metrics.counter("hammer.stream_cache.hits").inc()
+            return combined, target_banks
+        slot_ids = pattern.intended_stream(iterations)
+        flat_ids, flat_banks = interleave_stream(slot_ids, n_banks)
+        # Combined id: aggressor id x bank lane, so the executor's
+        # revisit distances see each (row, bank) line as a distinct
+        # cache line.
+        combined = flat_ids.astype(np.int64) * n_banks + flat_banks
+        combined.setflags(write=False)
+        cache[key] = combined
+        if len(cache) > STREAM_CACHE_SIZE:
+            cache.popitem(last=False)
+            if OBS.enabled:
+                OBS.metrics.counter("hammer.stream_cache.evictions").inc()
         return combined, target_banks
+
+    # ------------------------------------------------------------------
+    def run_pattern_batch(
+        self,
+        pattern: NonUniformPattern,
+        base_rows,
+        activations: int,
+        banks: tuple[int, ...] | None = None,
+        collect_events: bool = False,
+    ) -> list[PatternOutcome]:
+        """Hammer ``pattern`` at every base row of ``base_rows`` at once.
+
+        Bit-identical — outcomes, flip events, spans and every OBS
+        metric — to ``[run_pattern(pattern, r, ...) for r in base_rows]``,
+        but the DRAM interval loop runs once for the whole batch: the
+        expanded stream and all TRR/pTRR/RFM decisions are base-row
+        independent in window coordinates (see :meth:`Dimm.hammer_batch
+        <repro.dram.device.Dimm.hammer_batch>`).  Workloads the batched
+        pass cannot express (window-detail tracing, out-of-range rows,
+        row-remapping mitigations, windows clamped at the device edge,
+        oversized batch matrices) transparently fall back to per-trial
+        execution at the appropriate layer.
+        """
+        rows_list = [int(r) for r in base_rows]
+        if not rows_list:
+            return []
+        if len(rows_list) == 1 or not self._batchable(pattern, rows_list):
+            return [
+                self.run_pattern(
+                    pattern, row, activations, banks, collect_events
+                )
+                for row in rows_list
+            ]
+        # Per-location stream preparation: every location performs the
+        # same memoised expansion + execution lookups its run_pattern
+        # call would, so cache telemetry (hammer.stream_cache.*,
+        # cpu.executor.cache_*) matches the per-trial loop exactly.  With
+        # the executor memo disabled a lookup would be a full re-run, so
+        # one real execution serves all locations (neither path emits
+        # cache counters then).
+        for _ in rows_list:
+            combined, target_banks = self.prepare_stream(
+                pattern, activations, banks
+            )
+            execution = self.machine.executor.execute(combined, self.config)
+            if self.machine.executor.cache_size <= 0:
+                break
+        addr_table = multibank_addresses(
+            self.machine.mapping,
+            pattern.aggressor_row_offsets(),
+            rows_list[0],
+            target_banks,
+        )
+        flat_addrs = addr_table.reshape(-1)
+        phys = flat_addrs[execution.address_ids]
+        deltas = np.asarray(rows_list, dtype=np.int64) - rows_list[0]
+        results = self.machine.controller.execute_acts_batch(
+            execution.times_ns,
+            phys,
+            deltas,
+            collect_events=collect_events,
+            disturbance_gain=self.disturbance_gain,
+        )
+        outcomes: list[PatternOutcome] = []
+        telemetry = OBS.enabled
+        for row, result in zip(rows_list, results):
+            outcome = PatternOutcome(
+                flips=result.flips,
+                flip_count=result.flip_count,
+                cache_miss_rate=execution.miss_rate,
+                duration_ns=execution.duration_ns,
+                acts_issued=execution.issued,
+                acts_executed=execution.survivors,
+                disorder_window=execution.window,
+            )
+            outcomes.append(outcome)
+            if telemetry:
+                with OBS.tracer.span(
+                    "hammer.pattern",
+                    base_row=row,
+                    acts_requested=activations,
+                ) as span:
+                    span.set(
+                        flips=outcome.flip_count,
+                        acts_executed=outcome.acts_executed,
+                        virtual_ns=outcome.duration_ns,
+                    )
+                metrics = OBS.metrics
+                metrics.counter("hammer.dispatches").inc()
+                metrics.counter("hammer.acts_issued").inc(outcome.acts_issued)
+                metrics.counter("hammer.acts_executed").inc(
+                    outcome.acts_executed
+                )
+                metrics.histogram(
+                    "hammer.effective_act_rate_per_sec"
+                ).observe(outcome.activation_rate_per_sec)
+                metrics.histogram(
+                    "hammer.cache_miss_rate",
+                    buckets=tuple(i / 20 for i in range(1, 21)),
+                ).observe(outcome.cache_miss_rate)
+        return outcomes
+
+    def _batchable(
+        self, pattern: NonUniformPattern, rows_list: list[int]
+    ) -> bool:
+        """Session-level batch eligibility (cheap, pre-stream checks).
+
+        Out-of-range rows fall back so the per-trial loop raises its
+        :class:`MappingError` at the same location a serial run would;
+        window-detail tracing needs per-trial span nesting.  Deeper
+        checks (remapper, window clamping, matrix size) live with the
+        layers that own that state.
+        """
+        if OBS.tracer.enabled and OBS.tracer.detail == "window":
+            return False
+        offsets = pattern.aggressor_row_offsets()
+        off_lo = int(offsets.min())
+        off_hi = int(offsets.max())
+        num_rows = self.machine.mapping.num_rows
+        return (
+            min(rows_list) + off_lo >= 0
+            and max(rows_list) + off_hi < num_rows
+        )
 
     def _run_pattern(
         self,

@@ -83,3 +83,59 @@ class MemoryController:
             collect_events=collect_events,
             disturbance_gain=disturbance_gain,
         )
+
+    def execute_acts_batch(
+        self,
+        times: np.ndarray,
+        phys_addrs: np.ndarray,
+        row_deltas: np.ndarray,
+        collect_events: bool = False,
+        disturbance_gain: float = 1.0,
+    ) -> list[HammerResult]:
+        """Run one activation stream at many base-row-shifted locations.
+
+        Location ``i`` sees the stream of ``phys_addrs`` with every row
+        shifted by ``row_deltas[i]``; the returned list matches a serial
+        ``execute_acts`` call per location bit for bit, telemetry
+        included (see :meth:`Dimm.hammer_batch` for the invariance
+        argument).  Row-remapping mitigations may be row- or
+        history-dependent — a shifted stream does not remap to a shifted
+        stream — so any non-identity remapper forces the serial
+        per-location path, preserving the remapper's state evolution in
+        location order.
+        """
+        if times.shape != phys_addrs.shape:
+            raise SimulationError("times and addresses must align")
+        deltas = np.ascontiguousarray(np.asarray(row_deltas, dtype=np.int64))
+        addrs = phys_addrs.astype(np.uint64, copy=False)
+        banks = self.mapping.bank_of_many(addrs).astype(np.int64)
+        rows = self.mapping.row_of_many(addrs).astype(np.int64)
+        streams: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for bank in np.unique(banks).tolist():
+            mask = banks == bank
+            streams[int(bank)] = (times[mask], rows[mask])
+        if type(self.remapper) is RowRemapper:  # identity: safe to batch
+            return self.dimm.hammer_batch(
+                streams,
+                deltas,
+                collect_events=collect_events,
+                disturbance_gain=disturbance_gain,
+            )
+        results: list[HammerResult] = []
+        for delta in deltas.tolist():
+            shifted: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            for bank, (bank_times, bank_rows) in streams.items():
+                moved = bank_rows + delta
+                if bank_times.size:
+                    moved = self.remapper.remap(
+                        bank, moved, float(bank_times[-1])
+                    )
+                shifted[bank] = (bank_times, moved)
+            results.append(
+                self.dimm.hammer(
+                    shifted,
+                    collect_events=collect_events,
+                    disturbance_gain=disturbance_gain,
+                )
+            )
+        return results

@@ -471,8 +471,98 @@ def bench_dram(params) -> dict[str, Any]:
     }
 
 
+#: The batched multi-location pass must beat the per-location loop by at
+#: least this factor on the bench workload (same process, warm caches).
+BATCH_SPEEDUP_FLOOR = 3.0
+#: Locations per batched pass in the ``dram_batch`` leg — the
+#: ``batch_locations="auto"`` production chunk size.
+BATCH_BENCH_LOCATIONS = 16
+
+
+def bench_dram_batch(params) -> dict[str, Any]:
+    """Batched multi-location hammering vs the per-location loop.
+
+    The tentpole workload of a sweep chunk: one pattern hammered at
+    :data:`BATCH_BENCH_LOCATIONS` base rows, once through
+    ``HammerSession.run_pattern_batch`` (a single vectorised interval
+    pass per bank) and once through the equivalent ``run_pattern`` loop.
+    Both sides run in this process on fresh machines, take one warm-up
+    pass (stream memo, executor memo, cell profiles — warm in any real
+    sweep) and then the best of three timed passes.  Bit-identity of the
+    per-location flip counts is a ``check``, and so is clearing
+    :data:`BATCH_SPEEDUP_FLOOR`.
+    """
+    from repro.hammer.session import HammerSession
+
+    scale = params["scale"]
+
+    def fresh_session():
+        machine = build_machine(
+            "raptor_lake", "S3", scale=scale, seed=606
+        )
+        return HammerSession(
+            machine=machine,
+            config=tuned_config_for("raptor_lake"),
+            disturbance_gain=scale.disturbance_gain,
+        )
+
+    pattern = canonical_compact_pattern()
+    acts = scale.acts_per_pattern
+    rows = [4096 + 192 * i for i in range(BATCH_BENCH_LOCATIONS)]
+
+    serial_session = fresh_session()
+
+    def serial_pass():
+        return [
+            serial_session.run_pattern(pattern, row, activations=acts)
+            for row in rows
+        ]
+
+    batch_session = fresh_session()
+
+    def batched_pass():
+        return batch_session.run_pattern_batch(
+            pattern, rows, activations=acts
+        )
+
+    def best_of(fn, repeats: int = 3):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    serial_warm = serial_pass()
+    batched_warm = batched_pass()
+    serial_s, serial_out = best_of(serial_pass)
+    batched_s, batched_out = best_of(batched_pass)
+    serial_flips = [o.flip_count for o in serial_out]
+    batched_flips = [o.flip_count for o in batched_out]
+    speedup = serial_s / batched_s if batched_s > 0 else 0.0
+    return {
+        "checks": {
+            "total_flips": sum(batched_flips),
+            "locations": len(rows),
+            "bit_identical": bool(serial_flips == batched_flips),
+            "repeat_stable": bool(
+                batched_flips == [o.flip_count for o in batched_warm]
+                and serial_flips == [o.flip_count for o in serial_warm]
+            ),
+            "meets_batch_speedup": bool(speedup >= BATCH_SPEEDUP_FLOOR),
+        },
+        "timings": {
+            "serial_s": round(serial_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2) if batched_s > 0 else None,
+            "speedup_floor": BATCH_SPEEDUP_FLOOR,
+        },
+    }
+
+
 BENCHES: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {
     "dram": bench_dram,
+    "dram_batch": bench_dram_batch,
     "engine": bench_engine,
     "obs": bench_obs,
     "fuzz": bench_fuzz,

@@ -13,7 +13,11 @@ import pytest
 from repro.common.rng import RngStream
 from repro.dram.ddr5 import RfmConfig
 from repro.dram.device import Dimm, DimmSpec
-from repro.dram.equivalence import cross_check, synthetic_workload
+from repro.dram.equivalence import (
+    batch_cross_check,
+    cross_check,
+    synthetic_workload,
+)
 from repro.dram.geometry import DramGeometry
 from repro.dram.trr import VENDOR_TRR_PROFILES, PtrrShield, TrrConfig
 
@@ -137,6 +141,122 @@ def test_metric_snapshots_compared_not_just_counts():
         + counters["dram.trr.acts_escaped"]
         == counters["dram.trr.acts_observed"]
     )
+
+
+# ----------------------------------------------------------------------
+# Batched multi-location execution: batched == per-trial == reference.
+
+BATCH_DELTAS = (0, 96, 4096, -48)
+
+
+@pytest.mark.parametrize("kind", ("double_sided", "mixed"))
+@pytest.mark.parametrize("profile", sorted(VENDOR_TRR_PROFILES))
+def test_batch_vendor_profiles_bit_identical(kind, profile):
+    dimm = make_dimm(trr=VENDOR_TRR_PROFILES[profile])
+    workload = synthetic_workload(
+        dimm, acts_per_bank=4000, banks=2, seed=5, kind=kind
+    )
+    check = batch_cross_check(
+        dimm, workload, BATCH_DELTAS, disturbance_gain=24.0
+    )
+    assert check.batch_supported, check.batch_unsupported_reason
+    assert check.identical, check.mismatches[:5]
+    # Every location must have executed the full stream.
+    for trace in check.batched.per_location:
+        assert trace.acts_executed == 8000
+
+
+@pytest.mark.parametrize("kind", ("double_sided", "mixed"))
+def test_batch_ptrr_and_rfm_bit_identical(kind):
+    dimm = make_dimm(
+        ptrr=PtrrShield(enabled=True, para_prob=0.02),
+        rfm=RfmConfig(enabled=True),
+        rfm_threshold=40,
+    )
+    workload = synthetic_workload(
+        dimm, acts_per_bank=4000, banks=2, seed=7, kind=kind
+    )
+    check = batch_cross_check(
+        dimm, workload, BATCH_DELTAS, disturbance_gain=24.0
+    )
+    assert check.batch_supported, check.batch_unsupported_reason
+    assert check.identical, check.mismatches[:5]
+    assert all(t.trr_refreshes > 0 for t in check.batched.per_location)
+
+
+def test_batch_flip_events_ordered_identically():
+    """Batched flip events match the serial loop in emission *order*."""
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-9))
+    workload = synthetic_workload(
+        dimm, acts_per_bank=6000, banks=1, seed=3, kind="double_sided"
+    )
+    check = batch_cross_check(
+        dimm,
+        workload,
+        BATCH_DELTAS,
+        disturbance_gain=24.0,
+        collect_events=True,
+    )
+    assert check.batch_supported, check.batch_unsupported_reason
+    assert check.identical, check.mismatches[:5]
+    assert sum(t.flip_count for t in check.batched.per_location) > 0
+    for bat, ser in zip(
+        check.batched.per_location, check.serial.per_location
+    ):
+        assert bat.flip_keys == ser.flip_keys  # exact order, not multiset
+
+
+def test_batch_without_events_matches_counts():
+    dimm = make_dimm(trr=TrrConfig(capacity=1, sample_prob=1e-9))
+    workload = synthetic_workload(
+        dimm, acts_per_bank=6000, banks=1, seed=3, kind="double_sided"
+    )
+    check = batch_cross_check(
+        dimm,
+        workload,
+        BATCH_DELTAS,
+        disturbance_gain=24.0,
+        collect_events=False,
+    )
+    assert check.batch_supported, check.batch_unsupported_reason
+    assert check.identical, check.mismatches[:5]
+
+
+def test_batch_edge_clamped_falls_back_and_still_matches():
+    """Windows clamped at the device edge force (correct) fallback."""
+    dimm = make_dimm()
+    workload = synthetic_workload(
+        dimm, acts_per_bank=2000, banks=1, seed=9, kind="double_sided"
+    )
+    rows_total = dimm.spec.geometry.rows
+    # Shift one location so its window would clamp at the top edge.
+    top = rows_total - int(max(workload[0][1].max(), 0)) - 1
+    check = batch_cross_check(
+        dimm, workload, (0, top), disturbance_gain=24.0
+    )
+    assert not check.batch_supported
+    assert "edge" in check.batch_unsupported_reason
+    assert check.identical, check.mismatches[:5]
+
+
+def test_batch_supported_rejects_oversized_matrices():
+    from repro.dram import device as device_mod
+
+    dimm = make_dimm()
+    workload = synthetic_workload(
+        dimm, acts_per_bank=2000, banks=1, seed=9, kind="random"
+    )
+    many = tuple(range(0, 4096, 8))
+    cap = device_mod.BATCH_MATRIX_BYTES_MAX
+    try:
+        device_mod.BATCH_MATRIX_BYTES_MAX = 1024
+        ok, reason = dimm.batch_supported(
+            workload, np.asarray(many, dtype=np.int64)
+        )
+    finally:
+        device_mod.BATCH_MATRIX_BYTES_MAX = cap
+    assert not ok
+    assert "bytes" in reason or "matri" in reason
 
 
 def test_invulnerable_dimm_yields_zero_flips_both_paths():

@@ -215,12 +215,17 @@ def test_fuzzing_is_bit_identical_across_backends(comet_machine):
         assert (serial.best_pattern.slots == parallel.best_pattern.slots).all()
 
 
-def _sweep_report(machine, workers, backend="auto"):
+def _sweep_report(machine, workers, backend="auto", batch_locations="auto"):
     return sweep_pattern(
         machine,
         CONFIG,
         canonical_compact_pattern(),
-        RunBudget(max_trials=8, workers=workers, backend=backend),
+        RunBudget(
+            max_trials=8,
+            workers=workers,
+            backend=backend,
+            batch_locations=batch_locations,
+        ),
         QUICK_SCALE,
         seed_name="det-sweep",
     )
@@ -289,7 +294,9 @@ def test_persistent_metric_snapshots_match_serial(comet_machine):
 def test_sweep_worker_failure_keeps_partial_results(
     fresh_comet, monkeypatch
 ):
-    clean = _sweep_report(fresh_comet, workers=1)
+    """Per-location dispatch (batching off): only the poisoned location
+    is lost."""
+    clean = _sweep_report(fresh_comet, workers=1, batch_locations="off")
     poisoned_row = clean.base_rows[2]
     original = HammerSession.run_pattern
 
@@ -299,11 +306,41 @@ def test_sweep_worker_failure_keeps_partial_results(
         return original(self, pattern, base_row, *args, **kwargs)
 
     monkeypatch.setattr(HammerSession, "run_pattern", poisoned)
-    report = _sweep_report(fresh_comet, workers=3, backend="persistent")
+    report = _sweep_report(
+        fresh_comet, workers=3, backend="persistent", batch_locations="off"
+    )
     assert report.base_rows == clean.base_rows
     assert report.flips_per_location[2] == 0
     for i in (0, 1, 3, 4, 5, 6, 7):
         assert report.flips_per_location[i] == clean.flips_per_location[i]
     assert any(
         "location 2" in note and "injected" in note for note in report.notes
+    )
+
+
+def test_sweep_chunk_failure_loses_only_that_chunk(
+    fresh_comet, monkeypatch
+):
+    """Batched dispatch: a failing location costs its chunk, no more."""
+    clean = _sweep_report(fresh_comet, workers=1, batch_locations="off")
+    poisoned_row = clean.base_rows[2]
+    original = HammerSession.run_pattern_batch
+
+    def poisoned(self, pattern, base_rows, *args, **kwargs):
+        if poisoned_row in [int(r) for r in base_rows]:
+            raise RuntimeError("injected mid-chunk failure")
+        return original(self, pattern, base_rows, *args, **kwargs)
+
+    monkeypatch.setattr(HammerSession, "run_pattern_batch", poisoned)
+    report = _sweep_report(
+        fresh_comet, workers=3, backend="persistent", batch_locations=4
+    )
+    assert report.base_rows == clean.base_rows
+    # Locations 0-3 share the poisoned chunk and are all lost ...
+    assert (report.flips_per_location[:4] == 0).all()
+    # ... while the other chunk's locations survive untouched.
+    for i in (4, 5, 6, 7):
+        assert report.flips_per_location[i] == clean.flips_per_location[i]
+    assert any(
+        "chunk 0" in note and "injected" in note for note in report.notes
     )
